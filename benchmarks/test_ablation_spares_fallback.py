@@ -1,0 +1,73 @@
+"""Ablations of the Section 5.3 overflow mitigations.
+
+The paper sketches two escapes for overflow-heavy content: a CPU
+fallback (punt the frame to software CD) and "a ZEB with several spare
+entries that could be dynamically allocated as extra space to create
+longer lists".  Both are implemented; these benches quantify them on
+the overflow-heaviest benchmark (temple) at M=4.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_overflow_sweeps
+from benchmarks.conftest import DETAIL, FRAMES, HEIGHT, WIDTH
+
+
+@pytest.fixture(scope="session")
+def temple_m4_sweeps():
+    plain = run_overflow_sweeps(
+        width=WIDTH, height=HEIGHT, frames=FRAMES, detail=DETAIL,
+        m_values=(4,), spare_entries=0,
+    )
+    spared = run_overflow_sweeps(
+        width=WIDTH, height=HEIGHT, frames=FRAMES, detail=DETAIL,
+        m_values=(4,), spare_entries=128,
+    )
+    return plain, spared
+
+
+def test_spare_entries_cut_overflow(temple_m4_sweeps, benchmark):
+    plain, spared = benchmark.pedantic(
+        lambda: temple_m4_sweeps, rounds=1, iterations=1
+    )
+    print()
+    for before, after in zip(plain, spared):
+        print(
+            f"  {before.alias:7s} M=4 overflow: {before.overflow_rate[4]*100:6.2f}% "
+            f"-> {after.overflow_rate[4]*100:6.2f}% with 128 spare entries "
+            f"({after.spare_allocations[4]} allocations)"
+        )
+        assert after.overflow_rate[4] <= before.overflow_rate[4]
+    by_alias = {s.alias: s for s in plain}
+    spared_by = {s.alias: s for s in spared}
+    # On the stressed benchmarks the pool must actually be used and help.
+    for alias in ("sleepy", "temple"):
+        assert spared_by[alias].spare_allocations[4] > 0
+        assert spared_by[alias].overflow_rate[4] < by_alias[alias].overflow_rate[4]
+
+
+def test_cpu_fallback_triggers_on_overflow_threshold(benchmark):
+    """A tight threshold flags overflow-heavy frames for software CD."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.gpu.config import GPUConfig
+    from repro.gpu.pipeline import GPU
+    from repro.scenes.benchmarks import make_temple
+
+    config = (
+        GPUConfig()
+        .with_screen(400, 240)
+        .with_rbcd(list_length=4, cpu_fallback_overflow_rate=0.01)
+    )
+    workload = make_temple(detail=DETAIL)
+    gpu = GPU(config, rbcd_enabled=True)
+    fallbacks = 0
+    for t in workload.times(4):
+        result = gpu.render_frame(workload.scene.frame_at(float(t), config))
+        fallbacks += int(result.cpu_fallback)
+    assert fallbacks > 0
+
+    # A permissive threshold (the default) never falls back.
+    config2 = GPUConfig().with_screen(400, 240).with_rbcd(list_length=4)
+    gpu2 = GPU(config2, rbcd_enabled=True)
+    result = gpu2.render_frame(workload.scene.frame_at(0.0, config2))
+    assert not result.cpu_fallback

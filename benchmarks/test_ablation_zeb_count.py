@@ -1,0 +1,53 @@
+"""Ablation: ZEB count beyond two.
+
+Section 5.2: "two ZEBs are enough to avoid practically all stalls, and
+... including more ZEBs does not improve time and slightly increases
+the energy consumption" (extra SRAM leakage with nothing left to hide).
+"""
+
+import pytest
+
+from repro.experiments.runner import run_all_benchmarks
+from benchmarks.conftest import DETAIL, FRAMES, HEIGHT, WIDTH
+
+
+@pytest.fixture(scope="session")
+def zeb_sweep_runs():
+    return run_all_benchmarks(
+        width=WIDTH, height=HEIGHT, frames=FRAMES, detail=DETAIL,
+        zeb_counts=(1, 2, 3, 4),
+    )
+
+
+def test_more_zebs_monotone_time(zeb_sweep_runs, benchmark):
+    runs = benchmark.pedantic(lambda: zeb_sweep_runs, rounds=1, iterations=1)
+    print()
+    for run in runs:
+        times = {k: run.rbcd[k].seconds / run.baseline.seconds for k in (1, 2, 3, 4)}
+        print(f"  {run.alias:7s} normalized time by ZEB count: "
+              + ", ".join(f"{k}: {v:.4f}" for k, v in times.items()))
+        assert times[1] >= times[2] >= times[3] >= times[4]
+
+
+def test_third_zeb_buys_almost_nothing(zeb_sweep_runs, benchmark):
+    """The 1->2 step removes most stalls; 2->3 is marginal."""
+    benchmark.pedantic(lambda: zeb_sweep_runs, rounds=1, iterations=1)
+    for run in zeb_sweep_runs:
+        gain_12 = run.rbcd[1].seconds - run.rbcd[2].seconds
+        gain_23 = run.rbcd[2].seconds - run.rbcd[3].seconds
+        assert gain_23 <= gain_12 + 1e-12, run.alias
+        # At least 60 % of the total achievable gain comes from the
+        # second ZEB.
+        total_gain = run.rbcd[1].seconds - run.rbcd[4].seconds
+        if total_gain > 0:
+            assert gain_12 / total_gain > 0.6, run.alias
+
+
+def test_extra_zebs_increase_energy_when_time_flat(zeb_sweep_runs, benchmark):
+    """Each additional ZEB leaks; once stalls are gone the energy can
+    only go up."""
+    benchmark.pedantic(lambda: zeb_sweep_runs, rounds=1, iterations=1)
+    for run in zeb_sweep_runs:
+        t3, t4 = run.rbcd[3].seconds, run.rbcd[4].seconds
+        if t3 == t4:  # no time left to win
+            assert run.rbcd[4].energy_j >= run.rbcd[3].energy_j, run.alias

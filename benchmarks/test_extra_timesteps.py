@@ -1,0 +1,48 @@
+"""Section 3.6: extra raster-only time steps.
+
+"Should the application run additional time steps, it can be done by
+rasterizing (not fragment processing) extra commands just containing
+the collisionable objects to be tested."  A raster-only CD pass must
+cost a small fraction of a full rendered frame and still detect the
+same collisions.
+"""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU
+from repro.scenes.benchmarks import make_cap
+from benchmarks.conftest import DETAIL
+
+CFG = GPUConfig().with_screen(400, 240)
+
+
+def run_pair():
+    workload = make_cap(detail=DETAIL)
+    gpu = GPU(CFG, rbcd_enabled=True)
+    t = workload.duration_s / 2.0
+    full = gpu.render_frame(workload.scene.frame_at(t, CFG))
+    raster_only = gpu.render_frame(
+        workload.scene.frame_at(t, CFG, raster_only=True)
+    )
+    return full, raster_only
+
+
+def test_raster_only_timestep(benchmark):
+    full, raster_only = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    ratio = raster_only.stats.gpu_cycles / full.stats.gpu_cycles
+    print(f"\n  raster-only CD pass costs {ratio:.2%} of a full frame")
+    # Same collisions, no fragment shading, far cheaper.
+    assert raster_only.collisions.pairs == full.collisions.pairs
+    assert raster_only.stats.fragments_shaded == 0
+    assert ratio < 0.6
+
+
+def test_raster_only_preserves_rbcd_activity(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    full, raster_only = run_pair()
+    assert raster_only.stats.zeb_insertions == full.stats.zeb_insertions
+    assert (
+        raster_only.stats.collision_pairs_emitted
+        == full.stats.collision_pairs_emitted
+    )

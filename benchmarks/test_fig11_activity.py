@@ -1,0 +1,40 @@
+"""Figure 11: raster-side activity factors, RBCD / baseline.
+
+Paper averages: tile-cache loads +19.3 %, primitives +18.4 %,
+fragments +6.3 %, raster cycles +3.7 %.  The ordering is the shape:
+deferred culling inflates primitive traffic the most, fragments less
+(tagged primitives are small), and busy cycles least (setup-dominated
+extra primitives are cheap next to pixel fill).
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import show
+
+
+def test_fig11_activity_factors(paper_runs, benchmark):
+    fig = benchmark.pedantic(
+        figures.fig11_activity_factors, args=(paper_runs,), rounds=1, iterations=1
+    )
+    show(fig)
+    loads = fig.value("TC loads", "geo.mean")
+    prims = fig.value("Primitives", "geo.mean")
+    frags = fig.value("Fragments", "geo.mean")
+    cycles = fig.value("Raster cycles", "geo.mean")
+    # All factors grow, primitives/loads the most, fragments much less.
+    assert 1.0 < frags < prims
+    assert 1.0 < frags < loads
+    assert prims < 1.6
+    assert frags < 1.2
+    assert 1.0 < cycles < prims
+
+
+def test_fragments_grow_less_than_primitives_everywhere(paper_runs, benchmark):
+    """Tagged-to-be-culled primitives belong to high-detail models and
+    are smaller than average, so fragment growth lags primitive growth
+    on every benchmark (Section 5.2)."""
+    benchmark.pedantic(lambda: paper_runs, rounds=1, iterations=1)
+    for run in paper_runs:
+        base, rbcd = run.baseline_stats, run.rbcd_stats[2]
+        prim_ratio = rbcd.prims_rasterized / base.prims_rasterized
+        frag_ratio = rbcd.fragments_produced / base.fragments_produced
+        assert frag_ratio < prim_ratio, run.alias

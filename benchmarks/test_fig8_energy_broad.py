@@ -1,0 +1,22 @@
+"""Figure 8b: energy reduction of RBCD versus CPU broad-CD.
+
+Paper: geomean ~273x with one ZEB, ~448x with two (i.e. 99.8 % of the
+CD energy removed).
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import show
+
+
+def test_fig8b_energy_reduction_vs_broad(paper_runs, benchmark):
+    fig = benchmark.pedantic(
+        figures.fig8b_energy_broad, args=(paper_runs,), rounds=1, iterations=1
+    )
+    show(fig)
+    geomean_2 = fig.value("2 ZEB", "geo.mean")
+    assert geomean_2 > 50
+    # The headline claim: RBCD removes the overwhelming majority (>98 %)
+    # of the CD energy (paper: 99.8 %).
+    assert 1.0 / geomean_2 < 0.02
+    for run in paper_runs:
+        assert fig.value("2 ZEB", run.alias) > 20

@@ -1,0 +1,19 @@
+"""Figure 8d: energy reduction of RBCD versus the GJK-CD baseline.
+
+Paper: geomean ~1750x / ~2875x (1 / 2 ZEBs).
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import show
+
+
+def test_fig8d_energy_reduction_vs_gjk(paper_runs, benchmark):
+    fig = benchmark.pedantic(
+        figures.fig8d_energy_gjk, args=(paper_runs,), rounds=1, iterations=1
+    )
+    show(fig)
+    fig8b = figures.fig8b_energy_broad(paper_runs)
+    for label in ("1 ZEB", "2 ZEB"):
+        for run in paper_runs:
+            assert fig.value(label, run.alias) > fig8b.value(label, run.alias)
+    assert fig.value("2 ZEB", "geo.mean") > 100

@@ -1,0 +1,24 @@
+"""Figure 8a: RBCD speedup versus the CPU broad-CD baseline.
+
+Paper: geomean ~250x with one ZEB, ~600x with two ZEBs.  The shape to
+hold: RBCD wins by orders of magnitude, and two ZEBs beat one on every
+benchmark.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import show
+
+
+def test_fig8a_speedup_vs_broad(paper_runs, benchmark):
+    fig = benchmark.pedantic(
+        figures.fig8a_speedup_broad, args=(paper_runs,), rounds=1, iterations=1
+    )
+    show(fig)
+    geomean_1 = fig.value("1 ZEB", "geo.mean")
+    geomean_2 = fig.value("2 ZEB", "geo.mean")
+    # Orders-of-magnitude win (paper: 250x / 600x).
+    assert geomean_1 > 50
+    assert geomean_2 > 100
+    # Two ZEBs reduce the marginal GPU time on every benchmark.
+    for run in paper_runs:
+        assert fig.value("2 ZEB", run.alias) >= fig.value("1 ZEB", run.alias)

@@ -1,0 +1,22 @@
+"""Figure 8c: RBCD speedup versus the CPU broad+narrow (GJK) baseline.
+
+Paper: geomean ~1400x / ~3400x (1 / 2 ZEBs) — strictly higher than the
+broad-only comparison of Figure 8a because the GJK pipeline costs more.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import show
+
+
+def test_fig8c_speedup_vs_gjk(paper_runs, benchmark):
+    fig = benchmark.pedantic(
+        figures.fig8c_speedup_gjk, args=(paper_runs,), rounds=1, iterations=1
+    )
+    show(fig)
+    fig8a = figures.fig8a_speedup_broad(paper_runs)
+    for label in ("1 ZEB", "2 ZEB"):
+        # GJK-CD costs more than broad-CD, so its speedups are higher,
+        # benchmark by benchmark (the 8c-vs-8a crossover direction).
+        for run in paper_runs:
+            assert fig.value(label, run.alias) > fig8a.value(label, run.alias)
+    assert fig.value("2 ZEB", "geo.mean") > 200

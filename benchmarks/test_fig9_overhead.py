@@ -1,0 +1,44 @@
+"""Figure 9: GPU time and energy with RBCD, normalized to the baseline.
+
+Paper: time overhead 5.4 % (1 ZEB) -> 3 % (2 ZEBs); energy overhead
+5.1 % -> 3.5 %.  Going from one to two ZEBs removes most Tile-Scheduler
+stalls.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import show
+
+
+def test_fig9a_normalized_time(paper_runs, benchmark):
+    fig = benchmark.pedantic(
+        figures.fig9a_normalized_time, args=(paper_runs,), rounds=1, iterations=1
+    )
+    show(fig)
+    geomean_1 = fig.value("1 ZEB", "geo.mean")
+    geomean_2 = fig.value("2 ZEB", "geo.mean")
+    # Single-digit-percent overhead, improved by the second ZEB.
+    assert 1.0 < geomean_2 <= geomean_1 < 1.15
+    for run in paper_runs:
+        assert fig.value("2 ZEB", run.alias) <= fig.value("1 ZEB", run.alias)
+
+
+def test_fig9b_normalized_energy(paper_runs, benchmark):
+    fig = benchmark.pedantic(
+        figures.fig9b_normalized_energy, args=(paper_runs,), rounds=1, iterations=1
+    )
+    show(fig)
+    geomean_2 = fig.value("2 ZEB", "geo.mean")
+    assert 1.0 < geomean_2 < 1.15
+    for run in paper_runs:
+        assert fig.value("2 ZEB", run.alias) <= fig.value("1 ZEB", run.alias) + 1e-9
+
+
+def test_stall_reduction_from_second_zeb(paper_runs, benchmark):
+    """The mechanism behind Figure 9: the second ZEB removes nearly all
+    Rasterizer stalls (Section 5.2)."""
+    benchmark.pedantic(lambda: paper_runs, rounds=1, iterations=1)
+    for run in paper_runs:
+        stall_1 = run.rbcd_stats[1].raster_stall_cycles
+        stall_2 = run.rbcd_stats[2].raster_stall_cycles
+        assert stall_2 < stall_1
+        assert stall_2 < 0.4 * stall_1 + 1e-9, run.alias

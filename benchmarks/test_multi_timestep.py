@@ -1,0 +1,91 @@
+"""Multiple physics time steps per rendered frame (Section 3.6).
+
+"Executing multiple time steps per frame can help improve the softness
+and realism of the animations" — RBCD supports them as raster-only
+passes between rendered frames.  This bench runs k in {1, 2, 4} time
+steps per frame and compares the GPU cost of the extra passes against
+what the CPU baseline would pay for the same CD rate.
+"""
+
+import functools
+
+import pytest
+
+from repro.cpu.model import CPUModel
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU
+from repro.physics.counters import OpCounter
+from repro.scenes.benchmarks import make_cap
+
+CFG = GPUConfig().with_screen(400, 240)
+RATES = (1, 2, 4)
+FRAMES = 3
+
+
+@functools.cache
+def run_rates():
+    workload = make_cap(detail=1)
+    gpu = GPU(CFG, rbcd_enabled=True)
+    world = workload.scene.collision_world()
+    cpu = CPUModel()
+
+    results = {}
+    times = workload.times(FRAMES)
+    for k in RATES:
+        gpu_cycles = 0.0
+        cpu_seconds = 0.0
+        pair_sets = []
+        for i, t in enumerate(times):
+            # Rendered frame at t plus (k-1) raster-only CD passes at
+            # interpolated sub-times.
+            sub_times = [float(t)]
+            if i + 1 < len(times):
+                step = (float(times[i + 1]) - float(t)) / k
+                sub_times += [float(t) + step * j for j in range(1, k)]
+            for j, sub in enumerate(sub_times):
+                frame = workload.scene.frame_at(
+                    sub, CFG, raster_only=(j > 0)
+                )
+                result = gpu.render_frame(frame)
+                gpu_cycles += result.stats.gpu_cycles
+                pair_sets.append(
+                    {(p.id_a, p.id_b) for p in result.collisions.pairs}
+                )
+                workload.scene.sync_world(world, sub)
+                cpu_seconds += cpu.price(world.detect("broad").ops).seconds
+        results[k] = {
+            "gpu_seconds": CFG.cycles_to_seconds(gpu_cycles),
+            "cpu_cd_seconds": cpu_seconds,
+            "pair_sets": pair_sets,
+        }
+    return results
+
+
+def test_extra_timesteps_scale_gracefully(benchmark):
+    results = benchmark.pedantic(run_rates, rounds=1, iterations=1)
+    print()
+    base = results[1]["gpu_seconds"]
+    for k in RATES:
+        r = results[k]
+        print(
+            f"  {k} step(s)/frame: GPU {r['gpu_seconds'] * 1e3:7.3f} ms "
+            f"(x{r['gpu_seconds'] / base:.2f}), CPU-CD equivalent "
+            f"{r['cpu_cd_seconds'] * 1e3:7.2f} ms"
+        )
+    # Doubling the CD rate costs far less than doubling GPU time: the
+    # extra passes skip fragment processing.
+    assert results[2]["gpu_seconds"] < 1.7 * results[1]["gpu_seconds"]
+    assert results[4]["gpu_seconds"] < 3.0 * results[1]["gpu_seconds"]
+    # And the CPU-CD alternative scales linearly with the rate.
+    assert results[4]["cpu_cd_seconds"] == pytest.approx(
+        4 * results[1]["cpu_cd_seconds"] / 1.0, rel=0.35
+    )
+
+
+def test_finer_timesteps_catch_transient_contacts(benchmark):
+    """More CD samples can only reveal more of the run's contacts."""
+    benchmark.pedantic(lambda: run_rates(), rounds=1, iterations=1)
+    results = run_rates()
+    seen_1 = set().union(*results[1]["pair_sets"])
+    seen_4 = set().union(*results[4]["pair_sets"])
+    assert seen_1 <= seen_4

@@ -1,0 +1,39 @@
+"""Table 3: ZEB list overflow percentage for M = 4, 8, 16.
+
+Paper: average 3.68 % / 0.08 % / 0 %, with cap and crazy low and
+sleepy/temple high at M=4; at M=8 every collision is still detected
+despite residual overflow; at M=16 overflow (essentially) vanishes.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import show
+
+
+def test_table3_overflow_rates(overflow_sweeps, benchmark):
+    table = benchmark.pedantic(
+        figures.table3_overflow, args=(overflow_sweeps,), rounds=1, iterations=1
+    )
+    show(table)
+    # Monotone decrease with M for every benchmark.
+    for sweep in overflow_sweeps:
+        assert (
+            sweep.overflow_rate[4] >= sweep.overflow_rate[8] >= sweep.overflow_rate[16]
+        )
+    # The concentrated benchmarks stress the ZEB far more than the
+    # spread ones (the paper's explanation of Table 3).
+    by_alias = {s.alias: s for s in overflow_sweeps}
+    spread_max = max(by_alias["cap"].overflow_rate[4], by_alias["crazy"].overflow_rate[4])
+    stacked_min = min(by_alias["sleepy"].overflow_rate[4], by_alias["temple"].overflow_rate[4])
+    assert stacked_min > spread_max
+    # M=16 is (essentially) overflow-free.
+    for sweep in overflow_sweeps:
+        assert sweep.overflow_rate[16] < 0.002
+
+
+def test_all_collisions_detected_at_m8(overflow_sweeps, benchmark):
+    """"Despite the overflows, we verified that all the collisions are
+    still detected" (Section 5.3) — objects cover many pixels, so a
+    pair lost in one overflowing list is found in another."""
+    benchmark.pedantic(lambda: overflow_sweeps, rounds=1, iterations=1)
+    for sweep in overflow_sweeps:
+        assert sweep.all_collisions_detected(8, 16), sweep.alias

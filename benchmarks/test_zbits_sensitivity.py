@@ -1,0 +1,81 @@
+"""Sensitivity to the ZEB element's depth-field width.
+
+The paper fixes 32 bits per ZEB element but not the field split; this
+repo assumes 18 z bits + 13 id bits + 1 face bit.  This bench sweeps
+the depth width and shows why ~18 bits is the right region: much
+narrower and quantization collapses distinct surfaces into spurious
+contacts; the assumed width reproduces the fine-grained answer.
+"""
+
+import functools
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU
+from tests.conftest import two_boxes_frame
+
+# Keep the element at 32 bits: z width trades against id width.
+SPLITS = {6: 25, 10: 21, 14: 17, 18: 13}
+BASE = GPUConfig().with_screen(320, 200)
+
+
+@functools.cache
+def run_sweep():
+    """Pairs found for a separated-but-close box pair, per z width."""
+    results = {}
+    for z_bits, id_bits in SPLITS.items():
+        config = BASE.with_rbcd(z_bits=z_bits, id_bits=id_bits)
+        gpu = GPU(config, rbcd_enabled=True)
+        # Boxes separated by a thin real gap: z-range separation along
+        # the view axis is what the quantizer must resolve.
+        from repro.geometry.primitives import make_box
+        from repro.geometry.vec import Mat4, Vec3
+        from repro.gpu.commands import DrawCommand, Frame
+        from tests.conftest import simple_projection, simple_view
+
+        box = make_box(Vec3(0.5, 0.5, 0.5))
+        # Far box drawn first: when quantization collapses the facing
+        # surfaces to one code, arrival order interleaves the intervals
+        # ([near [far ]near ]far) and a false contact appears.  (Drawn
+        # near-first the tie nests benignly — the adversarial order is
+        # the one that exposes the precision loss.)
+        draws = (
+            DrawCommand(box, Mat4.translation(Vec3(0.0, 0.0, -0.53)), object_id=2),
+            DrawCommand(box, Mat4.translation(Vec3(0.0, 0.0, 0.53)), object_id=1),
+        )
+        frame = Frame(
+            draws=draws, view=simple_view(),
+            projection=simple_projection(BASE.screen_width / BASE.screen_height),
+        )
+        result = gpu.render_frame(frame)
+        results[z_bits] = (1, 2) in result.collisions
+    return results
+
+
+def test_depth_width_sensitivity(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    for z_bits, false_contact in results.items():
+        verdict = "FALSE CONTACT" if false_contact else "correctly separated"
+        print(f"  z_bits={z_bits:2d} (id_bits={SPLITS[z_bits]:2d}): {verdict}")
+    # The assumed 18-bit depth resolves the 0.06-unit gap...
+    assert results[18] is False
+    assert results[14] is False
+    # ...while a few bits of depth cannot (quantization merges the
+    # surfaces into one code -> interleaved intervals -> false pair).
+    assert results[6] is True
+
+
+def test_monotone_in_precision(benchmark):
+    """More depth bits never *create* false contacts."""
+    benchmark.pedantic(lambda: run_sweep(), rounds=1, iterations=1)
+    results = run_sweep()
+    widths = sorted(results)
+    # Once a width is clean, all wider widths stay clean.
+    clean = False
+    for width in widths:
+        if not results[width]:
+            clean = True
+        if clean:
+            assert results[width] is False, width

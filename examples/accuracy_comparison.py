@@ -1,0 +1,77 @@
+"""Figure 2: collision-shape accuracy of AABB, hull-GJK and RBCD.
+
+A small probe box is swept across a grid around a concave L-shaped
+object.  At each position, three detectors answer "colliding?":
+
+* the broad-phase AABB test (the L's box covers the whole notch),
+* GJK on the L's convex hull (the hull fills the notch too),
+* RBCD (the discretized true shape).
+
+The printout is a map per detector: ``#`` = collision reported, ``.`` =
+clear.  RBCD's map is the only one whose notch stays clear.
+
+Run:  python examples/accuracy_comparison.py
+"""
+
+import numpy as np
+
+from repro.core import RBCDSystem
+from repro.geometry import Mat4, Vec3, make_box, make_concave_l
+from repro.physics.counters import OpCounter
+from repro.physics.gjk import gjk_intersect
+from repro.physics.shapes import ConvexShape
+from repro.scenes.camera import Camera
+
+GRID = 13
+SPAN = (-0.3, 1.3)
+
+
+def main() -> None:
+    l_shape = make_concave_l(1.0, 0.4, 0.4)
+    probe = make_box(Vec3(0.08, 0.08, 0.08))
+
+    l_aabb = l_shape.aabb()
+    l_hull = ConvexShape(l_shape.vertices)
+    system = RBCDSystem(resolution=(256, 256))
+    camera = Camera(eye=Vec3(0.5, 0.5, 5.0), target=Vec3(0.5, 0.5, 0.0))
+
+    coords = np.linspace(SPAN[0], SPAN[1], GRID)
+    maps = {"AABB broad phase": [], "GJK on convex hull": [], "RBCD": []}
+
+    for y in coords[::-1]:  # print top row first
+        rows = {name: [] for name in maps}
+        for x in coords:
+            model = Mat4.translation(Vec3(float(x), float(y), 0.0))
+            probe_box = probe.aabb().transformed(model)
+            rows["AABB broad phase"].append(l_aabb.overlaps(probe_box))
+
+            shape = ConvexShape(probe.vertices)
+            shape.update_transform(model)
+            rows["GJK on convex hull"].append(
+                gjk_intersect(l_hull, shape, OpCounter()).intersecting
+            )
+
+            result = system.detect(
+                [(1, l_shape, Mat4.identity()), (2, probe, model)], camera
+            )
+            rows["RBCD"].append((1, 2) in result.pairs)
+        for name in maps:
+            maps[name].append(rows[name])
+
+    for name, grid in maps.items():
+        hits = sum(sum(row) for row in grid)
+        print(f"\n{name}  ({hits}/{GRID * GRID} positions report collision)")
+        for row in grid:
+            print("   " + "".join("#" if hit else "." for hit in row))
+
+    aabb_hits = sum(sum(r) for r in maps["AABB broad phase"])
+    hull_hits = sum(sum(r) for r in maps["GJK on convex hull"])
+    rbcd_hits = sum(sum(r) for r in maps["RBCD"])
+    print(
+        f"\nfalse-collision ordering (Figure 2): "
+        f"AABB {aabb_hits} >= hull {hull_hits} > RBCD {rbcd_hits}"
+    )
+
+
+if __name__ == "__main__":
+    main()

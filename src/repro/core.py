@@ -1,0 +1,202 @@
+"""High-level public API for render-based collision detection.
+
+Most users want one of two things:
+
+* :func:`detect_collisions` — one-shot: give it meshes with transforms
+  and a camera, get back the colliding pairs.
+* :class:`RBCDSystem` — a reusable configured system (resolution, ZEB
+  parameters) for frame-after-frame detection in an animation loop,
+  with access to the full report (contact points, stats, image).
+
+Both drive the complete GPU model: the collision results are exactly
+what the modelled hardware would report, including ZEB overflow effects
+at small list lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.vec import Mat4
+from repro.gpu.commands import DrawCommand, Frame
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU, FrameResult
+from repro.gpu.stats import GPUStats
+from repro.rbcd.pairs import CollisionPair, CollisionReport, ContactPoint
+from repro.scenes.camera import Camera
+
+__all__ = [
+    "CollisionPair",
+    "RBCDFrameResult",
+    "RBCDSystem",
+    "detect_collisions",
+]
+
+
+@dataclass
+class RBCDFrameResult:
+    """Collision results for one detected frame."""
+
+    report: CollisionReport
+    stats: GPUStats
+    color: np.ndarray
+    z_buffer: np.ndarray
+    cpu_fallback: bool
+    view_projection: Mat4
+    screen_size: tuple[int, int]
+
+    @property
+    def pairs(self) -> set[tuple[int, int]]:
+        """Colliding object-id pairs, each ordered ``(low, high)``."""
+        return {(p.id_a, p.id_b) for p in self.report.pairs}
+
+    def contacts(self, id_a: int, id_b: int) -> list[ContactPoint]:
+        """Contact points recorded for one pair (empty if not colliding)."""
+        return list(self.report.contacts.get(CollisionPair.make(id_a, id_b), []))
+
+    def collides(self, id_a: int, id_b: int) -> bool:
+        return (id_a, id_b) in self.report
+
+    def world_contacts(self, id_a: int, id_b: int) -> np.ndarray:
+        """Contact records unprojected to world space, (N, 2, 3).
+
+        ``[..., 0, :]`` is the front end of each overlapping depth
+        interval, ``[..., 1, :]`` the back end.
+        """
+        from repro.rbcd.manifold import unproject_contacts
+
+        width, height = self.screen_size
+        return unproject_contacts(
+            self.contacts(id_a, id_b), self.view_projection, width, height
+        )
+
+    def manifold(self, id_a: int, id_b: int):
+        """World-space contact manifold for one pair (see
+        :mod:`repro.rbcd.manifold`)."""
+        from repro.rbcd.manifold import build_manifold
+
+        width, height = self.screen_size
+        return build_manifold(
+            min(id_a, id_b), max(id_a, id_b),
+            self.contacts(id_a, id_b), self.view_projection, width, height,
+        )
+
+
+class RBCDSystem:
+    """A configured GPU + RBCD unit, reusable across frames.
+
+    Parameters
+    ----------
+    resolution:
+        Render/collision resolution (width, height).  Higher resolution
+        shrinks the discretization's false-collisionable margin
+        (Section 2.2).
+    zeb_count, list_length:
+        RBCD unit configuration (Table 2 defaults: 2 ZEBs, M=8).
+    config:
+        Full :class:`GPUConfig` override; when given, the other
+        keyword parameters are ignored.
+    """
+
+    def __init__(
+        self,
+        resolution: tuple[int, int] = (800, 480),
+        zeb_count: int = 2,
+        list_length: int = 8,
+        config: GPUConfig | None = None,
+    ) -> None:
+        if config is None:
+            width, height = resolution
+            config = GPUConfig().with_screen(width, height).with_rbcd(
+                zeb_count=zeb_count,
+                list_length=list_length,
+                ff_stack_entries=max(list_length, 8),
+            )
+        self.config = config
+        self._gpu = GPU(config, rbcd_enabled=True)
+
+    def detect_frame(self, frame: Frame) -> RBCDFrameResult:
+        """Run detection (and rendering) on a prepared GPU frame."""
+        result: FrameResult = self._gpu.render_frame(frame)
+        if result.collisions is None:
+            raise RuntimeError("RBCD unit produced no report (disabled?)")
+        return RBCDFrameResult(
+            report=result.collisions,
+            stats=result.stats,
+            color=result.color,
+            z_buffer=result.z_buffer,
+            cpu_fallback=result.cpu_fallback,
+            view_projection=frame.view_projection(),
+            screen_size=(self.config.screen_width, self.config.screen_height),
+        )
+
+    def detect(
+        self,
+        objects: list[tuple[int, TriangleMesh, Mat4]],
+        camera: Camera,
+        raster_only: bool = False,
+        extra_draws: tuple[DrawCommand, ...] = (),
+    ) -> RBCDFrameResult:
+        """Detect collisions among ``(object_id, mesh, model)`` triples.
+
+        ``raster_only=True`` models the Section 3.6 extra time step: the
+        frame is rasterized for CD only, skipping fragment processing.
+        ``extra_draws`` appends non-collisionable scenery.
+        """
+        draws = [
+            DrawCommand(mesh=mesh, model=model, object_id=object_id)
+            for object_id, mesh, model in objects
+        ]
+        draws.extend(extra_draws)
+        aspect = self.config.screen_width / self.config.screen_height
+        frame = Frame(
+            draws=tuple(draws),
+            view=camera.view(),
+            projection=camera.projection(aspect),
+            raster_only=raster_only,
+        )
+        return self.detect_frame(frame)
+
+
+def default_camera_for(
+    objects: list[tuple[int, TriangleMesh, Mat4]]
+) -> Camera:
+    """A perspective camera framing the combined bounds of the objects."""
+    from repro.geometry.vec import Vec3
+
+    boxes = [mesh.aabb().transformed(model) for _, mesh, model in objects]
+    bounds = boxes[0]
+    for box in boxes[1:]:
+        bounds = bounds.union(box)
+    center = bounds.center
+    extent = max(bounds.size.x, bounds.size.y, bounds.size.z, 1e-6)
+    eye = Vec3(center.x, center.y, center.z + 2.5 * extent)
+    return Camera(
+        eye=eye,
+        target=center,
+        fov_y_deg=45.0,
+        near=max(extent * 0.01, 1e-4),
+        far=extent * 10.0,
+    )
+
+
+def detect_collisions(
+    objects: list[tuple[int, TriangleMesh, Mat4]],
+    camera: Camera | None = None,
+    resolution: tuple[int, int] = (256, 256),
+) -> set[tuple[int, int]]:
+    """One-shot render-based collision detection.
+
+    When no camera is given, one is synthesized to frame all objects
+    (see :func:`default_camera_for`).  Returns the set of colliding
+    ``(id_low, id_high)`` pairs.
+    """
+    if not objects:
+        return set()
+    if camera is None:
+        camera = default_camera_for(objects)
+    system = RBCDSystem(resolution=resolution)
+    return system.detect(objects, camera).pairs

@@ -1,0 +1,5 @@
+"""CPU cost model (the paper's Marss x86 + McPAT substitute)."""
+
+from repro.cpu.model import CPUConfig, CPUCost, CPUModel
+
+__all__ = ["CPUConfig", "CPUCost", "CPUModel"]

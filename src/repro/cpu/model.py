@@ -1,0 +1,125 @@
+"""Cortex-A9-like CPU timing and energy model.
+
+The paper simulates its software CD baselines with Marss (cycle-level
+CPU simulation) and feeds the activity factors into McPAT for energy.
+Here the instrumented CD implementations produce an operation tally
+(:class:`~repro.physics.counters.OpCounter`) and this model prices it:
+
+``cycles = sum(ops_k * cycles_k) / issue_efficiency``
+``time   = cycles / frequency``
+``energy = sum(ops_k * E_k) + cycles * E_cycle + P_static * time``
+
+Table 2's CPU parameters (1.5 GHz, 32 nm, 1 V, 32 KB L1s, 1 MB L2) fix
+the frequency; the per-class weights below are modelling assumptions
+calibrated to an in-order dual-issue core with a streaming working set
+larger than L1 (mesh vertices are touched once per frame):
+
+* memory ops pay the expected miss cost folded into a flat
+  cycles-per-access;
+* branches pay the expected misprediction cost;
+* energies are of published 32 nm per-operation magnitudes (tens of pJ
+  per ALU op, ~0.1 nJ per cache-missing access).
+
+Only ratios (CPU CD versus RBCD's marginal GPU cost) matter to the
+paper's conclusions; the sensitivity bench sweeps these weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physics.counters import OpCounter
+
+
+@dataclass(frozen=True, slots=True)
+class CPUConfig:
+    """CPU parameters (Table 2) plus cost-model weights."""
+
+    # Table 2
+    frequency_hz: float = 1.5e9
+    voltage_v: float = 1.0
+    technology_nm: int = 32
+    cores: int = 2                    # CD runs single-threaded (Bullet's
+    #                                   default dispatcher), so one core
+    #                                   is active; the second idles.
+    l1_kb: int = 32
+    l2_kb: int = 1024
+
+    # Timing weights (cycles per operation of each class).
+    cycles_flop: float = 1.0
+    cycles_cmp: float = 0.5
+    # 1-cycle L1 hit + expected L1/L2 miss cost for streaming data.
+    cycles_mem: float = 3.0
+    cycles_branch: float = 1.5
+    issue_efficiency: float = 1.2     # sustained ops/cycle (dual issue)
+
+    # Energy weights (joules per operation / per cycle).  The memory
+    # figure folds the cache hierarchy and DRAM traffic of streaming
+    # working sets (mesh vertices touched once per frame) into a flat
+    # per-access energy.
+    energy_flop_j: float = 80e-12
+    energy_cmp_j: float = 40e-12
+    energy_mem_j: float = 400e-12
+    energy_branch_j: float = 40e-12
+    energy_per_cycle_j: float = 180e-12   # fetch/decode/clock overhead
+    static_power_w: float = 0.25          # one active core + its caches
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.issue_efficiency <= 0:
+            raise ValueError("issue efficiency must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class CPUCost:
+    """Priced cost of an operation tally."""
+
+    cycles: float
+    seconds: float
+    energy_j: float
+
+    def __add__(self, other: "CPUCost") -> "CPUCost":
+        if not isinstance(other, CPUCost):
+            return NotImplemented
+        return CPUCost(
+            self.cycles + other.cycles,
+            self.seconds + other.seconds,
+            self.energy_j + other.energy_j,
+        )
+
+    def __radd__(self, other):
+        if other == 0:
+            return self
+        return self.__add__(other)
+
+
+class CPUModel:
+    """Prices :class:`OpCounter` tallies into time and energy."""
+
+    def __init__(self, config: CPUConfig | None = None) -> None:
+        self.config = config if config is not None else CPUConfig()
+
+    def cycles(self, ops: OpCounter) -> float:
+        c = self.config
+        raw = (
+            ops.flop * c.cycles_flop
+            + ops.cmp * c.cycles_cmp
+            + ops.mem * c.cycles_mem
+            + ops.branch * c.cycles_branch
+        )
+        return raw / c.issue_efficiency
+
+    def price(self, ops: OpCounter) -> CPUCost:
+        c = self.config
+        cycles = self.cycles(ops)
+        seconds = cycles / c.frequency_hz
+        dynamic = (
+            ops.flop * c.energy_flop_j
+            + ops.cmp * c.energy_cmp_j
+            + ops.mem * c.energy_mem_j
+            + ops.branch * c.energy_branch_j
+            + cycles * c.energy_per_cycle_j
+        )
+        energy = dynamic + c.static_power_w * seconds
+        return CPUCost(cycles=cycles, seconds=seconds, energy_j=energy)

@@ -1,0 +1,12 @@
+"""Energy models (McPAT substitute) for the GPU and the RBCD unit."""
+
+from repro.energy.components import ComponentEnergies
+from repro.energy.gpu_power import GPUEnergyModel, GPUEnergyBreakdown
+from repro.energy.rbcd_power import RBCDEnergyModel
+
+__all__ = [
+    "ComponentEnergies",
+    "GPUEnergyBreakdown",
+    "GPUEnergyModel",
+    "RBCDEnergyModel",
+]

@@ -1,0 +1,44 @@
+"""Per-access energies of the hardware components at 32 nm / 1 V.
+
+Section 4.2: "The RBCD unit has been modeled using McPAT's components
+... the ZEBs (SRAM), LT-Comparators (ALU); EQ-Comparators (XOR);
+List-Register, FF-Stack, list and stack pointers (registers); hit logic
+(priority encoder); and MUXes (MUX)."
+
+The values below are order-of-magnitude figures for small 32 nm
+structures (a few pJ per small-SRAM access, fractions of a pJ per
+narrow ALU/XOR/MUX operation); the paper reports only the resulting
+ratios, which are insensitive to these absolutes because the RBCD unit
+is orders of magnitude cheaper than CPU CD either way.  The
+sensitivity bench sweeps them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ComponentEnergies:
+    """Joules per access of each McPAT-style component class."""
+
+    # 8 KB SRAM (one ZEB): per 32-bit word read or write.
+    sram_word_read_j: float = 3.0e-12
+    sram_word_write_j: float = 3.5e-12
+    # 18-bit less-than comparator (insertion sort).
+    lt_comparator_j: float = 0.25e-12
+    # 13-bit XOR equality comparator (FF-Stack search).
+    eq_comparator_j: float = 0.15e-12
+    # 32-bit register read+write (List-Register, FF-Stack entries, ptrs).
+    register_j: float = 0.2e-12
+    # T-wide priority encoder (hit logic).
+    priority_encoder_j: float = 0.4e-12
+    # 32-bit 2:1 MUX (shift network), per element moved.
+    mux_j: float = 0.1e-12
+    # Output-buffer write per pair record (to the memory controller).
+    pair_record_write_j: float = 12.0e-12
+    # Static leakage of one ZEB's SRAM + the unit's logic, as a fraction
+    # of GPU static power per KB of ZEB.  Calibrated to Section 5.3:
+    # < 1 % of GPU static with two 8 KB ZEBs (2 x 8 x 0.0003 = 0.48 %),
+    # < 5 % with 64-entry lists (2 x 64 x 0.0003 = 3.8 %).
+    static_fraction_per_kb: float = 0.0003

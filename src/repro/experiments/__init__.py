@@ -1,0 +1,26 @@
+"""Experiment harness: regenerates every figure and table of the paper."""
+
+from repro.experiments.metrics import (
+    energy_reduction,
+    geomean,
+    normalized_energy,
+    normalized_time,
+    speedup,
+)
+from repro.experiments.systems import SystemCosts, WorkloadRun, run_workload
+from repro.experiments.runner import run_all_benchmarks
+from repro.experiments import figures, tables
+
+__all__ = [
+    "SystemCosts",
+    "WorkloadRun",
+    "energy_reduction",
+    "figures",
+    "geomean",
+    "normalized_energy",
+    "normalized_time",
+    "run_all_benchmarks",
+    "run_workload",
+    "speedup",
+    "tables",
+]

@@ -1,0 +1,82 @@
+"""Printable versions of the paper's configuration tables.
+
+Table 1 lists the benchmark set; Table 2 the CPU/GPU simulation
+parameters.  The harness prints these so a run is self-describing.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.model import CPUConfig
+from repro.gpu.config import GPUConfig
+from repro.scenes.benchmarks import all_workloads
+
+
+def render_table1() -> str:
+    """Table 1: the benchmark set."""
+    lines = ["Table 1: Benchmarks.", f"{'Benchmark':<18}{'Alias':<9}Description",
+             "-" * 44]
+    for workload in all_workloads(detail=1):
+        lines.append(
+            f"{workload.name:<18}{workload.alias:<9}{workload.description}"
+        )
+    return "\n".join(lines)
+
+
+def render_table2(gpu: GPUConfig | None = None, cpu: CPUConfig | None = None) -> str:
+    """Table 2: CPU/GPU simulation parameters."""
+    gpu = gpu if gpu is not None else GPUConfig()
+    cpu = cpu if cpu is not None else CPUConfig()
+    rows = [
+        ("GPU", ""),
+        ("Frequency", f"{gpu.frequency_hz / 1e6:.0f} MHz"),
+        ("Technology", f"{gpu.technology_nm} nm"),
+        ("Voltage", f"{gpu.voltage_v:g} V"),
+        ("Screen Resolution", f"{gpu.screen_width}x{gpu.screen_height}"),
+        ("Tile Size", f"{gpu.tile_size}x{gpu.tile_size}"),
+        ("Vertex Queue (2x)",
+         f"{gpu.vertex_queue.entries} entries, {gpu.vertex_queue.bytes_per_entry} B/entry"),
+        ("Triangle Queue",
+         f"{gpu.triangle_queue.entries} entries, {gpu.triangle_queue.bytes_per_entry} B/entry"),
+        ("Fragment Queue",
+         f"{gpu.fragment_queue.entries} entries, {gpu.fragment_queue.bytes_per_entry} B/entry"),
+        ("Tile Queue",
+         f"{gpu.tile_queue.entries} entries, {gpu.tile_queue.bytes_per_entry} B/entry"),
+        ("Vertex Cache",
+         f"{gpu.vertex_cache.line_bytes} B/line, {gpu.vertex_cache.ways}-way, "
+         f"{gpu.vertex_cache.size_bytes // 1024} KB"),
+        ("Texture Caches (4x)",
+         f"{gpu.texture_cache.line_bytes} B/line, {gpu.texture_cache.ways}-way, "
+         f"{gpu.texture_cache.size_bytes // 1024} KB"),
+        ("L2 Cache",
+         f"{gpu.l2_cache.line_bytes} B/line, {gpu.l2_cache.ways}-way, "
+         f"{gpu.l2_cache.size_bytes // 1024} KB, {gpu.l2_cache.latency_cycles} cycles"),
+        ("Primitive assembly",
+         f"{gpu.primitive_assembly_tris_per_cycle:g} triangle/cycle"),
+        ("Rasterizer", f"{gpu.rasterizer_frags_per_cycle:g} fragments/cycle"),
+        ("Early Z test",
+         f"{gpu.early_z_quads_in_flight} in-flight quad-fragments"),
+        ("Vertex Processors", str(gpu.num_vertex_processors)),
+        ("Fragment Processors", str(gpu.num_fragment_processors)),
+        ("Main memory latency",
+         f"{gpu.mem_latency_min_cycles}-{gpu.mem_latency_max_cycles} cycles"),
+        ("Bandwidth", f"{gpu.mem_bandwidth_bytes_per_cycle:g} B/cycle"),
+        ("ZEB buffers",
+         f"{gpu.rbcd.zeb_count}x {gpu.rbcd.element_bits} bit/element, "
+         f"{gpu.rbcd.list_length} element/entry, {gpu.tile_pixels} entries, "
+         f"{gpu.rbcd.zeb_size_bytes(gpu.tile_pixels) // 1024} KB"),
+        ("CPU", ""),
+        ("Frequency", f"{cpu.frequency_hz / 1e6:.0f} MHz"),
+        ("Technology", f"{cpu.technology_nm} nm"),
+        ("Voltage", f"{cpu.voltage_v:g} V"),
+        ("Cores", str(cpu.cores)),
+        ("L1 I/D Cache", f"{cpu.l1_kb} KB/core"),
+        ("L2 Cache", f"{cpu.l2_kb // 1024} MB"),
+    ]
+    width = max(len(name) for name, _ in rows) + 2
+    lines = ["Table 2: CPU/GPU Simulation Parameters."]
+    for name, value in rows:
+        if value == "":
+            lines.append(f"-- {name} " + "-" * (width + 20 - len(name)))
+        else:
+            lines.append(f"{name:<{width}}{value}")
+    return "\n".join(lines)

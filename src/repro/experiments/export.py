@@ -1,0 +1,59 @@
+"""Export figure data to CSV / JSON for external plotting.
+
+The harness's native output is ASCII tables; anyone wanting to re-plot
+the paper's bar charts can export the same series to machine-readable
+files.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.experiments.figures import FigureData
+
+
+def figure_to_csv(data: FigureData) -> str:
+    """One CSV table: rows are series, columns are benchmarks."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["series"] + data.columns)
+    for label, row in data.series.items():
+        writer.writerow([label] + [row[c] for c in data.columns])
+    return buffer.getvalue()
+
+
+def figure_to_json(data: FigureData) -> str:
+    """Self-describing JSON: figure id, title, series, paper reference."""
+    return json.dumps(
+        {
+            "figure": data.figure,
+            "title": data.title,
+            "columns": data.columns,
+            "series": data.series,
+            "paper_reference": data.paper_reference,
+        },
+        indent=2,
+    )
+
+
+def export_figures(
+    figures: list[FigureData], directory, formats: tuple[str, ...] = ("csv", "json")
+) -> list[Path]:
+    """Write every figure to ``directory``; returns the created paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for data in figures:
+        stem = f"fig_{data.figure.lower().replace(' ', '_')}"
+        if "csv" in formats:
+            path = directory / f"{stem}.csv"
+            path.write_text(figure_to_csv(data))
+            written.append(path)
+        if "json" in formats:
+            path = directory / f"{stem}.json"
+            path.write_text(figure_to_json(data))
+            written.append(path)
+    return written

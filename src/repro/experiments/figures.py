@@ -1,0 +1,242 @@
+"""Figure/table generators: the paper's evaluation, row by row.
+
+Each function takes the simulated :class:`WorkloadRun` results and
+returns a :class:`FigureData`: labelled series over the benchmarks plus
+the geometric mean, exactly the quantities plotted in the paper's
+Figures 8-11 and Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.metrics import (
+    energy_reduction,
+    geomean,
+    normalized_energy,
+    normalized_time,
+    speedup,
+)
+from repro.experiments.overflow import OverflowSweepResult
+from repro.experiments.systems import WorkloadRun
+
+GEOMEAN = "geo.mean"
+
+
+@dataclass
+class FigureData:
+    """One figure: named series over the benchmark columns."""
+
+    figure: str
+    title: str
+    columns: list[str]                      # benchmark aliases + geo.mean
+    series: dict[str, dict[str, float]]     # label -> column -> value
+    paper_reference: dict[str, float] = field(default_factory=dict)
+
+    def value(self, label: str, column: str) -> float:
+        return self.series[label][column]
+
+
+def _with_geomean(per_alias: dict[str, float]) -> dict[str, float]:
+    out = dict(per_alias)
+    out[GEOMEAN] = geomean(per_alias.values())
+    return out
+
+
+def _columns(runs: list[WorkloadRun]) -> list[str]:
+    return [r.alias for r in runs] + [GEOMEAN]
+
+
+def fig8a_speedup_broad(runs: list[WorkloadRun], zeb_counts=(1, 2)) -> FigureData:
+    """Figure 8a: RBCD speedup vs CPU broad-CD."""
+    series = {}
+    for k in zeb_counts:
+        series[f"{k} ZEB"] = _with_geomean(
+            {
+                r.alias: speedup(
+                    r.cpu_broad.seconds, r.rbcd[k].seconds, r.baseline.seconds
+                )
+                for r in runs
+            }
+        )
+    return FigureData(
+        figure="8a",
+        title="RBCD speedup vs. Broad-CD",
+        columns=_columns(runs),
+        series=series,
+        paper_reference={"1 ZEB": 250.0, "2 ZEB": 600.0},
+    )
+
+
+def fig8b_energy_broad(runs: list[WorkloadRun], zeb_counts=(1, 2)) -> FigureData:
+    """Figure 8b: energy reduction of RBCD vs CPU broad-CD."""
+    series = {}
+    for k in zeb_counts:
+        series[f"{k} ZEB"] = _with_geomean(
+            {
+                r.alias: energy_reduction(
+                    r.cpu_broad.energy_j, r.rbcd[k].energy_j, r.baseline.energy_j
+                )
+                for r in runs
+            }
+        )
+    return FigureData(
+        figure="8b",
+        title="Energy reduction of RBCD vs. Broad-CD",
+        columns=_columns(runs),
+        series=series,
+        paper_reference={"1 ZEB": 273.0, "2 ZEB": 448.0},
+    )
+
+
+def fig8c_speedup_gjk(runs: list[WorkloadRun], zeb_counts=(1, 2)) -> FigureData:
+    """Figure 8c: RBCD speedup vs CPU GJK-CD (broad + narrow)."""
+    series = {}
+    for k in zeb_counts:
+        series[f"{k} ZEB"] = _with_geomean(
+            {
+                r.alias: speedup(
+                    r.cpu_narrow.seconds, r.rbcd[k].seconds, r.baseline.seconds
+                )
+                for r in runs
+            }
+        )
+    return FigureData(
+        figure="8c",
+        title="RBCD speedup vs. GJK-CD",
+        columns=_columns(runs),
+        series=series,
+        paper_reference={"1 ZEB": 1400.0, "2 ZEB": 3400.0},
+    )
+
+
+def fig8d_energy_gjk(runs: list[WorkloadRun], zeb_counts=(1, 2)) -> FigureData:
+    """Figure 8d: energy reduction of RBCD vs CPU GJK-CD."""
+    series = {}
+    for k in zeb_counts:
+        series[f"{k} ZEB"] = _with_geomean(
+            {
+                r.alias: energy_reduction(
+                    r.cpu_narrow.energy_j, r.rbcd[k].energy_j, r.baseline.energy_j
+                )
+                for r in runs
+            }
+        )
+    return FigureData(
+        figure="8d",
+        title="Energy reduction of RBCD vs. GJK-CD",
+        columns=_columns(runs),
+        series=series,
+        paper_reference={"1 ZEB": 1750.0, "2 ZEB": 2875.0},
+    )
+
+
+def fig9a_normalized_time(runs: list[WorkloadRun], zeb_counts=(1, 2)) -> FigureData:
+    """Figure 9a: GPU time with RBCD normalized to the baseline GPU."""
+    series = {}
+    for k in zeb_counts:
+        series[f"{k} ZEB"] = _with_geomean(
+            {
+                r.alias: normalized_time(r.rbcd[k].seconds, r.baseline.seconds)
+                for r in runs
+            }
+        )
+    return FigureData(
+        figure="9a",
+        title="Normalized GPU rendering time",
+        columns=_columns(runs),
+        series=series,
+        paper_reference={"1 ZEB": 1.054, "2 ZEB": 1.03},
+    )
+
+
+def fig9b_normalized_energy(runs: list[WorkloadRun], zeb_counts=(1, 2)) -> FigureData:
+    """Figure 9b: GPU energy with RBCD normalized to the baseline GPU."""
+    series = {}
+    for k in zeb_counts:
+        series[f"{k} ZEB"] = _with_geomean(
+            {
+                r.alias: normalized_energy(r.rbcd[k].energy_j, r.baseline.energy_j)
+                for r in runs
+            }
+        )
+    return FigureData(
+        figure="9b",
+        title="Normalized GPU rendering energy",
+        columns=_columns(runs),
+        series=series,
+        paper_reference={"1 ZEB": 1.051, "2 ZEB": 1.035},
+    )
+
+
+def fig10_time_breakdown(runs: list[WorkloadRun], zeb_count: int = 2) -> FigureData:
+    """Figure 10: GPU time split between Geometry and Raster pipelines."""
+    raster = {}
+    geometry = {}
+    for r in runs:
+        stats = r.rbcd_stats[zeb_count]
+        total = stats.gpu_cycles
+        raster[r.alias] = stats.raster_pipeline_cycles / total
+        geometry[r.alias] = stats.geometry_cycles / total
+    return FigureData(
+        figure="10",
+        title="GPU time breakdown (Geometry vs Raster)",
+        columns=_columns(runs),
+        series={
+            "Raster": _with_geomean(raster),
+            "Geometry": _with_geomean(geometry),
+        },
+        paper_reference={"Raster": 0.9},  # raster dominates
+    )
+
+
+def fig11_activity_factors(runs: list[WorkloadRun], zeb_count: int = 2) -> FigureData:
+    """Figure 11: RBCD activity factors normalized to the baseline GPU.
+
+    TC loads, primitives read by the Tile Fetcher, fragments produced,
+    and raster busy cycles — the deferred-face-culling overhead story.
+    """
+    def ratios(extract) -> dict[str, float]:
+        return _with_geomean(
+            {
+                r.alias: extract(r.rbcd_stats[zeb_count]) / extract(r.baseline_stats)
+                for r in runs
+            }
+        )
+
+    return FigureData(
+        figure="11",
+        title="Raster-side activity normalized to baseline",
+        columns=_columns(runs),
+        series={
+            "TC loads": ratios(lambda s: s.tile_cache_loads),
+            "Primitives": ratios(lambda s: s.prims_rasterized),
+            "Fragments": ratios(lambda s: s.fragments_produced),
+            "Raster cycles": ratios(lambda s: s.raster_cycles),
+        },
+        paper_reference={
+            "TC loads": 1.193,
+            "Primitives": 1.184,
+            "Fragments": 1.063,
+            "Raster cycles": 1.037,
+        },
+    )
+
+
+def table3_overflow(sweeps: list[OverflowSweepResult]) -> FigureData:
+    """Table 3: ZEB list overflow percentage for M = 4, 8, 16."""
+    m_values = sweeps[0].m_values
+    series = {}
+    for m in m_values:
+        per_alias = {s.alias: s.overflow_rate[m] * 100.0 for s in sweeps}
+        row = dict(per_alias)
+        row["average"] = sum(per_alias.values()) / len(per_alias)
+        series[f"M={m}"] = row
+    columns = [s.alias for s in sweeps] + ["average"]
+    return FigureData(
+        figure="Table 3",
+        title="ZEB list overflow percentage",
+        columns=columns,
+        series=series,
+        paper_reference={"M=4": 3.68, "M=8": 0.08, "M=16": 0.0},
+    )

@@ -1,0 +1,59 @@
+"""The paper's evaluation metrics (Equations 1-4).
+
+``Speedup        = t_CPU_CD / (t_GPU_RBCD - t_GPU_baseline)``       (1)
+``EnergyReduction= E_CPU_CD / (E_GPU_RBCD - E_GPU_baseline)``       (2)
+``NormalizedTime = t_GPU_RBCD / t_GPU_baseline``                    (3)
+``NormalizedEnergy = E_GPU_RBCD / E_GPU_baseline``                  (4)
+
+The RBCD quantities include the RBCD unit itself (its cycles are inside
+the GPU's schedule; its energy is added to the GPU total).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def speedup(t_cpu_cd: float, t_gpu_rbcd: float, t_gpu_baseline: float) -> float:
+    """Equation (1).  Raises when RBCD added no GPU time at all."""
+    delta = t_gpu_rbcd - t_gpu_baseline
+    if delta <= 0:
+        raise ValueError(
+            f"RBCD GPU time ({t_gpu_rbcd}) must exceed baseline ({t_gpu_baseline})"
+        )
+    return t_cpu_cd / delta
+
+
+def energy_reduction(e_cpu_cd: float, e_gpu_rbcd: float, e_gpu_baseline: float) -> float:
+    """Equation (2)."""
+    delta = e_gpu_rbcd - e_gpu_baseline
+    if delta <= 0:
+        raise ValueError(
+            f"RBCD GPU energy ({e_gpu_rbcd}) must exceed baseline ({e_gpu_baseline})"
+        )
+    return e_cpu_cd / delta
+
+
+def normalized_time(t_gpu_rbcd: float, t_gpu_baseline: float) -> float:
+    """Equation (3)."""
+    if t_gpu_baseline <= 0:
+        raise ValueError("baseline time must be positive")
+    return t_gpu_rbcd / t_gpu_baseline
+
+
+def normalized_energy(e_gpu_rbcd: float, e_gpu_baseline: float) -> float:
+    """Equation (4)."""
+    if e_gpu_baseline <= 0:
+        raise ValueError("baseline energy must be positive")
+    return e_gpu_rbcd / e_gpu_baseline
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's cross-benchmark aggregate)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of no values")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,63 @@
+"""ASCII rendering of figure data (the harness's terminal output)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureData
+
+
+def format_value(value: float) -> str:
+    """Compact numeric formatting across magnitudes."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def render_figure(data: FigureData) -> str:
+    """Render one figure's series as an aligned ASCII table."""
+    label_width = max(len(label) for label in data.series)
+    col_width = max(
+        [len(c) for c in data.columns]
+        + [
+            len(format_value(v))
+            for row in data.series.values()
+            for v in row.values()
+        ]
+    ) + 2
+
+    lines = [f"Figure {data.figure}: {data.title}"]
+    header = " " * label_width + "".join(c.rjust(col_width) for c in data.columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, row in data.series.items():
+        cells = "".join(format_value(row[c]).rjust(col_width) for c in data.columns)
+        lines.append(label.ljust(label_width) + cells)
+    if data.paper_reference:
+        refs = ", ".join(
+            f"{k}~{format_value(v)}" for k, v in data.paper_reference.items()
+        )
+        lines.append(f"(paper geo.mean reference: {refs})")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    data: FigureData, geomean_column: str = "geo.mean"
+) -> str:
+    """Paper-vs-measured one-liner for EXPERIMENTS.md style reporting."""
+    lines = [f"Figure {data.figure}: {data.title}"]
+    for label, row in data.series.items():
+        measured = row.get(geomean_column)
+        paper = data.paper_reference.get(label)
+        if measured is None:
+            continue
+        if paper is not None:
+            lines.append(
+                f"  {label}: measured geo.mean {format_value(measured)} "
+                f"(paper ~{format_value(paper)})"
+            )
+        else:
+            lines.append(f"  {label}: measured geo.mean {format_value(measured)}")
+    return "\n".join(lines)

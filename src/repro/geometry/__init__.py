@@ -1,0 +1,42 @@
+"""Geometry substrate: vectors, matrices, AABBs, meshes and primitives."""
+
+from repro.geometry.vec import (
+    Mat4,
+    Vec3,
+    transform_directions,
+    transform_points,
+)
+from repro.geometry.aabb import AABB
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.primitives import (
+    make_box,
+    make_capsule,
+    make_cylinder,
+    make_icosphere,
+    make_plane,
+    make_torus,
+    make_uv_sphere,
+    make_concave_l,
+)
+from repro.geometry.convex import convex_hull
+from repro.geometry.decimate import decimation_error_bound, vertex_clustering
+
+__all__ = [
+    "AABB",
+    "Mat4",
+    "TriangleMesh",
+    "Vec3",
+    "convex_hull",
+    "decimation_error_bound",
+    "make_box",
+    "make_capsule",
+    "make_concave_l",
+    "make_cylinder",
+    "make_icosphere",
+    "make_plane",
+    "make_torus",
+    "make_uv_sphere",
+    "transform_directions",
+    "transform_points",
+    "vertex_clustering",
+]

@@ -1,0 +1,177 @@
+"""3-D convex hull (quickhull).
+
+The GJK narrow-phase baseline operates on convex shapes; for concave
+models the paper's Figure 2 discussion uses the convex hull of the
+shape, "which results in adding a false collisionable area".  This
+module provides that hull, implemented from scratch (incremental
+quickhull) so the baseline does not depend on external geometry
+libraries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.mesh import TriangleMesh
+
+_EPS_FACTOR = 1e-10
+
+
+class _Face:
+    """A hull facet: triangle indices, plane, and its outside point set."""
+
+    __slots__ = ("a", "b", "c", "normal", "offset", "outside", "alive")
+
+    def __init__(self, a: int, b: int, c: int, points: np.ndarray) -> None:
+        self.a, self.b, self.c = a, b, c
+        e1 = points[b] - points[a]
+        e2 = points[c] - points[a]
+        n = np.cross(e1, e2)
+        norm = np.linalg.norm(n)
+        if norm == 0.0:
+            raise ValueError("degenerate hull facet")
+        self.normal = n / norm
+        self.offset = float(self.normal @ points[a])
+        self.outside: list[int] = []
+        self.alive = True
+
+    def edges(self) -> list[tuple[int, int]]:
+        return [(self.a, self.b), (self.b, self.c), (self.c, self.a)]
+
+    def distance(self, p: np.ndarray) -> float:
+        return float(self.normal @ p) - self.offset
+
+
+def _initial_simplex(points: np.ndarray, eps: float) -> list[int]:
+    """Four affinely independent point indices, or raise for flat input."""
+    # Most separated pair along coordinate extremes.
+    candidates = []
+    for axis in range(3):
+        candidates.append(int(points[:, axis].argmin()))
+        candidates.append(int(points[:, axis].argmax()))
+    best = (0.0, candidates[0], candidates[1])
+    for i in candidates:
+        for j in candidates:
+            d = float(np.linalg.norm(points[i] - points[j]))
+            if d > best[0]:
+                best = (d, i, j)
+    d01, i0, i1 = best
+    if d01 <= eps:
+        raise ValueError("convex hull of (near-)coincident points")
+    # Furthest point from the line i0-i1.
+    line = points[i1] - points[i0]
+    line = line / np.linalg.norm(line)
+    rel = points - points[i0]
+    perp = rel - np.outer(rel @ line, line)
+    dist_line = np.linalg.norm(perp, axis=1)
+    i2 = int(dist_line.argmax())
+    if dist_line[i2] <= eps:
+        raise ValueError("convex hull of collinear points")
+    # Furthest point from the plane i0-i1-i2.
+    n = np.cross(points[i1] - points[i0], points[i2] - points[i0])
+    n = n / np.linalg.norm(n)
+    dist_plane = np.abs(rel @ n)
+    i3 = int(dist_plane.argmax())
+    if dist_plane[i3] <= eps:
+        raise ValueError("convex hull of coplanar points")
+    return [i0, i1, i2, i3]
+
+
+def convex_hull(points) -> TriangleMesh:
+    """Convex hull of a point cloud as a closed CCW-wound triangle mesh.
+
+    Raises ``ValueError`` for inputs with no volume (fewer than four
+    affinely independent points).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 3:
+        raise ValueError(f"expected (N, 3) points, got shape {pts.shape}")
+    pts = np.unique(pts, axis=0)
+    if pts.shape[0] < 4:
+        raise ValueError("need at least 4 distinct points for a 3-D hull")
+
+    scale = float(np.abs(pts).max())
+    eps = max(scale, 1.0) * _EPS_FACTOR
+    i0, i1, i2, i3 = _initial_simplex(pts, eps)
+
+    # Orient the initial tetrahedron so all facets face outward.
+    apex = pts[i3]
+    base = _Face(i0, i1, i2, pts)
+    if base.distance(apex) > 0:
+        i0, i1 = i1, i0
+    faces = [
+        _Face(i0, i1, i2, pts),
+        _Face(i0, i2, i3, pts),
+        _Face(i2, i1, i3, pts),
+        _Face(i1, i0, i3, pts),
+    ]
+
+    # Distribute points to the outside sets of the initial facets.
+    simplex = {i0, i1, i2, i3}
+    for idx in range(pts.shape[0]):
+        if idx in simplex:
+            continue
+        for face in faces:
+            if face.distance(pts[idx]) > eps:
+                face.outside.append(idx)
+                break
+
+    pending = [f for f in faces if f.outside]
+    while pending:
+        face = pending.pop()
+        if not face.alive or not face.outside:
+            continue
+        # Furthest point of this facet's outside set.
+        dists = [face.distance(pts[i]) for i in face.outside]
+        far = face.outside[int(np.argmax(dists))]
+        p = pts[far]
+
+        # Find all facets visible from `far` (BFS over adjacency via edges).
+        visible = [f for f in faces if f.alive and f.distance(p) > eps]
+        visible_set = set(id(f) for f in visible)
+
+        # Horizon = edges of visible facets whose twin facet is not visible.
+        edge_count: dict[tuple[int, int], tuple[int, int]] = {}
+        for f in visible:
+            for u, v in f.edges():
+                key = (min(u, v), max(u, v))
+                if key in edge_count:
+                    del edge_count[key]  # interior edge (shared by 2 visible)
+                else:
+                    edge_count[key] = (u, v)  # keep the directed edge
+        horizon = list(edge_count.values())
+
+        orphans: list[int] = []
+        for f in visible:
+            f.alive = False
+            orphans.extend(f.outside)
+            f.outside = []
+
+        new_faces = []
+        for u, v in horizon:
+            nf = _Face(u, v, far, pts)
+            faces.append(nf)
+            new_faces.append(nf)
+
+        for idx in orphans:
+            if idx == far:
+                continue
+            for nf in new_faces:
+                if nf.distance(pts[idx]) > eps:
+                    nf.outside.append(idx)
+                    break
+        pending.extend(nf for nf in new_faces if nf.outside)
+        # `visible_set` retained only to make the intent explicit; the alive
+        # flag carries the state.
+        del visible_set
+
+    live = [f for f in faces if f.alive]
+    used = sorted({i for f in live for i in (f.a, f.b, f.c)})
+    remap = {old: new for new, old in enumerate(used)}
+    hull_faces = np.array([[remap[f.a], remap[f.b], remap[f.c]] for f in live])
+    return TriangleMesh(pts[used], hull_faces)
+
+
+def hull_vertices(points) -> np.ndarray:
+    """Just the hull's vertex positions, (H, 3)."""
+    return convex_hull(points).vertices

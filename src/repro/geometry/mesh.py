@@ -1,0 +1,159 @@
+"""Indexed triangle meshes.
+
+A ``TriangleMesh`` is the unit of renderable and collisionable geometry:
+the scene attaches one to each object, the GPU's vertex fetcher reads its
+arrays, and the software CD baselines take its vertices as the "3D meshes
+of vertices ... in world space" that the paper feeds to Bullet
+(Section 4.3).
+
+Triangles use counter-clockwise (CCW) winding for front faces, matching
+the OpenGL default the paper's face-culling discussion assumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Mat4, transform_points
+
+
+class TriangleMesh:
+    """Immutable indexed triangle mesh.
+
+    Parameters
+    ----------
+    vertices:
+        (V, 3) float array of positions.
+    faces:
+        (F, 3) int array of vertex indices, CCW = front face.
+    """
+
+    __slots__ = ("_vertices", "_faces")
+
+    def __init__(self, vertices, faces) -> None:
+        v = np.asarray(vertices, dtype=np.float64)
+        f = np.asarray(faces, dtype=np.int64)
+        if v.ndim != 2 or v.shape[1] != 3:
+            raise ValueError(f"vertices must be (V, 3), got {v.shape}")
+        if f.ndim != 2 or f.shape[1] != 3:
+            raise ValueError(f"faces must be (F, 3), got {f.shape}")
+        if v.shape[0] == 0 or f.shape[0] == 0:
+            raise ValueError("mesh must have at least one vertex and one face")
+        if f.min() < 0 or f.max() >= v.shape[0]:
+            raise ValueError(
+                f"face indices out of range [0, {v.shape[0]}): "
+                f"min={f.min()}, max={f.max()}"
+            )
+        v = v.copy()
+        f = f.copy()
+        v.flags.writeable = False
+        f.flags.writeable = False
+        self._vertices = v
+        self._faces = f
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """(V, 3) read-only vertex positions."""
+        return self._vertices
+
+    @property
+    def faces(self) -> np.ndarray:
+        """(F, 3) read-only triangle indices."""
+        return self._faces
+
+    @property
+    def vertex_count(self) -> int:
+        return self._vertices.shape[0]
+
+    @property
+    def face_count(self) -> int:
+        return self._faces.shape[0]
+
+    # -- derived data ------------------------------------------------------
+
+    def triangle_corners(self) -> np.ndarray:
+        """(F, 3, 3) array: for each face, its three corner positions."""
+        return self._vertices[self._faces]
+
+    def face_normals(self, normalize: bool = True) -> np.ndarray:
+        """(F, 3) per-face normals via the CCW cross product.
+
+        With ``normalize=False`` the raw cross products are returned
+        (their length is twice the triangle area), which is what the
+        area computation and degenerate-face detection need.
+        """
+        tri = self.triangle_corners()
+        e1 = tri[:, 1] - tri[:, 0]
+        e2 = tri[:, 2] - tri[:, 0]
+        n = np.cross(e1, e2)
+        if not normalize:
+            return n
+        lengths = np.linalg.norm(n, axis=1)
+        safe = np.where(lengths > 0, lengths, 1.0)
+        return n / safe[:, None]
+
+    def face_areas(self) -> np.ndarray:
+        """(F,) triangle areas."""
+        return 0.5 * np.linalg.norm(self.face_normals(normalize=False), axis=1)
+
+    def surface_area(self) -> float:
+        return float(self.face_areas().sum())
+
+    def centroid(self) -> np.ndarray:
+        """Area-weighted surface centroid (3,)."""
+        tri = self.triangle_corners()
+        centers = tri.mean(axis=1)
+        areas = self.face_areas()
+        total = areas.sum()
+        if total <= 0:
+            return self._vertices.mean(axis=0)
+        return (centers * areas[:, None]).sum(axis=0) / total
+
+    def aabb(self) -> AABB:
+        return AABB.from_points(self._vertices)
+
+    def degenerate_faces(self, tol: float = 1e-12) -> np.ndarray:
+        """Indices of faces with (near-)zero area."""
+        return np.nonzero(self.face_areas() <= tol)[0]
+
+    def is_closed(self) -> bool:
+        """True when every edge is shared by exactly two faces.
+
+        Closed, consistently wound meshes are the ones for which the
+        per-pixel front/back bracket structure of the Z-Overlap Test is
+        well defined, so the benchmark primitives are all closed.
+        """
+        edges: dict[tuple[int, int], int] = {}
+        for a, b, c in self._faces:
+            for u, v in ((a, b), (b, c), (c, a)):
+                key = (min(int(u), int(v)), max(int(u), int(v)))
+                edges[key] = edges.get(key, 0) + 1
+        return all(count == 2 for count in edges.values())
+
+    # -- transforms ----------------------------------------------------------
+
+    def transformed(self, m: Mat4) -> "TriangleMesh":
+        """New mesh with vertices mapped through an affine transform.
+
+        Winding is flipped when the transform mirrors (negative
+        determinant), so front faces stay front faces.
+        """
+        new_vertices = transform_points(m, self._vertices)
+        faces = self._faces
+        if np.linalg.det(m.a[:3, :3]) < 0:
+            faces = faces[:, ::-1]
+        return TriangleMesh(new_vertices, faces)
+
+    def flipped(self) -> "TriangleMesh":
+        """Mesh with reversed winding (inside-out)."""
+        return TriangleMesh(self._vertices, self._faces[:, ::-1])
+
+    def merged_with(self, other: "TriangleMesh") -> "TriangleMesh":
+        """Concatenate two meshes into one (indices re-based)."""
+        verts = np.vstack([self._vertices, other._vertices])
+        faces = np.vstack([self._faces, other._faces + self.vertex_count])
+        return TriangleMesh(verts, faces)
+
+    def __repr__(self) -> str:
+        return f"TriangleMesh(vertices={self.vertex_count}, faces={self.face_count})"

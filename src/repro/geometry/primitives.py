@@ -1,0 +1,310 @@
+"""Procedural mesh primitives.
+
+These are the building blocks of the synthetic benchmark scenes.  All
+solids are closed, consistently CCW-wound (outward normals) triangle
+meshes centred at the origin unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.vec import Vec3
+
+
+def make_box(half_extents: Vec3 = Vec3(0.5, 0.5, 0.5)) -> TriangleMesh:
+    """Axis-aligned box, 8 vertices / 12 triangles."""
+    hx, hy, hz = half_extents.x, half_extents.y, half_extents.z
+    if hx <= 0 or hy <= 0 or hz <= 0:
+        raise ValueError("box half extents must be positive")
+    v = np.array(
+        [
+            [-hx, -hy, -hz],
+            [hx, -hy, -hz],
+            [hx, hy, -hz],
+            [-hx, hy, -hz],
+            [-hx, -hy, hz],
+            [hx, -hy, hz],
+            [hx, hy, hz],
+            [-hx, hy, hz],
+        ]
+    )
+    f = np.array(
+        [
+            [0, 2, 1], [0, 3, 2],  # -z
+            [4, 5, 6], [4, 6, 7],  # +z
+            [0, 1, 5], [0, 5, 4],  # -y
+            [3, 6, 2], [3, 7, 6],  # +y
+            [0, 4, 7], [0, 7, 3],  # -x
+            [1, 2, 6], [1, 6, 5],  # +x
+        ]
+    )
+    return TriangleMesh(v, f)
+
+
+def make_plane(half_size: float = 0.5, subdivisions: int = 1) -> TriangleMesh:
+    """A flat square in the XY plane facing +Z (open surface, not a solid)."""
+    if subdivisions < 1:
+        raise ValueError("subdivisions must be >= 1")
+    n = subdivisions + 1
+    xs = np.linspace(-half_size, half_size, n)
+    ys = np.linspace(-half_size, half_size, n)
+    gx, gy = np.meshgrid(xs, ys, indexing="xy")
+    verts = np.column_stack([gx.ravel(), gy.ravel(), np.zeros(n * n)])
+    faces = []
+    for j in range(subdivisions):
+        for i in range(subdivisions):
+            a = j * n + i
+            b = a + 1
+            c = a + n
+            d = c + 1
+            faces.append([a, b, d])
+            faces.append([a, d, c])
+    return TriangleMesh(verts, np.array(faces))
+
+
+def make_uv_sphere(radius: float = 0.5, rings: int = 8, segments: int = 12) -> TriangleMesh:
+    """Latitude/longitude sphere."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    if rings < 2 or segments < 3:
+        raise ValueError("need rings >= 2 and segments >= 3")
+    verts = [[0.0, 0.0, radius]]  # north pole
+    for r in range(1, rings):
+        phi = math.pi * r / rings
+        z = radius * math.cos(phi)
+        rad = radius * math.sin(phi)
+        for s in range(segments):
+            theta = 2.0 * math.pi * s / segments
+            verts.append([rad * math.cos(theta), rad * math.sin(theta), z])
+    verts.append([0.0, 0.0, -radius])  # south pole
+    south = len(verts) - 1
+
+    faces = []
+    # cap around north pole
+    for s in range(segments):
+        faces.append([0, 1 + s, 1 + (s + 1) % segments])
+    # body quads
+    for r in range(rings - 2):
+        top = 1 + r * segments
+        bot = top + segments
+        for s in range(segments):
+            s2 = (s + 1) % segments
+            faces.append([top + s, bot + s, bot + s2])
+            faces.append([top + s, bot + s2, top + s2])
+    # cap around south pole
+    base = 1 + (rings - 2) * segments
+    for s in range(segments):
+        faces.append([south, base + (s + 1) % segments, base + s])
+    return TriangleMesh(np.array(verts), np.array(faces))
+
+
+def make_icosphere(radius: float = 0.5, subdivisions: int = 1) -> TriangleMesh:
+    """Geodesic sphere from a subdivided icosahedron (more uniform faces)."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    if subdivisions < 0 or subdivisions > 5:
+        raise ValueError("subdivisions must be in [0, 5]")
+    t = (1.0 + math.sqrt(5.0)) / 2.0
+    verts = np.array(
+        [
+            [-1, t, 0], [1, t, 0], [-1, -t, 0], [1, -t, 0],
+            [0, -1, t], [0, 1, t], [0, -1, -t], [0, 1, -t],
+            [t, 0, -1], [t, 0, 1], [-t, 0, -1], [-t, 0, 1],
+        ],
+        dtype=np.float64,
+    )
+    faces = np.array(
+        [
+            [0, 11, 5], [0, 5, 1], [0, 1, 7], [0, 7, 10], [0, 10, 11],
+            [1, 5, 9], [5, 11, 4], [11, 10, 2], [10, 7, 6], [7, 1, 8],
+            [3, 9, 4], [3, 4, 2], [3, 2, 6], [3, 6, 8], [3, 8, 9],
+            [4, 9, 5], [2, 4, 11], [6, 2, 10], [8, 6, 7], [9, 8, 1],
+        ]
+    )
+    for _ in range(subdivisions):
+        verts, faces = _subdivide(verts, faces)
+    lengths = np.linalg.norm(verts, axis=1)
+    verts = verts / lengths[:, None] * radius
+    return TriangleMesh(verts, faces)
+
+
+def _subdivide(verts: np.ndarray, faces: np.ndarray):
+    """Split every triangle into four, deduplicating midpoint vertices."""
+    verts = list(map(tuple, verts))
+    midpoint_cache: dict[tuple[int, int], int] = {}
+
+    def midpoint(i: int, j: int) -> int:
+        key = (min(i, j), max(i, j))
+        if key in midpoint_cache:
+            return midpoint_cache[key]
+        a, b = verts[i], verts[j]
+        verts.append(((a[0] + b[0]) / 2, (a[1] + b[1]) / 2, (a[2] + b[2]) / 2))
+        idx = len(verts) - 1
+        midpoint_cache[key] = idx
+        return idx
+
+    new_faces = []
+    for a, b, c in faces:
+        ab = midpoint(a, b)
+        bc = midpoint(b, c)
+        ca = midpoint(c, a)
+        new_faces.extend([[a, ab, ca], [b, bc, ab], [c, ca, bc], [ab, bc, ca]])
+    return np.array(verts), np.array(new_faces)
+
+
+def make_cylinder(radius: float = 0.5, height: float = 1.0, segments: int = 12) -> TriangleMesh:
+    """Closed cylinder along the Z axis."""
+    if radius <= 0 or height <= 0:
+        raise ValueError("radius and height must be positive")
+    if segments < 3:
+        raise ValueError("need segments >= 3")
+    hz = height / 2.0
+    verts = []
+    for z in (hz, -hz):
+        for s in range(segments):
+            theta = 2.0 * math.pi * s / segments
+            verts.append([radius * math.cos(theta), radius * math.sin(theta), z])
+    top_center = len(verts)
+    verts.append([0.0, 0.0, hz])
+    bot_center = len(verts)
+    verts.append([0.0, 0.0, -hz])
+
+    faces = []
+    for s in range(segments):
+        s2 = (s + 1) % segments
+        top_a, top_b = s, s2
+        bot_a, bot_b = segments + s, segments + s2
+        # side quad (outward normals)
+        faces.append([top_a, bot_a, bot_b])
+        faces.append([top_a, bot_b, top_b])
+        # caps
+        faces.append([top_center, top_a, top_b])
+        faces.append([bot_center, bot_b, bot_a])
+    return TriangleMesh(np.array(verts), np.array(faces))
+
+
+def make_capsule(
+    radius: float = 0.25, height: float = 1.0, rings: int = 4, segments: int = 12
+) -> TriangleMesh:
+    """Capsule (cylinder with hemispherical caps) along the Z axis.
+
+    ``height`` is the length of the cylindrical section; the total
+    extent along Z is ``height + 2 * radius``.
+    """
+    if radius <= 0 or height < 0:
+        raise ValueError("radius must be positive and height non-negative")
+    if rings < 1 or segments < 3:
+        raise ValueError("need rings >= 1 and segments >= 3")
+    hz = height / 2.0
+    verts = [[0.0, 0.0, hz + radius]]
+    # upper hemisphere rings (from pole down to equator) then lower rings
+    for cap_sign, z_off in ((1.0, hz), (-1.0, -hz)):
+        ring_range = range(1, rings + 1) if cap_sign > 0 else range(rings, 0, -1)
+        for r in ring_range:
+            phi = (math.pi / 2.0) * r / rings
+            z = cap_sign * radius * math.cos(phi) + z_off
+            rad = radius * math.sin(phi)
+            for s in range(segments):
+                theta = 2.0 * math.pi * s / segments
+                verts.append([rad * math.cos(theta), rad * math.sin(theta), z])
+    verts.append([0.0, 0.0, -hz - radius])
+    south = len(verts) - 1
+
+    faces = []
+    for s in range(segments):
+        faces.append([0, 1 + s, 1 + (s + 1) % segments])
+    n_rings_total = 2 * rings
+    for r in range(n_rings_total - 1):
+        top = 1 + r * segments
+        bot = top + segments
+        for s in range(segments):
+            s2 = (s + 1) % segments
+            faces.append([top + s, bot + s, bot + s2])
+            faces.append([top + s, bot + s2, top + s2])
+    base = 1 + (n_rings_total - 1) * segments
+    for s in range(segments):
+        faces.append([south, base + (s + 1) % segments, base + s])
+    return TriangleMesh(np.array(verts), np.array(faces))
+
+
+def make_torus(
+    major_radius: float = 0.5,
+    minor_radius: float = 0.15,
+    major_segments: int = 12,
+    minor_segments: int = 8,
+) -> TriangleMesh:
+    """Torus in the XY plane around the Z axis."""
+    if minor_radius <= 0 or major_radius <= minor_radius:
+        raise ValueError("need 0 < minor_radius < major_radius")
+    if major_segments < 3 or minor_segments < 3:
+        raise ValueError("need >= 3 segments on both circles")
+    verts = []
+    for i in range(major_segments):
+        u = 2.0 * math.pi * i / major_segments
+        cu, su = math.cos(u), math.sin(u)
+        for j in range(minor_segments):
+            v = 2.0 * math.pi * j / minor_segments
+            r = major_radius + minor_radius * math.cos(v)
+            verts.append([r * cu, r * su, minor_radius * math.sin(v)])
+    faces = []
+    for i in range(major_segments):
+        i2 = (i + 1) % major_segments
+        for j in range(minor_segments):
+            j2 = (j + 1) % minor_segments
+            a = i * minor_segments + j
+            b = i2 * minor_segments + j
+            c = i2 * minor_segments + j2
+            d = i * minor_segments + j2
+            faces.append([a, b, c])
+            faces.append([a, c, d])
+    return TriangleMesh(np.array(verts), np.array(faces))
+
+
+def make_concave_l(
+    arm_length: float = 1.0, arm_width: float = 0.4, depth: float = 0.4
+) -> TriangleMesh:
+    """Concave L-shaped solid (two fused boxes).
+
+    This is the Figure 2 shape: its convex hull and its AABB both add
+    large false-collisionable area in the concave notch, which RBCD's
+    discretized representation does not.  The L lies in the XY plane
+    (arms along +X and +Y from the corner at the origin), extruded
+    ``depth`` along Z and centred on Z=0.
+    """
+    if arm_length <= arm_width or arm_width <= 0 or depth <= 0:
+        raise ValueError("need 0 < arm_width < arm_length and depth > 0")
+    w, ln, hz = arm_width, arm_length, depth / 2.0
+    # Hexagonal L outline, CCW seen from +Z.
+    outline = np.array(
+        [
+            [0.0, 0.0],
+            [ln, 0.0],
+            [ln, w],
+            [w, w],
+            [w, ln],
+            [0.0, ln],
+        ]
+    )
+    n = outline.shape[0]
+    verts = np.vstack(
+        [
+            np.column_stack([outline, np.full(n, hz)]),    # top ring (z=+hz)
+            np.column_stack([outline, np.full(n, -hz)]),   # bottom ring
+        ]
+    )
+    # Fan-triangulate the L from the inner corner (vertex 3 = (w, w)),
+    # which sees the whole polygon.
+    top = [[3, i, (i + 1) % n] for i in range(n) if i != 3 and (i + 1) % n != 3]
+    bottom = [[3 + n, (i + 1) % n + n, i + n] for i in range(n) if i != 3 and (i + 1) % n != 3]
+    sides = []
+    for i in range(n):
+        j = (i + 1) % n
+        # top_i, top_j, bottom_j, bottom_i — outward winding
+        sides.append([i, j + n, j])
+        sides.append([i, i + n, j + n])
+    faces = np.array(top + bottom + sides)
+    return TriangleMesh(verts, faces)

@@ -1,0 +1,23 @@
+"""Tile-based-rendering GPU model (ARM Mali-400-MP4-like, Table 2).
+
+The model is *functional* — exact fragments, depths, early-Z results —
+and *cycle-approximate*: per-stage cycle counts with the Table-2
+throughputs, composed by a tile-level pipeline timing model that
+reproduces the stall behaviour the paper's 1-vs-2-ZEB experiments rest
+on.
+"""
+
+from repro.gpu.config import GPUConfig, RBCDConfig
+from repro.gpu.commands import DrawCommand, Frame
+from repro.gpu.pipeline import GPU, FrameResult
+from repro.gpu.stats import GPUStats
+
+__all__ = [
+    "GPU",
+    "DrawCommand",
+    "Frame",
+    "FrameResult",
+    "GPUConfig",
+    "GPUStats",
+    "RBCDConfig",
+]

@@ -1,0 +1,109 @@
+"""Early depth test over the fragment stream.
+
+Functionally exact: each non-tagged fragment is tested LESS against the
+Z-buffer value left by the fragments that arrived before it at the same
+pixel (buffer cleared to 1.0 = far plane).  Tagged-to-be-culled
+fragments never reach this stage (Section 3.3) — the caller filters
+them.
+
+The sequential per-pixel scan is vectorized with a segmented exclusive
+prefix-min: fragments are stably sorted by pixel, then a scan over
+*in-segment position* updates all segments' running minima in lockstep.
+Each fragment is visited exactly once, comparisons are exact float
+comparisons (no algebraic re-encoding), and iteration count is bounded
+by the deepest per-pixel overdraw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.raster import FragmentSoup
+from repro.gpu.stats import GPUStats
+
+
+@dataclass
+class DepthTestResult:
+    """Outcome of the early-Z pass for one frame."""
+
+    passed: np.ndarray      # (N,) bool, aligned with the input soup
+    z_buffer: np.ndarray    # (H, W) final depth, 1.0 where never written
+    winner: np.ndarray      # (H, W) int64 fragment index of the visible
+    #                         fragment, -1 where none
+
+
+def depth_test(
+    frags: FragmentSoup, config: GPUConfig, stats: GPUStats
+) -> DepthTestResult:
+    """Run early-Z over the non-tagged fragments of a frame.
+
+    The returned ``passed`` mask is aligned with the *input* soup; a
+    tagged fragment is always ``False`` (it was filtered before the
+    test and is not counted as a test).
+    """
+    height, width = config.screen_height, config.screen_width
+    z_buffer = np.ones((height, width), dtype=np.float64)
+    winner = np.full((height, width), -1, dtype=np.int64)
+    passed = np.zeros(frags.count, dtype=bool)
+    if frags.count == 0:
+        return DepthTestResult(passed, z_buffer, winner)
+
+    tested_idx = np.flatnonzero(~frags.tagged)
+    stats.early_z_tests += int(tested_idx.shape[0])
+    if tested_idx.shape[0] == 0:
+        return DepthTestResult(passed, z_buffer, winner)
+
+    x = frags.x[tested_idx]
+    y = frags.y[tested_idx]
+    z = frags.z[tested_idx]
+    pixel = y.astype(np.int64) * width + x.astype(np.int64)
+
+    # Stable sort by pixel keeps arrival order within each segment.
+    order = np.argsort(pixel, kind="stable")
+    sp = pixel[order]
+    sz = z[order]
+    n = sp.shape[0]
+
+    new_segment = np.r_[True, sp[1:] != sp[:-1]]
+    starts = np.flatnonzero(new_segment)
+    seg_ends = np.r_[starts[1:], n]
+    seg_lengths = seg_ends - starts
+
+    # Exclusive prefix min per segment: walk in-segment positions in
+    # lockstep across all segments.  Total work is one visit per
+    # fragment; the Python loop runs max-overdraw times.
+    excl_min = np.empty(n, dtype=np.float64)
+    running = np.full(starts.shape[0], 1.0)  # z-buffer clear value
+    alive = np.arange(starts.shape[0])
+    for k in range(int(seg_lengths.max())):
+        alive = alive[k < seg_lengths[alive]]
+        idx = starts[alive] + k
+        excl_min[idx] = running[alive]
+        running[alive] = np.minimum(running[alive], sz[idx])
+
+    passes_sorted = sz < excl_min
+    passed_idx = tested_idx[order[passes_sorted]]
+    passed[passed_idx] = True
+
+    stats.early_z_passes += int(passes_sorted.sum())
+
+    # Final Z-buffer: per-pixel minimum of tested depths.
+    # (minimum.at is unbuffered and handles duplicates.)
+    flat_z = z_buffer.ravel()
+    np.minimum.at(flat_z, pixel, z)
+
+    # Winner per pixel: the passing fragment with the minimal depth —
+    # i.e. the last passing fragment in arrival order.  Among sorted
+    # passing fragments, that is the last one of each segment.
+    if passes_sorted.any():
+        pass_pos = np.flatnonzero(passes_sorted)
+        pass_pixels = sp[pass_pos]
+        last_of_pixel = np.r_[pass_pixels[1:] != pass_pixels[:-1], True]
+        winners_sorted_pos = pass_pos[last_of_pixel]
+        win_fragments = tested_idx[order[winners_sorted_pos]]
+        winner.ravel()[sp[winners_sorted_pos]] = win_fragments
+
+    return DepthTestResult(passed, z_buffer, winner)

@@ -1,0 +1,92 @@
+"""Fragment-processor stage: shading cost model and color output.
+
+The four fragment processors are "the most consuming part of the
+graphics hardware pipeline" (Section 3.3); their cost model is simple
+but load-bearing: every early-Z-passing fragment costs its draw's
+``fragment_cycles`` (defaulting to the GPU config's
+``cycles_per_fragment``), spread across ``num_fragment_processors``.
+
+The color output is flat per-draw shading — enough to validate
+visibility and to give the examples something to look at; it has no
+effect on collision detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.commands import Frame
+from repro.gpu.config import GPUConfig
+from repro.gpu.earlyz import DepthTestResult
+from repro.gpu.raster import FragmentSoup
+from repro.gpu.stats import GPUStats
+
+# Texture fetches per shaded fragment (one bilinear tap).
+_TEXTURE_ACCESSES_PER_FRAGMENT = 1
+
+
+def fragment_shader_cycles_per_draw(frame: Frame, config: GPUConfig) -> np.ndarray:
+    """(D,) per-fragment shader cost for each draw of the frame."""
+    return np.array(
+        [
+            d.fragment_cycles if d.fragment_cycles is not None else config.cycles_per_fragment
+            for d in frame.draws
+        ],
+        dtype=np.float64,
+    )
+
+
+@dataclass
+class ShadingResult:
+    """Per-frame fragment-stage outputs."""
+
+    color: np.ndarray            # (H, W, 3) float RGB, black where unwritten
+    shaded_mask: np.ndarray      # (N,) fragments that were shaded
+    shader_cycles_total: float   # summed single-processor cycles
+
+
+def shade_fragments(
+    frame: Frame,
+    frags: FragmentSoup,
+    depth: DepthTestResult,
+    config: GPUConfig,
+    stats: GPUStats,
+    deferred_shading: bool = False,
+) -> ShadingResult:
+    """Shade the early-Z survivors and resolve the color buffer.
+
+    ``deferred_shading=True`` models a PowerVR-style TBDR (Section 3.1):
+    hidden-surface removal guarantees the fragment processors run only
+    for the fragments that reach the final image — exactly one per
+    covered pixel — instead of every early-Z pass.
+    """
+    height, width = config.screen_height, config.screen_width
+    color = np.zeros((height, width, 3), dtype=np.float64)
+    if frags.count == 0 or frame.raster_only:
+        return ShadingResult(color, np.zeros(frags.count, dtype=bool), 0.0)
+
+    if deferred_shading:
+        shaded = np.zeros(frags.count, dtype=bool)
+        winners = depth.winner[depth.winner >= 0]
+        shaded[winners] = True
+    else:
+        shaded = depth.passed
+    per_draw = fragment_shader_cycles_per_draw(frame, config)
+    cycles = float(per_draw[frags.draw_index[shaded]].sum())
+
+    stats.fragments_shaded += int(shaded.sum())
+    stats.texture_accesses += int(shaded.sum()) * _TEXTURE_ACCESSES_PER_FRAGMENT
+    stats.fragment_cycles += cycles / config.num_fragment_processors
+
+    # Resolve visible colors from the per-pixel winners.
+    win = depth.winner
+    covered = win >= 0
+    if covered.any():
+        draw_of_winner = frags.draw_index[win[covered]]
+        palette = np.array([d.color for d in frame.draws], dtype=np.float64)
+        color[covered] = palette[draw_of_winner]
+        stats.color_writes += int(covered.sum())
+
+    return ShadingResult(color, shaded, cycles)

@@ -1,0 +1,56 @@
+"""Minimal image output: binary PPM (P6) writer + ASCII preview.
+
+Keeps the rendered framebuffers inspectable without any imaging
+dependency: PPM opens in every viewer, and the ASCII preview drops
+straight into a terminal.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+_ASCII_SHADES = " .:-=+*#%@"
+
+
+def to_ppm_bytes(color: np.ndarray) -> bytes:
+    """Encode an (H, W, 3) float [0,1] image as binary PPM."""
+    img = np.asarray(color, dtype=np.float64)
+    if img.ndim != 3 or img.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got {img.shape}")
+    data = (np.clip(img, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    header = f"P6\n{img.shape[1]} {img.shape[0]}\n255\n".encode("ascii")
+    return header + data.tobytes()
+
+
+def save_ppm(color: np.ndarray, path) -> Path:
+    """Write an (H, W, 3) float image to ``path`` as binary PPM."""
+    path = Path(path)
+    path.write_bytes(to_ppm_bytes(color))
+    return path
+
+
+def load_ppm(path) -> np.ndarray:
+    """Read back a binary PPM written by :func:`save_ppm`."""
+    raw = Path(path).read_bytes()
+    if not raw.startswith(b"P6"):
+        raise ValueError("not a binary PPM (P6) file")
+    parts = raw.split(b"\n", 3)
+    width, height = map(int, parts[1].split())
+    maxval = int(parts[2])
+    pixels = np.frombuffer(parts[3], dtype=np.uint8, count=width * height * 3)
+    return pixels.reshape(height, width, 3).astype(np.float64) / maxval
+
+
+def ascii_preview(color: np.ndarray, width: int = 72, height: int = 24) -> str:
+    """Luma-based ASCII thumbnail of an (H, W, 3) image."""
+    img = np.asarray(color, dtype=np.float64)
+    if img.ndim != 3 or img.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got {img.shape}")
+    luma = img @ np.array([0.299, 0.587, 0.114])
+    ys = np.linspace(0, luma.shape[0] - 1, height).astype(int)
+    xs = np.linspace(0, luma.shape[1] - 1, width).astype(int)
+    small = np.clip(luma[np.ix_(ys, xs)], 0.0, 1.0)
+    idx = (small * (len(_ASCII_SHADES) - 1) + 0.5).astype(int)
+    return "\n".join("".join(_ASCII_SHADES[v] for v in row) for row in idx)

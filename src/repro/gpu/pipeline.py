@@ -1,0 +1,418 @@
+"""Top-level GPU: geometry pipeline + raster pipeline + RBCD unit.
+
+``GPU.render_frame`` runs the whole TBR flow of Figure 3 for one frame
+and returns the image, the Z-buffer, the activity statistics, the
+collision report (when RBCD is enabled) and the cycle timings.
+
+Timing model
+------------
+The geometry pipeline and the raster pipeline are decoupled phases (the
+raster phase starts when binning has finished), so
+
+``gpu_cycles = geometry_cycles + raster_pipeline_cycles``.
+
+Geometry throughput is the max of its pipelined stages (vertex
+processing, primitive assembly, polygon-list building).
+
+The raster phase processes tiles in order through three units — the
+Rasterizer, the fragment processors, and (when present) the RBCD unit's
+Z-Overlap Test — with these constraints, directly from Section 3.5:
+
+* one Rasterizer: tile ``t`` starts after tile ``t-1`` finishes
+  rasterizing **and** a ZEB is free, i.e. the Z-Overlap Test of tile
+  ``t - zeb_count`` has completed;
+* one Z-Overlap unit: analyses tiles in order, each starting once its
+  tile is fully rasterized;
+* fragment processors consume a tile's shading work only after the tile
+  is rasterized.
+
+The recurrence yields exactly the paper's stall behaviour: with one ZEB
+the Rasterizer blocks whenever overlap analysis lags, and the fragment
+processors go idle when their queue drains during the block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.assembly import TriangleSoup, assemble
+from repro.gpu.caches import Cache
+from repro.gpu.commands import Frame
+from repro.gpu.config import GPUConfig
+from repro.gpu.earlyz import DepthTestResult, depth_test
+from repro.gpu.fragment import (
+    ShadingResult,
+    fragment_shader_cycles_per_draw,
+    shade_fragments,
+)
+from repro.gpu.raster import FragmentSoup, rasterize
+from repro.gpu.shading import shade_draws, vertex_stage_cycles
+from repro.gpu.stats import GPUStats
+from repro.gpu.tiling import bin_triangles, fetch_tile_lists
+from repro.rbcd.pairs import CollisionReport
+from repro.rbcd.unit import RBCDUnit
+
+
+@dataclass
+class TileTiming:
+    """Per-tile cycle inputs and the resolved schedule."""
+
+    raster_cycles: np.ndarray
+    fragment_cycles: np.ndarray
+    overlap_cycles: np.ndarray
+    raster_start: np.ndarray
+    raster_end: np.ndarray
+    overlap_end: np.ndarray
+    fragment_end: np.ndarray
+    stall_cycles: float
+    total_cycles: float
+
+
+@dataclass
+class FrameResult:
+    """Everything one frame produced."""
+
+    color: np.ndarray              # (H, W, 3)
+    z_buffer: np.ndarray           # (H, W)
+    stats: GPUStats
+    collisions: CollisionReport | None
+    cpu_fallback: bool = False     # Section 5.3 overflow fallback fired
+    tile_timing: TileTiming | None = None
+    fragments: FragmentSoup | None = None  # kept on request (M sweeps)
+
+    @property
+    def gpu_cycles(self) -> float:
+        return self.stats.gpu_cycles
+
+
+# How far (in cycles) the Rasterizer may run ahead of fragment
+# consumption: the 64-entry fragment queue at 4 fragments/cycle.
+_QUEUE_COVERAGE_CYCLES = 16.0
+
+
+def _tile_schedule(
+    raster: np.ndarray,
+    fragment: np.ndarray,
+    overlap: np.ndarray,
+    zeb_count: int,
+) -> TileTiming:
+    """Resolve the per-tile pipeline recurrence (see module docstring).
+
+    The Rasterizer-to-fragment-processor queue holds 64 entries
+    (Table 2), which is a fraction of one tile's fragments — so the
+    two stages run in near lock-step (a blocking flow shop): the
+    Rasterizer can produce at most ``_QUEUE_COVERAGE_CYCLES`` worth of
+    fragments beyond what the fragment processors have consumed, and
+    the fragment processors cannot finish a tile before the Rasterizer
+    has finished producing it.  Extra raster work (deferred culling,
+    ZEB stalls) is therefore hidden exactly where the paper says it is:
+    in tiles whose fragment-shading work exceeds their raster work.
+    """
+    n = raster.shape[0]
+    raster_start = np.zeros(n)
+    raster_end = np.zeros(n)
+    overlap_end = np.zeros(n)
+    fragment_end = np.zeros(n)
+    stall = 0.0
+    prev_raster_end = 0.0
+    prev_overlap_end = 0.0
+    prev_fragment_end = 0.0
+    for t in range(n):
+        zeb_free_at = overlap_end[t - zeb_count] if t >= zeb_count else 0.0
+        queue_limit = prev_fragment_end - _QUEUE_COVERAGE_CYCLES
+        start = max(prev_raster_end, queue_limit, zeb_free_at)
+        stall += max(0.0, zeb_free_at - max(prev_raster_end, queue_limit))
+        end = start + raster[t]
+        o_end = max(end, prev_overlap_end) + overlap[t]
+        # Fragments stream into the processors as they are rasterized;
+        # the tile cannot finish shading before it finishes rasterizing.
+        f_start = max(prev_fragment_end, start)
+        f_end = max(f_start + fragment[t], end)
+        raster_start[t] = start
+        raster_end[t] = end
+        overlap_end[t] = o_end
+        fragment_end[t] = f_end
+        prev_raster_end = end
+        prev_overlap_end = o_end
+        prev_fragment_end = f_end
+    total = float(max(prev_raster_end, prev_overlap_end, prev_fragment_end))
+    return TileTiming(
+        raster_cycles=raster,
+        fragment_cycles=fragment,
+        overlap_cycles=overlap,
+        raster_start=raster_start,
+        raster_end=raster_end,
+        overlap_end=overlap_end,
+        fragment_end=fragment_end,
+        stall_cycles=stall,
+        total_cycles=total,
+    )
+
+
+class GPU:
+    """A tile-based GPU instance, optionally with an RBCD unit.
+
+    ``rbcd_enabled=False`` models the paper's baseline GPU
+    (conventional early face culling, no ZEB/overlap hardware).
+    """
+
+    def __init__(
+        self,
+        config: GPUConfig | None = None,
+        rbcd_enabled: bool = True,
+        rendering_mode: str = "tbr",
+    ) -> None:
+        """``rendering_mode``:
+
+        * "tbr" — the Mali-400-like tile-based baseline (the paper's);
+        * "tbdr" — PowerVR-style deferred shading (Section 3.1): the
+          fragment processors run only for visible pixels;
+        * "imr" — immediate-mode rendering (Tegra-style, Section 3.1):
+          no tiling, overdraw writes to the off-chip color buffer.  The
+          paper scopes RBCD to tile-based GPUs, so IMR is baseline-only
+          (``rbcd_enabled`` must be False); it exists to quantify the
+          TBR-vs-IMR memory-traffic trade the paper describes.
+        """
+        if rendering_mode not in ("tbr", "tbdr", "imr"):
+            raise ValueError('rendering_mode must be "tbr", "tbdr" or "imr"')
+        if rendering_mode == "imr" and rbcd_enabled:
+            raise ValueError(
+                "RBCD requires a tile-based pipeline (the per-tile ZEB); "
+                "IMR mode is baseline-only, as in the paper's Section 3.1"
+            )
+        self.config = config if config is not None else GPUConfig()
+        self.rbcd_enabled = rbcd_enabled
+        self.rendering_mode = rendering_mode
+
+    def render_frame(
+        self,
+        frame: Frame,
+        keep_tile_timing: bool = False,
+        keep_fragments: bool = False,
+    ) -> FrameResult:
+        """Render one frame; returns image, stats and collisions."""
+        if self.rendering_mode == "imr":
+            return self._render_frame_imr(frame)
+        config = self.config
+        stats = GPUStats(frames=1)
+        vertex_cache = Cache(config.vertex_cache)
+        tile_cache = Cache(config.tile_cache)
+
+        # -- geometry pipeline --------------------------------------------
+        shaded = shade_draws(frame, config, stats, vertex_cache)
+        soup = assemble(shaded, config, stats, deferred_culling=self.rbcd_enabled)
+        binning = bin_triangles(soup, config, stats, tile_cache)
+
+        vertex_cycles = vertex_stage_cycles(stats, config)
+        assembly_cycles = (
+            stats.triangles_assembled / config.primitive_assembly_tris_per_cycle
+        )
+        binning_cycles = (
+            stats.prim_tile_pairs * config.binning_cycles_per_prim_tile
+            + stats.tile_cache_store_misses * config.l2_cache.latency_cycles
+        )
+        stats.geometry_cycles = max(vertex_cycles, assembly_cycles, binning_cycles)
+
+        # -- raster pipeline: functional pass ------------------------------
+        tile_load_misses = fetch_tile_lists(binning, config, stats, tile_cache)
+        frags = rasterize(soup, config, stats)
+
+        if frame.raster_only:
+            depth = DepthTestResult(
+                passed=np.zeros(frags.count, dtype=bool),
+                z_buffer=np.ones((config.screen_height, config.screen_width)),
+                winner=np.full(
+                    (config.screen_height, config.screen_width), -1, dtype=np.int64
+                ),
+            )
+            shading = ShadingResult(
+                color=np.zeros((config.screen_height, config.screen_width, 3)),
+                shaded_mask=np.zeros(frags.count, dtype=bool),
+                shader_cycles_total=0.0,
+            )
+        else:
+            depth = depth_test(frags, config, stats)
+            shading = shade_fragments(
+                frame, frags, depth, config, stats,
+                deferred_shading=self.rendering_mode == "tbdr",
+            )
+
+        # -- RBCD unit -----------------------------------------------------------
+        report: CollisionReport | None = None
+        overlap_cycles = np.zeros(config.tile_count)
+        insertion_limit = np.zeros(config.tile_count)
+        cpu_fallback = False
+        if self.rbcd_enabled:
+            unit = RBCDUnit(config)
+            report = self._run_rbcd(unit, frags, stats, overlap_cycles, insertion_limit)
+            cpu_fallback = unit.wants_cpu_fallback()
+            if cpu_fallback:
+                stats.cpu_fallback_frames += 1
+
+        # -- raster pipeline: timing --------------------------------------------
+        tile_idx = frags.tile_index(config)
+        frags_per_tile = np.bincount(tile_idx, minlength=config.tile_count)
+
+        shader_cycles_tile = np.zeros(config.tile_count)
+        if frags.count and not frame.raster_only:
+            per_draw = fragment_shader_cycles_per_draw(frame, config)
+            shaded_idx = np.flatnonzero(shading.shaded_mask)
+            np.add.at(
+                shader_cycles_tile,
+                tile_idx[shaded_idx],
+                per_draw[frags.draw_index[shaded_idx]],
+            )
+
+        prims_per_tile = np.diff(binning.tile_offsets).astype(np.float64)
+        raster_busy_cycles = (
+            prims_per_tile * config.raster_setup_cycles_per_tri
+            + frags_per_tile / config.rasterizer_frags_per_cycle
+            + tile_load_misses * config.l2_cache.latency_cycles
+        )
+        # The insertion-sort unit accepts one fragment per cycle; a tile
+        # whose collisionable fragments outnumber raster slots *blocks*
+        # the Rasterizer.  The delay enters the schedule, but it is not
+        # Rasterizer busy work (the Figure 11 activity factor counts
+        # busy cycles only).
+        raster_effective = np.maximum(raster_busy_cycles, insertion_limit)
+        fragment_cycles = shader_cycles_tile / config.num_fragment_processors
+
+        active = (prims_per_tile > 0) | (frags_per_tile > 0)
+        timing = _tile_schedule(
+            raster_effective[active],
+            fragment_cycles[active],
+            overlap_cycles[active],
+            config.rbcd.zeb_count if self.rbcd_enabled else 1,
+        )
+
+        stats.tiles_processed = int(active.sum())
+        stats.raster_cycles = float(raster_busy_cycles[active].sum())
+        stats.rbcd_cycles = float(overlap_cycles.sum())
+        stats.raster_stall_cycles = timing.stall_cycles
+        stats.raster_pipeline_cycles = timing.total_cycles
+        stats.fragment_idle_cycles = timing.total_cycles - float(
+            fragment_cycles[active].sum()
+        )
+        stats.gpu_cycles = stats.geometry_cycles + stats.raster_pipeline_cycles
+
+        # Off-chip traffic (TBR: polygon lists both ways, vertex fetch
+        # misses, one color write per covered pixel at tile flush).
+        line = config.l2_cache.line_bytes
+        stats.dram_bytes_read = float(
+            (stats.vertex_cache_misses + stats.tile_cache_load_misses) * line
+        )
+        stats.dram_bytes_written = float(
+            stats.tile_cache_store_misses * line + stats.color_writes * 4
+        )
+
+        return FrameResult(
+            color=shading.color,
+            z_buffer=depth.z_buffer,
+            stats=stats,
+            collisions=report,
+            cpu_fallback=cpu_fallback,
+            tile_timing=timing if keep_tile_timing else None,
+            fragments=frags if keep_fragments else None,
+        )
+
+    def _render_frame_imr(self, frame: Frame) -> FrameResult:
+        """Immediate-mode baseline: no tiling, off-chip overdraw.
+
+        Primitives stream straight from assembly to the rasterizer in
+        submission order; the color and depth buffers live in system
+        memory, so every early-Z pass writes off-chip (the overdraw
+        traffic TBR avoids), while the polygon-list traffic of the
+        tiling engine disappears entirely.
+        """
+        config = self.config
+        stats = GPUStats(frames=1)
+        vertex_cache = Cache(config.vertex_cache)
+
+        shaded = shade_draws(frame, config, stats, vertex_cache)
+        soup = assemble(shaded, config, stats, deferred_culling=False)
+        stats.triangles_binned = soup.count  # pass-through, no binning
+
+        vertex_cycles = vertex_stage_cycles(stats, config)
+        assembly_cycles = (
+            stats.triangles_assembled / config.primitive_assembly_tris_per_cycle
+        )
+        stats.geometry_cycles = max(vertex_cycles, assembly_cycles)
+
+        frags = rasterize(soup, config, stats)
+        stats.prims_rasterized = soup.count
+        depth = depth_test(frags, config, stats)
+        shading = shade_fragments(frame, frags, depth, config, stats)
+
+        # Streaming pipeline: raster and shading overlap; the longer
+        # stage sets the pace.
+        raster_cycles = (
+            soup.count * config.raster_setup_cycles_per_tri
+            + frags.count / config.rasterizer_frags_per_cycle
+        )
+        stats.raster_cycles = raster_cycles
+        stats.raster_pipeline_cycles = max(raster_cycles, stats.fragment_cycles)
+        stats.fragment_idle_cycles = (
+            stats.raster_pipeline_cycles - stats.fragment_cycles
+        )
+        stats.gpu_cycles = stats.geometry_cycles + stats.raster_pipeline_cycles
+
+        # Off-chip traffic: every surviving fragment writes color+depth
+        # to memory (overdraw included), every test reads depth.
+        stats.dram_bytes_read = float(
+            stats.vertex_cache_misses * config.l2_cache.line_bytes
+            + stats.early_z_tests * 4
+        )
+        stats.dram_bytes_written = float(stats.early_z_passes * 8)
+
+        return FrameResult(
+            color=shading.color,
+            z_buffer=depth.z_buffer,
+            stats=stats,
+            collisions=None,
+        )
+
+    def _run_rbcd(
+        self,
+        unit: RBCDUnit,
+        frags: FragmentSoup,
+        stats: GPUStats,
+        overlap_cycles: np.ndarray,
+        insertion_limit: np.ndarray,
+    ) -> CollisionReport:
+        """Feed every collisionable fragment, tile by tile, to the unit."""
+        config = self.config
+        coll = np.flatnonzero(frags.object_id >= 0)
+        stats.rbcd_fragments_in += int(coll.shape[0])
+        if coll.shape[0]:
+            tiles = frags.tile_index(config)[coll]
+            order = np.lexsort((coll, tiles))  # per tile, arrival order
+            sorted_idx = coll[order]
+            sorted_tiles = tiles[order]
+            boundaries = np.flatnonzero(
+                np.r_[True, sorted_tiles[1:] != sorted_tiles[:-1]]
+            )
+            boundaries = np.r_[boundaries, sorted_tiles.shape[0]]
+            for b in range(boundaries.shape[0] - 1):
+                lo, hi = boundaries[b], boundaries[b + 1]
+                idx = sorted_idx[lo:hi]
+                tile = int(sorted_tiles[lo])
+                result = unit.process_tile(
+                    tile,
+                    frags.x[idx],
+                    frags.y[idx],
+                    frags.z[idx],
+                    frags.object_id[idx],
+                    frags.front[idx],
+                )
+                overlap_cycles[tile] = result.overlap_cycles
+                insertion_limit[tile] = result.insertion_cycles
+
+        stats.zeb_insertions += unit.insertions
+        stats.zeb_overflow_events += unit.overflow_events
+        stats.zeb_spare_allocations += unit.spare_allocations
+        stats.zeb_lists_analyzed += unit.lists_analyzed
+        stats.overlap_elements_read += unit.elements_read
+        stats.collision_pairs_emitted += unit.report.pair_records_written
+        return unit.report

@@ -1,0 +1,83 @@
+"""Geometry-pipeline vertex stage: fetch + transform.
+
+Models the Vertex Fetcher (vertex-cache accesses over the mesh's vertex
+buffer) and the programmable Vertex Processor (one MVP transform per
+vertex at ``cycles_per_vertex``).  Output is clip-space positions, the
+input to primitive assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.vec import Mat4, transform_points_homogeneous
+from repro.gpu.caches import Cache
+from repro.gpu.commands import DrawCommand, Frame
+from repro.gpu.config import GPUConfig
+from repro.gpu.stats import GPUStats
+
+# Bytes fetched per vertex: position (12) + normal (12) + uv (8).
+_VERTEX_STRIDE_BYTES = 32
+
+
+@dataclass
+class ShadedDraw:
+    """A draw command with its vertices taken to clip space."""
+
+    draw: DrawCommand
+    draw_index: int
+    clip_positions: np.ndarray  # (V, 4)
+
+
+def shade_draws(
+    frame: Frame,
+    config: GPUConfig,
+    stats: GPUStats,
+    vertex_cache: Cache | None = None,
+) -> list[ShadedDraw]:
+    """Run the vertex stage for every draw of a frame.
+
+    The vertex cache persists across draws within the frame (it is the
+    caller's choice whether to flush between frames); each draw's
+    vertex buffer lives at a distinct synthetic base address so draws
+    do not falsely alias.
+    """
+    if vertex_cache is None:
+        vertex_cache = Cache(config.vertex_cache)
+
+    shaded: list[ShadedDraw] = []
+    base_address = 0
+    for draw_index, draw in enumerate(frame.draws):
+        mesh = draw.mesh
+        mvp = frame.projection @ frame.view @ draw.model
+        clip = transform_points_homogeneous(mvp, mesh.vertices)
+
+        # Vertex fetch: indexed access through the vertex cache in face
+        # order (the access pattern the post-transform cache sees).
+        indices = mesh.faces.ravel()
+        addresses = base_address + indices.astype(np.int64) * _VERTEX_STRIDE_BYTES
+        misses = vertex_cache.access_many(addresses)
+
+        stats.vertices_fetched += indices.size
+        stats.vertices_shaded += mesh.vertex_count
+        stats.vertex_cache_accesses += indices.size
+        stats.vertex_cache_misses += misses
+
+        shaded.append(ShadedDraw(draw, draw_index, clip))
+        base_address += mesh.vertex_count * _VERTEX_STRIDE_BYTES
+        # Keep draws line-aligned so the synthetic buffers stay disjoint.
+        base_address = -(-base_address // 64) * 64
+
+    return shaded
+
+
+def vertex_stage_cycles(stats: GPUStats, config: GPUConfig) -> float:
+    """Vertex-processor busy cycles for the counted activity."""
+    shader = stats.vertices_shaded * config.cycles_per_vertex
+    shader /= config.num_vertex_processors
+    # Each vertex-cache miss stalls the fetcher for an L2 access; misses
+    # overlap shading, so charge only the latency not hidden by it.
+    miss_penalty = stats.vertex_cache_misses * config.l2_cache.latency_cycles
+    return shader + miss_penalty

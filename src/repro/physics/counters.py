@@ -1,0 +1,93 @@
+"""Operation counting for the CPU cost model.
+
+The software CD baselines tally the dynamic operations they execute in
+four classes; ``repro.cpu.model`` prices a tally into cycles, seconds
+and joules.  Counting is *analytic per step*: vectorized code adds the
+operation counts the equivalent scalar loop would have executed, so the
+Python implementation speed does not distort the model.
+
+Classes:
+
+``flop``
+    Floating-point add/sub/mul/div (and sqrt, counted as several).
+``cmp``
+    Comparisons / min / max.
+``mem``
+    Data memory accesses (reads and writes of operands that would not
+    sit in registers — array elements, object fields).
+``branch``
+    Conditional branches taken or not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+OP_KINDS = ("flop", "cmp", "mem", "branch")
+
+
+@dataclass
+class OpCounter:
+    """A tally of dynamic operations by class."""
+
+    flop: float = 0.0
+    cmp: float = 0.0
+    mem: float = 0.0
+    branch: float = 0.0
+
+    def add(self, kind: str, n: float = 1.0) -> None:
+        if kind not in OP_KINDS:
+            raise ValueError(f"unknown op kind {kind!r}; expected one of {OP_KINDS}")
+        setattr(self, kind, getattr(self, kind) + n)
+
+    def add_all(self, flop: float = 0.0, cmp: float = 0.0, mem: float = 0.0,
+                branch: float = 0.0) -> None:
+        self.flop += flop
+        self.cmp += cmp
+        self.mem += mem
+        self.branch += branch
+
+    @property
+    def total(self) -> float:
+        return self.flop + self.cmp + self.mem + self.branch
+
+    def __add__(self, other: "OpCounter") -> "OpCounter":
+        if not isinstance(other, OpCounter):
+            return NotImplemented
+        return OpCounter(
+            flop=self.flop + other.flop,
+            cmp=self.cmp + other.cmp,
+            mem=self.mem + other.mem,
+            branch=self.branch + other.branch,
+        )
+
+    def __radd__(self, other):
+        if other == 0:
+            return self
+        return self.__add__(other)
+
+    def scaled(self, factor: float) -> "OpCounter":
+        return OpCounter(
+            flop=self.flop * factor,
+            cmp=self.cmp * factor,
+            mem=self.mem * factor,
+            branch=self.branch * factor,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {k: getattr(self, k) for k in OP_KINDS}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={getattr(self, k):,.0f}" for k in OP_KINDS)
+        return f"OpCounter({parts})"
+
+
+# Cost constants for composite operations, in ops of each class.
+# A 3-D point through a 3x4 affine transform: 9 mul + 9 add.
+TRANSFORM_POINT_FLOPS = 18
+# dot(a, b) for 3-vectors: 3 mul + 2 add.
+DOT3_FLOPS = 5
+# cross(a, b): 6 mul + 3 sub.
+CROSS3_FLOPS = 9
+# min/max fold of a 3-vector into an accumulator: 3 compares (+3 writes).
+AABB_FOLD_CMPS = 3

@@ -1,0 +1,227 @@
+"""Minimal rigid-body dynamics for the animation-loop examples.
+
+Figure 7 of the paper: the game loop runs Collision Detection, then
+Collision Response, then issues GPU commands.  This module supplies the
+*response* half so the examples can close the loop with either CD
+backend (software ``CollisionWorld`` or the GPU's RBCD unit): impulse
+resolution along the contact normal plus positional correction, with
+semi-implicit Euler integration.
+
+The model is deliberately small — scalar (sphere-of-gyration) inertia,
+no friction cone solver — because it exists to exercise the CD APIs,
+not to be a physics engine.  Bodies with a non-zero ``inverse_inertia``
+pick up spin from off-centre impacts; the default of 0 reproduces the
+purely linear response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.vec import Mat4, Vec3
+from repro.physics.epa import epa_penetration
+from repro.physics.shapes import ConvexShape
+
+
+@dataclass
+class RigidBody:
+    """A dynamic (or static, ``inverse_mass == 0``) rigid body.
+
+    ``inverse_inertia`` is the scalar inverse moment of inertia
+    (sphere-of-gyration approximation; for a solid sphere of mass m and
+    radius r it is ``1 / (0.4 * m * r**2)``).  Zero disables rotation.
+    """
+
+    body_id: int
+    mesh: TriangleMesh
+    position: Vec3
+    velocity: Vec3 = Vec3.zero()
+    inverse_mass: float = 1.0
+    restitution: float = 0.3
+    inverse_inertia: float = 0.0
+    angular_velocity: Vec3 = Vec3.zero()
+    orientation: Mat4 = field(default_factory=Mat4.identity)
+
+    def __post_init__(self) -> None:
+        if self.inverse_mass < 0:
+            raise ValueError("inverse_mass must be >= 0")
+        if self.inverse_inertia < 0:
+            raise ValueError("inverse_inertia must be >= 0")
+
+    @property
+    def is_static(self) -> bool:
+        return self.inverse_mass == 0.0
+
+    def model_matrix(self) -> Mat4:
+        return Mat4.translation(self.position) @ self.orientation
+
+    def velocity_at(self, world_point: Vec3) -> Vec3:
+        """Velocity of the body's material point at a world position."""
+        r = world_point - self.position
+        return self.velocity + self.angular_velocity.cross(r)
+
+    @staticmethod
+    def sphere_inverse_inertia(inverse_mass: float, radius: float) -> float:
+        """Scalar inverse inertia of a solid sphere."""
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        if inverse_mass == 0:
+            return 0.0
+        return inverse_mass / (0.4 * radius * radius)
+
+
+class PhysicsWorld:
+    """Bodies + gravity + impulse contact response."""
+
+    def __init__(self, gravity: Vec3 = Vec3(0.0, -9.81, 0.0)) -> None:
+        self.gravity = gravity
+        self._bodies: dict[int, RigidBody] = {}
+        self._shapes: dict[int, ConvexShape] = {}
+
+    def add_body(self, body: RigidBody) -> RigidBody:
+        if body.body_id in self._bodies:
+            raise ValueError(f"body id {body.body_id} already registered")
+        self._bodies[body.body_id] = body
+        self._shapes[body.body_id] = ConvexShape(body.mesh.vertices)
+        return body
+
+    def body(self, body_id: int) -> RigidBody:
+        return self._bodies[body_id]
+
+    def bodies(self) -> list[RigidBody]:
+        return list(self._bodies.values())
+
+    def integrate(self, dt: float) -> None:
+        """Semi-implicit Euler step for every dynamic body."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        for body in self._bodies.values():
+            if body.is_static:
+                continue
+            body.velocity = body.velocity + self.gravity * dt
+            body.position = body.position + body.velocity * dt
+            spin = body.angular_velocity.length()
+            if spin > 1e-12:
+                axis = body.angular_velocity / spin
+                body.orientation = (
+                    Mat4.rotation_axis(axis, spin * dt) @ body.orientation
+                )
+
+    def resolve_pairs(self, pairs: list[tuple[int, int]]) -> int:
+        """Impulse-resolve each colliding pair (ids from any CD backend).
+
+        Contact normal and depth come from EPA on the bodies' convex
+        shapes; pairs that EPA finds separated (CD false positives from
+        a coarse backend) are skipped.  Returns the number of contacts
+        actually resolved.
+        """
+        resolved = 0
+        for id_a, id_b in pairs:
+            a = self._bodies[id_a]
+            b = self._bodies[id_b]
+            shape_a = self._shapes[id_a]
+            shape_b = self._shapes[id_b]
+            shape_a.update_transform(a.model_matrix())
+            shape_b.update_transform(b.model_matrix())
+            contact = epa_penetration(shape_a, shape_b)
+            if contact is None or contact.depth <= 0.0:
+                continue
+            # EPA's normal points from A toward B; the direction that
+            # pushes A out of B is its negation.
+            normal = Vec3.from_array(-contact.normal)
+            inv_mass_sum = a.inverse_mass + b.inverse_mass
+            if inv_mass_sum == 0.0:
+                continue
+            # Contact point: midpoint of the two deepest supporting
+            # *patches* (patch centroids smooth tessellation noise).
+            sup_a = shape_a.support_patch(contact.normal, tol=0.02)
+            sup_b = shape_b.support_patch(-contact.normal, tol=0.02)
+            point = Vec3.from_array((sup_a + sup_b) * 0.5)
+            r_a = point - a.position
+            r_b = point - b.position
+
+            # Relative velocity of the contact material points.
+            rel = a.velocity_at(point) - b.velocity_at(point)
+            vel_n = rel.dot(normal)
+            if vel_n < 0.0:
+                restitution = min(a.restitution, b.restitution)
+                ang_a = a.inverse_inertia * r_a.cross(normal).length_squared()
+                ang_b = b.inverse_inertia * r_b.cross(normal).length_squared()
+                denom = inv_mass_sum + ang_a + ang_b
+                impulse = -(1.0 + restitution) * vel_n / denom
+                j = normal * impulse
+                a.velocity = a.velocity + j * a.inverse_mass
+                b.velocity = b.velocity - j * b.inverse_mass
+                a.angular_velocity = a.angular_velocity + r_a.cross(j) * a.inverse_inertia
+                b.angular_velocity = b.angular_velocity - r_b.cross(j) * b.inverse_inertia
+            # Positional correction to resolve the interpenetration.
+            correction = normal * (contact.depth / inv_mass_sum)
+            a.position = a.position + correction * a.inverse_mass
+            b.position = b.position - correction * b.inverse_mass
+            resolved += 1
+        return resolved
+
+    def resolve_manifolds(self, manifolds) -> int:
+        """Impulse-resolve RBCD contact manifolds directly — no EPA.
+
+        This is the paper's full data path: the GPU reports contact
+        points and depths; the CPU only runs the response arithmetic.
+        The manifold's patch normal carries no orientation, so it is
+        signed to push body A away from body B's centre.  Returns the
+        number of manifolds resolved.
+        """
+        resolved = 0
+        for manifold in manifolds:
+            if manifold.is_degenerate():
+                continue
+            a = self._bodies[manifold.id_a]
+            b = self._bodies[manifold.id_b]
+            inv_mass_sum = a.inverse_mass + b.inverse_mass
+            if inv_mass_sum == 0.0:
+                continue
+            normal = Vec3.from_array(manifold.normal)
+            separation = a.position - b.position
+            if separation.dot(normal) < 0.0:
+                normal = -normal
+            point = Vec3.from_array(manifold.centroid)
+            r_a = point - a.position
+            r_b = point - b.position
+            rel = a.velocity_at(point) - b.velocity_at(point)
+            vel_n = rel.dot(normal)
+            if vel_n < 0.0:
+                restitution = min(a.restitution, b.restitution)
+                ang_a = a.inverse_inertia * r_a.cross(normal).length_squared()
+                ang_b = b.inverse_inertia * r_b.cross(normal).length_squared()
+                impulse = -(1.0 + restitution) * vel_n / (
+                    inv_mass_sum + ang_a + ang_b
+                )
+                j = normal * impulse
+                a.velocity = a.velocity + j * a.inverse_mass
+                b.velocity = b.velocity - j * b.inverse_mass
+                a.angular_velocity = a.angular_velocity + r_a.cross(j) * a.inverse_inertia
+                b.angular_velocity = b.angular_velocity - r_b.cross(j) * b.inverse_inertia
+            # Positional correction along the (image-estimated) normal.
+            # The screen-space penetration estimate runs along the view
+            # ray, which can exceed the true separation depth; damp it.
+            depth = min(manifold.penetration, 0.5)
+            correction = normal * (0.4 * depth / inv_mass_sum)
+            a.position = a.position + correction * a.inverse_mass
+            b.position = b.position - correction * b.inverse_mass
+            resolved += 1
+        return resolved
+
+    def step(self, dt: float, pairs: list[tuple[int, int]]) -> int:
+        """One Figure-7 time step: response for last frame's CD, then
+        integration.  Returns the number of contacts resolved."""
+        resolved = self.resolve_pairs(pairs)
+        self.integrate(dt)
+        return resolved
+
+    def step_with_manifolds(self, dt: float, manifolds) -> int:
+        """Figure-7 step using GPU-provided manifolds for the response."""
+        resolved = self.resolve_manifolds(manifolds)
+        self.integrate(dt)
+        return resolved

@@ -1,0 +1,195 @@
+"""EPA: penetration depth for intersecting convex shapes.
+
+Used by the rigid-body dynamics example (collision *response* needs a
+contact normal and depth; detection alone does not).  Standard
+Expanding Polytope Algorithm: starting from GJK's terminal simplex
+(inflated to a tetrahedron when degenerate), repeatedly expand the face
+of the Minkowski-difference polytope closest to the origin until the
+support distance stops improving.
+
+Faces are kept consistently outward-wound from the initial tetrahedron
+on; horizon stitching preserves the winding, so normals never need the
+ambiguous "flip toward/away from origin" step (which breaks down when
+the origin lies on a face).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.physics.counters import CROSS3_FLOPS, DOT3_FLOPS, OpCounter
+from repro.physics.gjk import GJKResult, gjk_intersect
+from repro.physics.shapes import ConvexShape, minkowski_support
+
+_EPS = 1e-9
+_GROWTH_EPS = 1e-7
+_FACE_COST = dict(flop=2 * CROSS3_FLOPS + DOT3_FLOPS + 8, cmp=1)
+
+
+@dataclass
+class EPAResult:
+    """Penetration information for an intersecting pair."""
+
+    normal: np.ndarray   # unit vector from A toward B; moving A by
+    #                      -normal*depth (or B by +normal*depth) separates
+    depth: float
+    iterations: int
+    converged: bool
+
+
+def _inflate_to_tetrahedron(simplex, shape_a, shape_b, ops):
+    """Grow a degenerate terminal simplex into a tetrahedron with volume."""
+    axes = [np.eye(3)[i] for i in range(3)]
+    pts = [np.asarray(p, dtype=np.float64) for p in simplex]
+
+    def try_add(direction):
+        p, _, _ = minkowski_support(shape_a, shape_b, direction, ops)
+        if not any(np.allclose(p, q, atol=1e-12) for q in pts):
+            pts.append(p)
+            return True
+        return False
+
+    if len(pts) == 1:
+        for d in axes + [-a for a in axes]:
+            if try_add(d):
+                break
+    if len(pts) == 2:
+        ab = pts[1] - pts[0]
+        least = int(np.argmin(np.abs(ab)))
+        ortho = np.cross(ab, np.eye(3)[least])
+        for d in (ortho, -ortho, np.cross(ab, ortho), -np.cross(ab, ortho)):
+            if try_add(d):
+                break
+    if len(pts) == 3:
+        n = np.cross(pts[1] - pts[0], pts[2] - pts[0])
+        norm = np.linalg.norm(n)
+        if norm < _EPS:
+            return None
+        for d in (n, -n):
+            if try_add(d):
+                v = np.array(pts)
+                if abs(np.linalg.det(v[1:] - v[0])) > 1e-12:
+                    break
+                pts.pop()
+    if len(pts) != 4:
+        return None
+    v = np.array(pts)
+    if abs(np.linalg.det(v[1:] - v[0])) <= 1e-12:
+        return None
+    return pts
+
+
+class _Face:
+    """An outward-wound polytope face with its plane."""
+
+    __slots__ = ("a", "b", "c", "normal", "distance", "valid")
+
+    def __init__(self, a: int, b: int, c: int, vertices, ops: OpCounter) -> None:
+        self.a, self.b, self.c = a, b, c
+        ops.add_all(**_FACE_COST)
+        n = np.cross(vertices[b] - vertices[a], vertices[c] - vertices[a])
+        norm = float(np.linalg.norm(n))
+        if norm < _EPS:
+            self.normal = np.zeros(3)
+            self.distance = np.inf
+            self.valid = False
+            return
+        self.normal = n / norm
+        self.distance = float(self.normal @ vertices[a])
+        self.valid = True
+
+    def edges(self):
+        return ((self.a, self.b), (self.b, self.c), (self.c, self.a))
+
+
+def epa_penetration(
+    shape_a: ConvexShape,
+    shape_b: ConvexShape,
+    gjk_result: GJKResult | None = None,
+    ops: OpCounter | None = None,
+    max_iterations: int = 96,
+) -> EPAResult | None:
+    """Penetration normal/depth of an intersecting pair.
+
+    Returns ``None`` when the shapes do not intersect (a fresh GJK is
+    run when no terminal ``gjk_result`` is supplied).  The normal
+    points from A toward B: translating B by ``normal * depth`` (or A
+    by the negation) separates the shapes.
+    """
+    if ops is None:
+        ops = OpCounter()
+    if gjk_result is None:
+        gjk_result = gjk_intersect(shape_a, shape_b, ops)
+    if not gjk_result.intersecting:
+        return None
+
+    pts = _inflate_to_tetrahedron(list(gjk_result.simplex), shape_a, shape_b, ops)
+    if pts is None:
+        # Flat Minkowski difference: touching contact, no usable normal.
+        return EPAResult(np.array([0.0, 0.0, 1.0]), 0.0, 0, False)
+
+    vertices: list[np.ndarray] = pts
+    # Orient the initial tetrahedron outward: a face is outward when the
+    # remaining vertex is behind its plane.
+    faces: list[_Face] = []
+    for a, b, c, opposite in ((0, 1, 2, 3), (0, 1, 3, 2), (0, 2, 3, 1), (1, 2, 3, 0)):
+        face = _Face(a, b, c, vertices, ops)
+        if not face.valid:
+            return EPAResult(np.array([0.0, 0.0, 1.0]), 0.0, 0, False)
+        if float(face.normal @ (vertices[opposite] - vertices[a])) > 0:
+            face = _Face(a, c, b, vertices, ops)
+        faces.append(face)
+
+    best_face = min(faces, key=lambda f: f.distance)
+    for iteration in range(1, max_iterations + 1):
+        best_face = min(faces, key=lambda f: f.distance)
+        ops.add_all(cmp=len(faces))
+        p, _, _ = minkowski_support(shape_a, shape_b, best_face.normal, ops)
+        growth = float(best_face.normal @ p) - best_face.distance
+        ops.add_all(flop=DOT3_FLOPS + 1, cmp=1, branch=1)
+        if growth < _GROWTH_EPS:
+            return EPAResult(
+                best_face.normal.copy(), max(best_face.distance, 0.0), iteration, True
+            )
+
+        # Faces visible from the new support point get replaced.
+        vertices.append(p)
+        new_idx = len(vertices) - 1
+        visible = []
+        kept = []
+        for face in faces:
+            ops.add_all(flop=DOT3_FLOPS + 3, cmp=1, branch=1)
+            if float(face.normal @ (p - vertices[face.a])) > _EPS:
+                visible.append(face)
+            else:
+                kept.append(face)
+        if not visible:
+            return EPAResult(
+                best_face.normal.copy(), max(best_face.distance, 0.0), iteration, True
+            )
+        # Horizon: directed edges of visible faces not shared between two
+        # visible faces; stitching (u, v, new) preserves outward winding.
+        edge_set: dict[tuple[int, int], tuple[int, int]] = {}
+        for face in visible:
+            for u, v in face.edges():
+                key = (min(u, v), max(u, v))
+                if key in edge_set:
+                    del edge_set[key]
+                else:
+                    edge_set[key] = (u, v)
+        new_faces = []
+        for u, v in edge_set.values():
+            face = _Face(u, v, new_idx, vertices, ops)
+            if face.valid:
+                new_faces.append(face)
+        if not new_faces:
+            return EPAResult(
+                best_face.normal.copy(), max(best_face.distance, 0.0), iteration, False
+            )
+        faces = kept + new_faces
+
+    return EPAResult(
+        best_face.normal.copy(), max(best_face.distance, 0.0), max_iterations, False
+    )

@@ -1,0 +1,144 @@
+"""Exact mesh-mesh intersection via triangle-triangle tests.
+
+The paper's Section 2: "The cost of CD for a given pair of objects is
+typically O(n*n), where n is the number of polygons" — the exact
+narrow phase that motivates both the hull-based GJK baseline and RBCD.
+This module implements it: Möller's interval-overlap triangle-triangle
+intersection test, wrapped in a mesh-level query with AABB prefilters.
+
+It serves two roles:
+
+* a third CPU baseline (``CollisionWorld`` mode ``"broad+exact"``) whose
+  cost dwarfs GJK's, making the paper's complexity argument concrete;
+* a geometric *oracle* for testing RBCD and GJK on concave shapes,
+  since it makes no convexity assumption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.mesh import TriangleMesh
+from repro.physics.counters import OpCounter
+
+_EPS = 1e-12
+
+
+def _project_interval(tri, direction):
+    dots = tri @ direction
+    return dots.min(), dots.max()
+
+
+def tri_tri_intersect(t1: np.ndarray, t2: np.ndarray) -> bool:
+    """Möller-style triangle-triangle intersection (coplanar included).
+
+    ``t1``/``t2`` are (3, 3) corner arrays.  Degenerate triangles are
+    handled by the separating-axis fallback.
+    """
+    # Plane of t2: quick rejection if t1 is entirely on one side.
+    n2 = np.cross(t2[1] - t2[0], t2[2] - t2[0])
+    d1 = (t1 - t2[0]) @ n2
+    if (d1 > _EPS).all() or (d1 < -_EPS).all():
+        return False
+    n1 = np.cross(t1[1] - t1[0], t1[2] - t1[0])
+    d2 = (t2 - t1[0]) @ n1
+    if (d2 > _EPS).all() or (d2 < -_EPS).all():
+        return False
+
+    # Separating axis test over the full axis set (robust for coplanar
+    # and degenerate cases): 2 face normals + 9 edge cross products.
+    axes = [n1, n2]
+    edges1 = [t1[1] - t1[0], t1[2] - t1[1], t1[0] - t1[2]]
+    edges2 = [t2[1] - t2[0], t2[2] - t2[1], t2[0] - t2[2]]
+    for e1 in edges1:
+        for e2 in edges2:
+            axes.append(np.cross(e1, e2))
+    # Coplanar case also needs in-plane edge normals.
+    for e in edges1 + edges2:
+        axes.append(np.cross(e, n1 if np.linalg.norm(n1) > _EPS else n2))
+
+    for axis in axes:
+        if float(axis @ axis) < _EPS:
+            continue
+        lo1, hi1 = _project_interval(t1, axis)
+        lo2, hi2 = _project_interval(t2, axis)
+        if hi1 < lo2 - _EPS or hi2 < lo1 - _EPS:
+            return False
+    return True
+
+
+def _face_boxes(corners: np.ndarray):
+    return corners.min(axis=1), corners.max(axis=1)
+
+
+def meshes_intersect(
+    verts_a: np.ndarray,
+    faces_a: np.ndarray,
+    verts_b: np.ndarray,
+    faces_b: np.ndarray,
+    ops: OpCounter | None = None,
+    first_hit: bool = True,
+) -> bool:
+    """Exact surface-intersection test between two triangle meshes.
+
+    Candidate triangle pairs are prefiltered with per-face AABB overlap
+    (vectorized); survivors run the full tri-tri test.  The op tally
+    models the scalar algorithm: 6 compares per box prefilter and ~150
+    flops per exact test.
+    """
+    tri_a = verts_a[faces_a]  # (Fa, 3, 3)
+    tri_b = verts_b[faces_b]
+    lo_a, hi_a = _face_boxes(tri_a)
+    lo_b, hi_b = _face_boxes(tri_b)
+
+    # All-pairs face-box overlap, vectorized.
+    overlap = (
+        (lo_a[:, None, 0] <= hi_b[None, :, 0])
+        & (hi_a[:, None, 0] >= lo_b[None, :, 0])
+        & (lo_a[:, None, 1] <= hi_b[None, :, 1])
+        & (hi_a[:, None, 1] >= lo_b[None, :, 1])
+        & (lo_a[:, None, 2] <= hi_b[None, :, 2])
+        & (hi_a[:, None, 2] >= lo_b[None, :, 2])
+    )
+    if ops is not None:
+        n_pairs = tri_a.shape[0] * tri_b.shape[0]
+        ops.add_all(cmp=6 * n_pairs, mem=6 * n_pairs, branch=n_pairs)
+
+    candidates = np.argwhere(overlap)
+    if ops is not None and candidates.size:
+        ops.add_all(flop=150 * candidates.shape[0], mem=18 * candidates.shape[0],
+                    branch=12 * candidates.shape[0])
+    hit = False
+    for ia, ib in candidates:
+        if tri_tri_intersect(tri_a[ia], tri_b[ib]):
+            hit = True
+            if first_hit:
+                return True
+    return hit
+
+
+def mesh_pair_intersect(
+    mesh_a: TriangleMesh,
+    model_a,
+    mesh_b: TriangleMesh,
+    model_b,
+    ops: OpCounter | None = None,
+) -> bool:
+    """World-space exact test between two posed meshes.
+
+    Note: this is a *surface* intersection test; full containment of
+    one closed mesh inside another reports False (no surfaces cross),
+    which matches what per-pixel z-interval analysis would see at the
+    pixel level only for open surfaces — RBCD itself *does* detect
+    containment via interval nesting, so the oracle is used on
+    surface-contact configurations.
+    """
+    from repro.geometry.vec import transform_points
+    from repro.physics.counters import TRANSFORM_POINT_FLOPS
+
+    wa = transform_points(model_a, mesh_a.vertices)
+    wb = transform_points(model_b, mesh_b.vertices)
+    if ops is not None:
+        n = mesh_a.vertex_count + mesh_b.vertex_count
+        ops.add_all(flop=n * TRANSFORM_POINT_FLOPS, mem=n * 6)
+    return meshes_intersect(wa, mesh_a.faces, wb, mesh_b.faces, ops)

@@ -1,0 +1,118 @@
+"""World-space contact manifolds from RBCD's screen-space records.
+
+The RBCD unit reports colliding pairs with their *coordinates*
+(Section 3.5): pixel position plus the overlapping depth interval.
+Those live in screen space; collision *response* needs world space.
+This module unprojects the records through the frame's inverse
+view-projection and condenses them into a contact manifold the physics
+solver can consume — centroid, approximate penetration depth, and a
+contact normal estimated from the contact patch.
+
+The unprojection is exact (the same matrices the vertex stage applied);
+the manifold is an estimate, as any image-based contact is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.vec import Mat4
+from repro.rbcd.pairs import ContactPoint
+
+
+def unproject_contacts(
+    contacts: list[ContactPoint],
+    view_projection: Mat4,
+    screen_width: int,
+    screen_height: int,
+) -> np.ndarray:
+    """World-space positions of contact records, (N, 2, 3).
+
+    Each record yields two points: the front and back ends of the
+    overlapping depth interval at that pixel (``[..., 0, :]`` front,
+    ``[..., 1, :]`` back).
+    """
+    if not contacts:
+        return np.empty((0, 2, 3))
+    inverse = view_projection.inverse()
+    n = len(contacts)
+    ndc = np.empty((2 * n, 4))
+    for i, c in enumerate(contacts):
+        x_ndc = 2.0 * (c.x + 0.5) / screen_width - 1.0
+        y_ndc = 1.0 - 2.0 * (c.y + 0.5) / screen_height
+        ndc[2 * i] = (x_ndc, y_ndc, 2.0 * c.z_front - 1.0, 1.0)
+        ndc[2 * i + 1] = (x_ndc, y_ndc, 2.0 * c.z_back - 1.0, 1.0)
+    world = ndc @ inverse.a.T
+    w = world[:, 3:4]
+    if np.any(np.abs(w) < 1e-12):
+        raise ValueError("unprojection hit w ~= 0 (contact at infinity?)")
+    return (world[:, :3] / w).reshape(n, 2, 3)
+
+
+@dataclass(frozen=True)
+class ContactManifold:
+    """Condensed world-space contact between two objects."""
+
+    id_a: int
+    id_b: int
+    centroid: np.ndarray        # (3,) mean of all contact points
+    normal: np.ndarray          # (3,) unit estimate (patch plane normal)
+    penetration: float          # mean front-to-back interval length
+    point_count: int            # contact records condensed
+    points: np.ndarray          # (N, 3) interval midpoints
+
+    def is_degenerate(self) -> bool:
+        return self.point_count == 0
+
+
+def build_manifold(
+    id_a: int,
+    id_b: int,
+    contacts: list[ContactPoint],
+    view_projection: Mat4,
+    screen_width: int,
+    screen_height: int,
+) -> ContactManifold:
+    """Condense a pair's contact records into one manifold.
+
+    The normal is the smallest-variance axis of the contact patch (the
+    patch is a sliver of the interpenetration volume, so its plane's
+    normal approximates the separating direction).  With fewer than
+    three distinct points the normal falls back to the view direction
+    implied by the interval (front -> back).
+    """
+    ends = unproject_contacts(
+        contacts, view_projection, screen_width, screen_height
+    )
+    if ends.shape[0] == 0:
+        return ContactManifold(
+            id_a=id_a, id_b=id_b,
+            centroid=np.zeros(3), normal=np.array([0.0, 0.0, 1.0]),
+            penetration=0.0, point_count=0, points=np.empty((0, 3)),
+        )
+    midpoints = ends.mean(axis=1)           # (N, 3)
+    centroid = midpoints.mean(axis=0)
+    depths = np.linalg.norm(ends[:, 1] - ends[:, 0], axis=1)
+    penetration = float(depths.mean())
+
+    spread = midpoints - centroid
+    if midpoints.shape[0] >= 3 and np.linalg.matrix_rank(spread) >= 2:
+        # Patch plane: normal = least-variance principal axis.
+        _, _, vt = np.linalg.svd(spread, full_matrices=False)
+        normal = vt[-1]
+    else:
+        direction = (ends[:, 1] - ends[:, 0]).mean(axis=0)
+        norm = np.linalg.norm(direction)
+        normal = direction / norm if norm > 1e-12 else np.array([0.0, 0.0, 1.0])
+    norm = np.linalg.norm(normal)
+    normal = normal / norm if norm > 1e-12 else np.array([0.0, 0.0, 1.0])
+
+    return ContactManifold(
+        id_a=id_a, id_b=id_b,
+        centroid=centroid, normal=normal,
+        penetration=penetration,
+        point_count=len(contacts),
+        points=midpoints,
+    )

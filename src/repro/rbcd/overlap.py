@@ -1,0 +1,221 @@
+"""Z-Overlap Test: FF-Stack traversal of sorted per-pixel lists.
+
+Implements Section 3.5 / Figures 5-6 exactly:
+
+* Each list is traversed front to back.
+* A *front* face pushes its object id onto the FF-Stack with a cleared
+  matched bit.
+* A *back* face searches the stack for the **bottommost** entry with a
+  matching id and a cleared matched bit (``Idm``).  Every entry strictly
+  above ``Idm`` — matched or not — lies inside the interval
+  ``(Idm, Ecur)``, so a pair ``<Idi, Idcur>`` is reported for each; then
+  ``Idm``'s matched bit is set (entries are tagged, never popped, which
+  lets later back-faces still see them).
+
+Model decisions the paper leaves open (documented here and exercised by
+tests):
+
+* Pairs with ``Idi == Idcur`` (nested layers of one concave object) are
+  filtered — the unit reports collisions *between different objects*.
+* A back face with no unmatched matching front face (its front was
+  clipped or lost to ZEB overflow) reports nothing.
+* A push onto a full FF-Stack is dropped and counted.
+
+Two implementations: :func:`analyze_pixel_list` is the hardware-literal
+reference; :func:`analyze_tile` is a numpy version that processes all
+of a tile's lists in lock-step and is verified equivalent by property
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.config import RBCDConfig
+from repro.rbcd.zeb import ZEBTile
+
+
+@dataclass
+class OverlapResult:
+    """Pairs and activity from analyzing one pixel list or one tile.
+
+    Pair arrays are parallel: ``pair_row[k]`` is the index of the list
+    (within the analyzed tile) that produced pair k.
+    """
+
+    pair_row: np.ndarray      # (K,) row index into the analyzed lists
+    pair_id_a: np.ndarray     # (K,) the stacked front-face object (Idi)
+    pair_id_b: np.ndarray     # (K,) the current back-face object (Idcur)
+    pair_z_front: np.ndarray  # (K,) z code where Idi's surface starts
+    pair_z_back: np.ndarray   # (K,) z code of Ecur
+    elements_read: int = 0
+    pair_records: int = 0     # output-buffer writes (== K)
+    stack_overflows: int = 0  # dropped pushes (FF-Stack full)
+    unmatched_backfaces: int = 0
+
+    @staticmethod
+    def empty() -> "OverlapResult":
+        z = np.empty(0, dtype=np.int64)
+        return OverlapResult(z, z.copy(), z.copy(), z.copy(), z.copy())
+
+
+def analyze_pixel_list(
+    z_codes,
+    object_ids,
+    is_front,
+    config: RBCDConfig,
+) -> OverlapResult:
+    """Reference implementation for a single pixel's sorted list."""
+    stack_id: list[int] = []
+    stack_z: list[int] = []
+    stack_matched: list[bool] = []
+    t_max = config.ff_stack_entries
+
+    rows, id_a, id_b, zf, zb = [], [], [], [], []
+    overflows = 0
+    unmatched = 0
+
+    n = len(z_codes)
+    for k in range(n):
+        oid = int(object_ids[k])
+        if is_front[k]:
+            if len(stack_id) >= t_max:
+                overflows += 1
+                continue
+            stack_id.append(oid)
+            stack_z.append(int(z_codes[k]))
+            stack_matched.append(False)
+            continue
+        # Back face: bottommost unmatched entry with the same id.
+        m = -1
+        for i, (sid, sm) in enumerate(zip(stack_id, stack_matched)):
+            if sid == oid and not sm:
+                m = i
+                break
+        if m < 0:
+            unmatched += 1
+            continue
+        for i in range(m + 1, len(stack_id)):
+            if stack_id[i] == oid:
+                continue  # self-pair filtered
+            rows.append(0)
+            id_a.append(stack_id[i])
+            id_b.append(oid)
+            zf.append(stack_z[i])
+            zb.append(int(z_codes[k]))
+        stack_matched[m] = True
+
+    return OverlapResult(
+        pair_row=np.array(rows, dtype=np.int64),
+        pair_id_a=np.array(id_a, dtype=np.int64),
+        pair_id_b=np.array(id_b, dtype=np.int64),
+        pair_z_front=np.array(zf, dtype=np.int64),
+        pair_z_back=np.array(zb, dtype=np.int64),
+        elements_read=n,
+        pair_records=len(id_a),
+        stack_overflows=overflows,
+        unmatched_backfaces=unmatched,
+    )
+
+
+def analyze_tile(zeb: ZEBTile, config: RBCDConfig) -> OverlapResult:
+    """Vectorized Z-Overlap Test over every list of one tile.
+
+    Traverses all lists in lock-step: iteration ``j`` analyzes element
+    ``j`` of every list that still has one, so the Python-level loop
+    runs ``max(list length)`` times regardless of tile occupancy.
+    """
+    num_rows = zeb.non_empty_lists
+    if num_rows == 0:
+        return OverlapResult.empty()
+
+    t_max = config.ff_stack_entries
+    counts = zeb.counts
+    max_len = zeb.z_codes.shape[1]
+
+    stack_id = np.full((num_rows, t_max), -1, dtype=np.int64)
+    stack_z = np.zeros((num_rows, t_max), dtype=np.int64)
+    stack_matched = np.zeros((num_rows, t_max), dtype=bool)
+    top = np.zeros(num_rows, dtype=np.int64)
+    slot = np.arange(t_max, dtype=np.int64)
+
+    out_row: list[np.ndarray] = []
+    out_a: list[np.ndarray] = []
+    out_b: list[np.ndarray] = []
+    out_zf: list[np.ndarray] = []
+    out_zb: list[np.ndarray] = []
+    overflows = 0
+    unmatched = 0
+
+    for j in range(max_len):
+        active = j < counts
+        if not active.any():
+            break
+        ids = zeb.object_ids[:, j]
+        fronts = zeb.is_front[:, j]
+        zj = zeb.z_codes[:, j]
+
+        push = active & fronts
+        can_push = push & (top < t_max)
+        overflows += int((push & ~can_push).sum())
+        if can_push.any():
+            rows = np.nonzero(can_push)[0]
+            tops = top[rows]
+            stack_id[rows, tops] = ids[rows]
+            stack_z[rows, tops] = zj[rows]
+            stack_matched[rows, tops] = False
+            top[rows] += 1
+
+        back = active & ~fronts
+        if back.any():
+            valid = slot[None, :] < top[:, None]
+            eq = (
+                (stack_id == ids[:, None])
+                & ~stack_matched
+                & valid
+                & back[:, None]
+            )
+            found = eq.any(axis=1)
+            unmatched += int((back & ~found).sum())
+            if found.any():
+                m = np.where(found, eq.argmax(axis=1), t_max)
+                hit = found[:, None] & (slot[None, :] > m[:, None]) & valid
+                hr, hs = np.nonzero(hit)
+                if hr.size:
+                    id_i = stack_id[hr, hs]
+                    id_cur = ids[hr]
+                    keep = id_i != id_cur
+                    out_row.append(hr[keep])
+                    out_a.append(id_i[keep])
+                    out_b.append(id_cur[keep])
+                    out_zf.append(stack_z[hr[keep], hs[keep]])
+                    out_zb.append(zj[hr[keep]])
+                fr = np.nonzero(found)[0]
+                stack_matched[fr, m[fr]] = True
+
+    if out_row:
+        pair_row = np.concatenate(out_row)
+        pair_a = np.concatenate(out_a)
+        pair_b = np.concatenate(out_b)
+        pair_zf = np.concatenate(out_zf)
+        pair_zb = np.concatenate(out_zb)
+    else:
+        pair_row = np.empty(0, dtype=np.int64)
+        pair_a = pair_row.copy()
+        pair_b = pair_row.copy()
+        pair_zf = pair_row.copy()
+        pair_zb = pair_row.copy()
+
+    return OverlapResult(
+        pair_row=pair_row,
+        pair_id_a=pair_a,
+        pair_id_b=pair_b,
+        pair_z_front=pair_zf,
+        pair_z_back=pair_zb,
+        elements_read=int(counts.sum()),
+        pair_records=int(pair_row.shape[0]),
+        stack_overflows=overflows,
+        unmatched_backfaces=unmatched,
+    )

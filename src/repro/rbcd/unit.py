@@ -1,0 +1,184 @@
+"""The RBCD unit: ZEB buffers + Z-Overlap Test + output buffer.
+
+Composes the pieces of Sections 3.4-3.5 into the block the Raster
+Pipeline talks to.  The unit is fed one tile's collisionable fragments
+at a time (the Rasterizer's output order), fills a ZEB, then runs the
+Z-Overlap Test over it; the pipeline timing model uses the returned
+per-tile cycle counts together with the configured number of ZEBs to
+decide when the Tile Scheduler stalls (Section 3.5, last paragraph).
+
+Cycle-model assumptions (the paper gives the structures, not the
+per-operation latencies):
+
+* Sorted insertion accepts one fragment per cycle (the 3-step
+  read/compare/write is pipelined).
+* The Z-Overlap Test scans a per-tile occupancy bitmap at 32 pixels per
+  cycle, then spends 1 cycle per analyzed list plus 1 cycle per element
+  read plus 1 cycle per pair record written.
+* Lists whose elements all carry the same object id are skipped by the
+  Z-Overlap Test: they cannot produce a pair (an object does not
+  collide with itself), and the insertion hardware can mark them with
+  one extra "multi-object" bit per pixel (set when an inserted id
+  differs from the list's existing ids).  The skip changes no results;
+  it only removes cycles for the interior pixels of each object's
+  silhouette — the overwhelmingly common case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.config import GPUConfig, RBCDConfig
+from repro.rbcd.element import dequantize_depth, max_object_id
+from repro.rbcd.overlap import OverlapResult, analyze_tile
+from repro.rbcd.pairs import CollisionReport, ContactPoint
+from repro.rbcd.zeb import ZEBTile, build_zeb_tile
+
+_BITMAP_PIXELS_PER_CYCLE = 32
+
+
+def _multi_object_lists(zeb: ZEBTile) -> np.ndarray:
+    """(P,) mask of lists containing more than one distinct object id."""
+    if zeb.non_empty_lists == 0:
+        return np.zeros(0, dtype=bool)
+    cols = np.arange(zeb.z_codes.shape[1])
+    valid = cols[None, :] < zeb.counts[:, None]
+    first = zeb.object_ids[:, 0]
+    differs = (zeb.object_ids != first[:, None]) & valid
+    return differs.any(axis=1)
+
+
+@dataclass
+class RBCDTileResult:
+    """Everything the unit produced for one tile."""
+
+    tile_index: int
+    zeb: ZEBTile
+    overlap: OverlapResult
+    insertion_cycles: float
+    overlap_cycles: float
+
+
+class RBCDUnit:
+    """One RBCD unit attached to a GPU's raster pipeline.
+
+    The unit accumulates a per-frame :class:`CollisionReport`; call
+    :meth:`reset` between frames (the pipeline does this).
+    """
+
+    def __init__(self, gpu_config: GPUConfig) -> None:
+        self.gpu_config = gpu_config
+        self.config: RBCDConfig = gpu_config.rbcd
+        self.report = CollisionReport()
+        self.insertions = 0
+        self.overflow_events = 0
+        self.spare_allocations = 0
+        self.lists_analyzed = 0
+        self.elements_read = 0
+        self.stack_overflows = 0
+        self.unmatched_backfaces = 0
+
+    def reset(self) -> None:
+        """Clear per-frame state (new frame, fresh report)."""
+        self.report = CollisionReport()
+        self.insertions = 0
+        self.overflow_events = 0
+        self.spare_allocations = 0
+        self.lists_analyzed = 0
+        self.elements_read = 0
+        self.stack_overflows = 0
+        self.unmatched_backfaces = 0
+
+    def process_tile(
+        self,
+        tile_index: int,
+        x: np.ndarray,
+        y: np.ndarray,
+        z: np.ndarray,
+        object_id: np.ndarray,
+        is_front: np.ndarray,
+    ) -> RBCDTileResult:
+        """Insert one tile's collisionable fragments and analyze them.
+
+        ``x``/``y`` are *global* pixel coordinates (in arrival order);
+        the unit derives the tile-local pixel index itself, mirroring
+        how the Rasterizer addresses the ZEB.
+        """
+        ts = self.gpu_config.tile_size
+        if x.shape[0] and int(object_id.max()) > max_object_id(self.config):
+            raise ValueError(
+                f"object id {int(object_id.max())} exceeds the "
+                f"{self.config.id_bits}-bit ZEB id field"
+            )
+        local = (y % ts).astype(np.int64) * ts + (x % ts).astype(np.int64)
+        zeb = build_zeb_tile(local, z, object_id, is_front, self.config)
+        overlap = analyze_tile(zeb, self.config)
+
+        # The multi-object filter: lists whose entries all belong to one
+        # object are skipped by the overlap hardware (they cannot yield
+        # a pair).  Functionally a no-op; counted for the cycle model.
+        multi_object = _multi_object_lists(zeb)
+        analyzed_lists = int(multi_object.sum())
+        analyzed_elements = int(zeb.counts[multi_object].sum())
+
+        self.insertions += zeb.insertions
+        self.overflow_events += zeb.overflow_events
+        self.spare_allocations += zeb.spare_allocations
+        self.lists_analyzed += analyzed_lists
+        self.elements_read += analyzed_elements
+        self.stack_overflows += overlap.stack_overflows
+        self.unmatched_backfaces += overlap.unmatched_backfaces
+
+        self._record_pairs(tile_index, zeb, overlap)
+
+        insertion_cycles = float(zeb.insertions)
+        overlap_cycles = 0.0
+        if zeb.insertions:
+            overlap_cycles = (
+                self.gpu_config.tile_pixels / _BITMAP_PIXELS_PER_CYCLE
+                + analyzed_lists
+                + analyzed_elements
+                + overlap.pair_records
+            )
+        return RBCDTileResult(
+            tile_index=tile_index,
+            zeb=zeb,
+            overlap=overlap,
+            insertion_cycles=insertion_cycles,
+            overlap_cycles=overlap_cycles,
+        )
+
+    def _record_pairs(
+        self, tile_index: int, zeb: ZEBTile, overlap: OverlapResult
+    ) -> None:
+        if overlap.pair_records == 0:
+            return
+        ts = self.gpu_config.tile_size
+        tiles_x = self.gpu_config.tiles_x
+        tile_x0 = (tile_index % tiles_x) * ts
+        tile_y0 = (tile_index // tiles_x) * ts
+        local = zeb.pixel_index[overlap.pair_row]
+        px = tile_x0 + (local % ts)
+        py = tile_y0 + (local // ts)
+        zf = dequantize_depth(overlap.pair_z_front, self.config)
+        zb = dequantize_depth(overlap.pair_z_back, self.config)
+        for k in range(overlap.pair_records):
+            self.report.add(
+                int(overlap.pair_id_a[k]),
+                int(overlap.pair_id_b[k]),
+                ContactPoint(int(px[k]), int(py[k]), float(zf[k]), float(zb[k])),
+            )
+
+    @property
+    def overflow_rate(self) -> float:
+        """Fraction of insertion attempts finding a full list (Table 3)."""
+        if self.insertions == 0:
+            return 0.0
+        return self.overflow_events / self.insertions
+
+    def wants_cpu_fallback(self) -> bool:
+        """Section 5.3 fallback: punt the frame to software CD when the
+        overflow rate exceeds the configured threshold."""
+        return self.overflow_rate > self.config.cpu_fallback_overflow_rate

@@ -1,0 +1,261 @@
+"""Z-depth Extended Buffer (ZEB) with hardware sorted insertion.
+
+Section 3.4: the ZEB holds, per pixel of the current tile, a list of up
+to M elements kept front-to-back ordered by a comparator-array
+insertion.  When an insertion finds a full list, the element that would
+fall off the far end is dropped (the new element, if it is the
+farthest) — so after any arrival sequence the list holds the M
+*nearest* fragments seen, which is what the vectorized builder exploits.
+
+Two implementations are provided:
+
+* :func:`insert_sequential` — the literal 3-step hardware algorithm
+  (read list, parallel compare + mux shift, write back), one fragment at
+  a time.  Used as the executable specification in tests.
+* :func:`build_zeb_tile` — a numpy builder that produces bit-identical
+  final lists for a whole tile at once, plus the overflow statistics.
+
+The Section 5.3 extension (a pool of spare entries dynamically
+lengthening overflowing lists) is supported by both paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.config import RBCDConfig
+from repro.rbcd.element import quantize_depth
+
+
+@dataclass
+class ZEBTile:
+    """Final ZEB contents for one tile (only non-empty lists stored).
+
+    ``lists_*`` arrays are (P, L) where P is the number of non-empty
+    pixel lists and L is the longest list (M, or more when spare
+    entries were granted).  Entries at positions >= ``counts[p]`` are
+    padding.  Lists are sorted front-to-back (ascending z code), ties
+    in arrival order.
+    """
+
+    pixel_index: np.ndarray   # (P,) local pixel index within the tile
+    counts: np.ndarray        # (P,) valid elements per list
+    z_codes: np.ndarray       # (P, L) quantized depths
+    object_ids: np.ndarray    # (P, L)
+    is_front: np.ndarray      # (P, L) bool
+    insertions: int = 0       # insertion attempts (fragments received)
+    overflow_events: int = 0  # attempts that found a full list (no spare)
+    spare_allocations: int = 0
+
+    @property
+    def non_empty_lists(self) -> int:
+        return int(self.pixel_index.shape[0])
+
+    @property
+    def elements(self) -> int:
+        return int(self.counts.sum())
+
+    @staticmethod
+    def empty() -> "ZEBTile":
+        z = np.empty(0, dtype=np.int64)
+        return ZEBTile(
+            pixel_index=z,
+            counts=z.copy(),
+            z_codes=np.empty((0, 0), dtype=np.int64),
+            object_ids=np.empty((0, 0), dtype=np.int64),
+            is_front=np.empty((0, 0), dtype=bool),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Reference (hardware-literal) path
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _PixelList:
+    """One pixel's sorted list, as the hardware holds it."""
+
+    z: list[int] = field(default_factory=list)
+    oid: list[int] = field(default_factory=list)
+    front: list[bool] = field(default_factory=list)
+    capacity: int = 0
+
+
+def insert_sequential(
+    fragments: list[tuple[int, int, int, bool]],
+    config: RBCDConfig,
+    tile_pixels: int,
+) -> ZEBTile:
+    """Insert fragments one at a time, exactly as the hardware would.
+
+    ``fragments`` is a list of ``(pixel_index, z_code, object_id,
+    is_front)`` in arrival order.  Returns the final tile contents and
+    statistics.  This is the executable specification; use
+    :func:`build_zeb_tile` for speed.
+    """
+    m = config.list_length
+    spare_pool = config.spare_entries_per_tile
+    lists: dict[int, _PixelList] = {}
+    insertions = 0
+    overflow_events = 0
+    spare_allocations = 0
+
+    for pixel, z_code, oid, front in fragments:
+        if not 0 <= pixel < tile_pixels:
+            raise ValueError(f"pixel index {pixel} outside tile of {tile_pixels}")
+        insertions += 1  # every fragment triggers the read/compare step
+        lst = lists.setdefault(pixel, _PixelList(capacity=m))
+        if len(lst.z) >= lst.capacity:
+            if spare_pool > 0:
+                spare_pool -= 1
+                spare_allocations += 1
+                lst.capacity += 1
+            else:
+                overflow_events += 1
+                if lst.z and z_code >= lst.z[-1]:
+                    continue  # new element is the farthest: dropped
+                # otherwise the current farthest element falls off below
+        # Parallel less-than compare: position = first i with z < z[i];
+        # equal depths keep arrival order (strict compare).
+        pos = len(lst.z)
+        for i, existing in enumerate(lst.z):
+            if z_code < existing:
+                pos = i
+                break
+        lst.z.insert(pos, z_code)
+        lst.oid.insert(pos, oid)
+        lst.front.insert(pos, front)
+        if len(lst.z) > lst.capacity:
+            lst.z.pop()
+            lst.oid.pop()
+            lst.front.pop()
+
+    non_empty = sorted(p for p, lst in lists.items() if lst.z)
+    if not non_empty:
+        tile = ZEBTile.empty()
+        tile.overflow_events = overflow_events
+        tile.spare_allocations = spare_allocations
+        return tile
+    max_len = max(len(lists[p].z) for p in non_empty)
+    count_p = len(non_empty)
+    z = np.zeros((count_p, max_len), dtype=np.int64)
+    oid_arr = np.full((count_p, max_len), -1, dtype=np.int64)
+    front_arr = np.zeros((count_p, max_len), dtype=bool)
+    counts = np.zeros(count_p, dtype=np.int64)
+    for row, pixel in enumerate(non_empty):
+        lst = lists[pixel]
+        n = len(lst.z)
+        counts[row] = n
+        z[row, :n] = lst.z
+        oid_arr[row, :n] = lst.oid
+        front_arr[row, :n] = lst.front
+    return ZEBTile(
+        pixel_index=np.array(non_empty, dtype=np.int64),
+        counts=counts,
+        z_codes=z,
+        object_ids=oid_arr,
+        is_front=front_arr,
+        insertions=insertions,
+        overflow_events=overflow_events,
+        spare_allocations=spare_allocations,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized path
+# ---------------------------------------------------------------------------
+
+
+def build_zeb_tile(
+    pixel: np.ndarray,
+    z: np.ndarray,
+    object_id: np.ndarray,
+    is_front: np.ndarray,
+    config: RBCDConfig,
+    depths_are_codes: bool = False,
+) -> ZEBTile:
+    """Build one tile's final ZEB contents from its fragment arrays.
+
+    Inputs are parallel arrays in *arrival order*: local pixel index,
+    depth (raw in [0,1], or already-quantized codes when
+    ``depths_are_codes``), object id, and front/back flag.
+
+    Equivalent to :func:`insert_sequential` because sorted insertion
+    with drop-farthest is a streaming "keep the M nearest" filter; the
+    spare-pool extension grants capacity to the earliest overflow
+    arrivals, which is reproduced here by ranking arrivals.
+    """
+    pixel = np.asarray(pixel, dtype=np.int64)
+    n = pixel.shape[0]
+    if n == 0:
+        return ZEBTile.empty()
+    z_codes = np.asarray(z, dtype=np.int64) if depths_are_codes else quantize_depth(z, config)
+    object_id = np.asarray(object_id, dtype=np.int64)
+    is_front = np.asarray(is_front, dtype=bool)
+
+    m = config.list_length
+    arrival = np.arange(n, dtype=np.int64)
+
+    # Arrival rank within each pixel (0-based): how many earlier
+    # fragments hit the same pixel.
+    order_by_pixel = np.lexsort((arrival, pixel))
+    sorted_pixel = pixel[order_by_pixel]
+    starts = np.flatnonzero(np.r_[True, sorted_pixel[1:] != sorted_pixel[:-1]])
+    seg_id = np.cumsum(np.r_[True, sorted_pixel[1:] != sorted_pixel[:-1]]) - 1
+    rank_sorted = np.arange(n) - starts[seg_id]
+    rank = np.empty(n, dtype=np.int64)
+    rank[order_by_pixel] = rank_sorted
+
+    # Spare-pool allocation: every arrival with rank >= M finds a full
+    # list; the first `spare_entries_per_tile` of them (in arrival
+    # order) get a spare, growing their pixel's capacity by one each.
+    overflow_attempts = rank >= m
+    total_overflow = int(overflow_attempts.sum())
+    spares = min(config.spare_entries_per_tile, total_overflow)
+    capacity = np.full(n, m, dtype=np.int64)  # per-fragment view of pixel cap
+    spare_allocations = 0
+    if spares > 0:
+        spared_idx = np.flatnonzero(overflow_attempts)[:spares]
+        spare_allocations = int(spared_idx.shape[0])
+        extra = np.bincount(pixel[spared_idx], minlength=int(pixel.max()) + 1)
+        capacity = m + extra[pixel]
+    overflow_events = total_overflow - spare_allocations
+
+    # Keep, per pixel, the nearest `capacity` fragments (ties by arrival).
+    order = np.lexsort((arrival, z_codes, pixel))
+    sp = pixel[order]
+    starts2 = np.flatnonzero(np.r_[True, sp[1:] != sp[:-1]])
+    seg2 = np.cumsum(np.r_[True, sp[1:] != sp[:-1]]) - 1
+    pos_in_list = np.arange(n) - starts2[seg2]
+    keep = pos_in_list < capacity[order]
+
+    kept = order[keep]
+    kp = pixel[kept]
+    # kept is already sorted by (pixel, z, arrival): ready to pack.
+    uniq_pixels, counts = np.unique(kp, return_counts=True)
+    max_len = int(counts.max())
+    rows = np.searchsorted(uniq_pixels, kp)
+    row_starts = np.r_[0, np.cumsum(counts)[:-1]]
+    cols = np.arange(kept.shape[0]) - row_starts[rows]
+
+    num_rows = uniq_pixels.shape[0]
+    z_out = np.zeros((num_rows, max_len), dtype=np.int64)
+    id_out = np.full((num_rows, max_len), -1, dtype=np.int64)
+    front_out = np.zeros((num_rows, max_len), dtype=bool)
+    z_out[rows, cols] = z_codes[kept]
+    id_out[rows, cols] = object_id[kept]
+    front_out[rows, cols] = is_front[kept]
+
+    return ZEBTile(
+        pixel_index=uniq_pixels,
+        counts=counts.astype(np.int64),
+        z_codes=z_out,
+        object_ids=id_out,
+        is_front=front_out,
+        insertions=n,
+        overflow_events=overflow_events,
+        spare_allocations=spare_allocations,
+    )

@@ -1,0 +1,44 @@
+"""Scene substrate and the four synthetic benchmark workloads."""
+
+from repro.scenes.camera import Camera
+from repro.scenes.animation import (
+    Animator,
+    Compose,
+    Drop,
+    LinearPath,
+    Orbit,
+    Oscillate,
+    Spin,
+    Static,
+)
+from repro.scenes.scene import Scene, SceneObject
+from repro.scenes.benchmarks import (
+    BENCHMARKS,
+    Workload,
+    make_cap,
+    make_crazy,
+    make_sleepy,
+    make_temple,
+    workload_by_alias,
+)
+
+__all__ = [
+    "Animator",
+    "BENCHMARKS",
+    "Camera",
+    "Compose",
+    "Drop",
+    "LinearPath",
+    "Orbit",
+    "Oscillate",
+    "Scene",
+    "SceneObject",
+    "Spin",
+    "Static",
+    "Workload",
+    "make_cap",
+    "make_crazy",
+    "make_sleepy",
+    "make_temple",
+    "workload_by_alias",
+]

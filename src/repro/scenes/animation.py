@@ -1,0 +1,135 @@
+"""Animators: time-parameterized model transforms.
+
+An :class:`Animator` maps simulation time (seconds) to a model matrix.
+The benchmark scenes compose these to choreograph collisions: objects
+approach, interpenetrate for a stretch of frames, and separate — giving
+both CD backends positives and negatives in every run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.geometry.vec import Mat4, Vec3
+
+
+class Animator(Protocol):
+    """Anything that yields a model matrix at time ``t``."""
+
+    def transform(self, t: float) -> Mat4: ...
+
+
+@dataclass(frozen=True, slots=True)
+class Static:
+    """A fixed transform."""
+
+    model: Mat4
+
+    @staticmethod
+    def at(position: Vec3, scale: float = 1.0) -> "Static":
+        return Static(Mat4.translation(position) @ Mat4.scaling(scale))
+
+    def transform(self, t: float) -> Mat4:
+        return self.model
+
+
+@dataclass(frozen=True, slots=True)
+class LinearPath:
+    """Constant-velocity motion from ``start`` toward ``velocity``."""
+
+    start: Vec3
+    velocity: Vec3
+    scale: float = 1.0
+
+    def transform(self, t: float) -> Mat4:
+        pos = self.start + self.velocity * t
+        return Mat4.translation(pos) @ Mat4.scaling(self.scale)
+
+
+@dataclass(frozen=True, slots=True)
+class Oscillate:
+    """Sinusoidal back-and-forth around ``center`` along ``axis``."""
+
+    center: Vec3
+    axis: Vec3
+    amplitude: float
+    period: float
+    phase: float = 0.0
+    scale: float = 1.0
+
+    def transform(self, t: float) -> Mat4:
+        s = self.amplitude * math.sin(2.0 * math.pi * t / self.period + self.phase)
+        pos = self.center + self.axis * s
+        return Mat4.translation(pos) @ Mat4.scaling(self.scale)
+
+
+@dataclass(frozen=True, slots=True)
+class Orbit:
+    """Circular orbit in the plane orthogonal to ``axis``."""
+
+    center: Vec3
+    radius: float
+    period: float
+    axis: Vec3 = Vec3(0.0, 1.0, 0.0)
+    phase: float = 0.0
+    scale: float = 1.0
+
+    def transform(self, t: float) -> Mat4:
+        angle = 2.0 * math.pi * t / self.period + self.phase
+        # Build an orthonormal frame around the axis.
+        a = self.axis.normalized()
+        ref = Vec3.unit_x() if abs(a.x) < 0.9 else Vec3.unit_y()
+        u = a.cross(ref).normalized()
+        v = a.cross(u)
+        pos = self.center + u * (self.radius * math.cos(angle)) + v * (
+            self.radius * math.sin(angle)
+        )
+        return Mat4.translation(pos) @ Mat4.scaling(self.scale)
+
+
+@dataclass(frozen=True, slots=True)
+class Spin:
+    """Rotation in place about ``axis`` at ``position``."""
+
+    position: Vec3
+    axis: Vec3
+    period: float
+    scale: float = 1.0
+
+    def transform(self, t: float) -> Mat4:
+        angle = 2.0 * math.pi * t / self.period
+        return (
+            Mat4.translation(self.position)
+            @ Mat4.rotation_axis(self.axis, angle)
+            @ Mat4.scaling(self.scale)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Drop:
+    """Ballistic fall from ``start`` that clamps at ``floor_y``."""
+
+    start: Vec3
+    floor_y: float
+    gravity: float = 9.81
+    scale: float = 1.0
+
+    def transform(self, t: float) -> Mat4:
+        y = self.start.y - 0.5 * self.gravity * t * t
+        y = max(y, self.floor_y)
+        return Mat4.translation(Vec3(self.start.x, y, self.start.z)) @ Mat4.scaling(
+            self.scale
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Compose:
+    """Apply ``outer``'s transform after ``inner``'s."""
+
+    outer: Animator
+    inner: Animator
+
+    def transform(self, t: float) -> Mat4:
+        return self.outer.transform(t) @ self.inner.transform(t)

@@ -1,0 +1,482 @@
+"""The four benchmark workloads (Table 1 stand-ins).
+
+The paper evaluates on traces of four commercial Android games.  Those
+traces are not redistributable, so each benchmark here is a procedural
+scene engineered to match the *characteristics that drive the paper's
+per-benchmark results*:
+
+``cap`` (Captain America — beat'em up)
+    Two high-detail fighters plus a few props in an arena; collisionable
+    geometry is sparse and spread across the screen → low ZEB pressure
+    (Table 3: 1.57 % overflow at M=4).
+
+``crazy`` (Crazy Snowboard — arcade)
+    A screen-filling, cheaply-shaded slope with a boarder and obstacles.
+    Fragment-shader work is small, so the fragment queue drains easily:
+    the benchmark most sensitive to 1-ZEB Tile-Scheduler stalls
+    (Figure 9: ~7 % overhead with one ZEB, <1 % with two).
+
+``sleepy`` (Sleepy Jack — action)
+    Flying through a tunnel of objects concentrated around the view
+    axis → collisionable surfaces start stacking per pixel (5.87 %
+    overflow at M=4).
+
+``temple`` (Temple Run — adventure arcade)
+    A corridor with a long line of coins and obstacles receding straight
+    ahead plus a collisionable lane → the deepest per-pixel stacking of
+    the set (16.61 % overflow at M=4).
+
+Every scene choreographs real collisions (objects approach, overlap for
+a stretch of frames, separate) so both CD backends produce non-trivial
+positives and negatives on each run.
+
+Mesh detail: each collisionable object carries two meshes of the same
+surface — a decimated render mesh (the pure-Python rasterizer is the
+simulation bottleneck) and a full-detail ``cd_mesh`` whose vertex count
+is in the range of commercial game models; the CPU baseline processes
+the latter, as the paper's Bullet setup processed the full extracted
+meshes.  See DESIGN.md, substitution table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.primitives import (
+    make_box,
+    make_capsule,
+    make_cylinder,
+    make_icosphere,
+    make_plane,
+    make_torus,
+    make_uv_sphere,
+)
+from repro.geometry.vec import Mat4, Vec3
+from repro.gpu.commands import CullMode
+from repro.scenes.animation import LinearPath, Orbit, Oscillate, Spin, Static
+from repro.scenes.camera import Camera
+from repro.scenes.scene import Scene
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """A named benchmark: scene + run length."""
+
+    name: str
+    alias: str
+    description: str
+    scene: Scene
+    duration_s: float = 2.0
+    default_frames: int = 12
+
+    def times(self, frames: int | None = None) -> np.ndarray:
+        n = frames if frames is not None else self.default_frames
+        if n < 1:
+            raise ValueError("need at least one frame")
+        return np.linspace(0.0, self.duration_s, n)
+
+
+# -- render/CD mesh pairs (same surface, two tessellations) -------------------
+
+
+def _sphere_pair(radius: float, detail: int):
+    render = make_icosphere(radius=radius, subdivisions=detail)
+    cd = make_uv_sphere(radius=radius, rings=64 * detail, segments=96 * detail)
+    return render, cd
+
+
+def _capsule_pair(radius: float, height: float, detail: int):
+    render = make_capsule(radius, height, rings=3 * detail, segments=8 * detail)
+    cd = make_capsule(radius, height, rings=48 * detail, segments=96 * detail)
+    return render, cd
+
+
+def _torus_pair(major: float, minor: float, detail: int):
+    render = make_torus(major, minor, 8 * detail, 6 * detail)
+    cd = make_torus(major, minor, 128 * detail, 96 * detail)
+    return render, cd
+
+
+def _cylinder_pair(radius: float, height: float, detail: int):
+    render = make_cylinder(radius, height, segments=6 * detail)
+    cd = make_cylinder(radius, height, segments=192 * detail)
+    return render, cd
+
+
+def _box_pair(half: Vec3):
+    # Boxes stay boxes on both sides (games use box colliders directly).
+    mesh = make_box(half)
+    return mesh, mesh
+
+
+def _floor(scene: Scene, name: str, half: float, y: float, color, cpf: float,
+           collisionable: bool = False) -> None:
+    mesh = make_plane(half_size=half, subdivisions=4)
+    # Lay the XY plane flat (facing +Y).
+    model = Mat4.translation(Vec3(0.0, y, 0.0)) @ Mat4.rotation_x(-math.pi / 2.0)
+    scene.add_object(
+        name,
+        mesh.transformed(model),
+        Static(Mat4.identity()),
+        collisionable=collisionable,
+        color=color,
+        cull_mode=CullMode.BACK,
+        fragment_cycles=cpf,
+    )
+
+
+def make_cap(detail: int = 2) -> Workload:
+    """Captain America: beat'em up arena."""
+    camera = Camera(eye=Vec3(0.0, 2.2, 7.0), target=Vec3(0.0, 1.0, 0.0))
+    scene = Scene(camera)
+
+    _floor(scene, "arena_floor", 12.0, 0.0, (0.45, 0.4, 0.35), cpf=6.0)
+    wall = make_box(Vec3(10.0, 3.0, 0.3))
+    scene.add_object(
+        "back_wall", wall, Static.at(Vec3(0.0, 3.0, -6.0)),
+        color=(0.35, 0.35, 0.45), fragment_cycles=6.0,
+    )
+    # Non-collisionable detail: columns and a statue give the baseline a
+    # realistic primitive load (most scene geometry is not tagged).
+    column = make_cylinder(radius=0.3, height=4.5, segments=24 * detail)
+    for i, x in enumerate((-6.0, -2.5, 2.5, 6.0)):
+        scene.add_object(
+            f"column_{i}",
+            column.transformed(Mat4.rotation_x(-math.pi / 2.0)),
+            Static.at(Vec3(x, 2.25, -5.0)),
+            color=(0.5, 0.5, 0.55), fragment_cycles=6.0,
+        )
+    scene.add_object(
+        "statue", make_icosphere(radius=0.8, subdivisions=detail + 1),
+        Static.at(Vec3(0.0, 4.2, -5.5)), color=(0.6, 0.55, 0.4),
+        fragment_cycles=6.0,
+    )
+
+    fighter_r, fighter_cd = _capsule_pair(0.35, 1.0, detail)
+    # The fighters trade blows: they oscillate into each other twice per run.
+    scene.add_object(
+        "fighter_a", fighter_r,
+        Oscillate(Vec3(-0.75, 1.0, 0.0), Vec3.unit_x(), amplitude=0.55, period=2.0),
+        collisionable=True, color=(0.8, 0.2, 0.2), fragment_cycles=4.0,
+        cd_mesh=fighter_cd,
+    )
+    scene.add_object(
+        "fighter_b", fighter_r,
+        Oscillate(Vec3(0.75, 1.0, 0.0), Vec3.unit_x(), amplitude=0.55, period=2.0,
+                  phase=math.pi),
+        collisionable=True, color=(0.2, 0.3, 0.8), fragment_cycles=4.0,
+        cd_mesh=fighter_cd,
+    )
+    shield_r, shield_cd = _cylinder_pair(0.35, 0.08, detail)
+    # The shield orbits fighter A and clips fighter B once per period.
+    scene.add_object(
+        "shield", shield_r,
+        Orbit(Vec3(0.0, 1.4, 0.0), radius=1.1, period=2.0, axis=Vec3.unit_y()),
+        collisionable=True, color=(0.85, 0.1, 0.1), fragment_cycles=4.0,
+        cd_mesh=shield_cd,
+    )
+    prop_r, prop_cd = _sphere_pair(0.4, detail)
+    positions = [(-4.0, 0.4, -2.0), (4.0, 0.4, -2.5), (-3.0, 0.4, 1.5), (3.2, 0.4, 2.0)]
+    for i, (x, y, z) in enumerate(positions):
+        scene.add_object(
+            f"prop_{i}", prop_r, Static.at(Vec3(x, y, z)),
+            collisionable=True, color=(0.6, 0.6, 0.2), fragment_cycles=4.0,
+            cd_mesh=prop_cd,
+        )
+    crate_r, crate_cd = _box_pair(Vec3(0.35, 0.35, 0.35))
+    # One crate slides into a prop and overlaps it near the end.
+    scene.add_object(
+        "crate", crate_r,
+        LinearPath(Vec3(-5.2, 0.4, -2.0), Vec3(1.05, 0.0, 0.0)),
+        collisionable=True, color=(0.5, 0.3, 0.1), fragment_cycles=4.0,
+        cd_mesh=crate_cd,
+    )
+    return Workload(
+        name="Captain America", alias="cap", description="beat'em up",
+        scene=scene,
+    )
+
+
+def make_crazy(detail: int = 2) -> Workload:
+    """Crazy Snowboard: raster-heavy slope, cheap shading."""
+    camera = Camera(eye=Vec3(0.0, 2.4, 6.5), target=Vec3(0.0, 0.4, -4.0))
+    scene = Scene(camera)
+
+    # The slope fills the screen but shades almost for free (flat snow):
+    # little fragment work to hide RBCD stalls behind (the 1-ZEB story).
+    slope = make_plane(half_size=16.0, subdivisions=16)
+    slope_model = (
+        Mat4.translation(Vec3(0.0, 0.0, -6.0))
+        @ Mat4.rotation_x(-math.pi / 2.0 + 0.12)
+    )
+    scene.add_object(
+        "slope", slope.transformed(slope_model), Static(Mat4.identity()),
+        color=(0.95, 0.95, 1.0), fragment_cycles=3.5,
+    )
+    # Background treeline: non-collisionable detail on the horizon.
+    bg_trunk = make_cylinder(radius=0.15, height=1.6, segments=6 * detail)
+    bg_crown = make_icosphere(radius=0.5, subdivisions=detail + 1)
+    for i, x in enumerate((-6.0, -4.0, -1.5, 1.5, 4.0, 6.0)):
+        scene.add_object(
+            f"bg_trunk_{i}",
+            bg_trunk.transformed(Mat4.rotation_x(-math.pi / 2.0)),
+            Static.at(Vec3(x, 0.9, -9.0)),
+            color=(0.4, 0.28, 0.15), fragment_cycles=3.5,
+        )
+        scene.add_object(
+            f"bg_crown_{i}", bg_crown, Static.at(Vec3(x, 2.0, -9.0)),
+            color=(0.12, 0.4, 0.18), fragment_cycles=3.5,
+        )
+
+    boarder_r, boarder_cd = _capsule_pair(0.3, 0.9, detail)
+    # The boarder weaves left-right down the fall line, clipping obstacles.
+    scene.add_object(
+        "boarder", boarder_r,
+        Oscillate(Vec3(0.0, 0.75, -1.2), Vec3.unit_x(), amplitude=2.4, period=2.0),
+        collisionable=True, color=(0.9, 0.4, 0.1), fragment_cycles=4.0,
+        cd_mesh=boarder_cd,
+    )
+    board_r, board_cd = _box_pair(Vec3(0.5, 0.05, 0.18))
+    scene.add_object(
+        "board", board_r,
+        Oscillate(Vec3(0.0, 0.25, -1.2), Vec3.unit_x(), amplitude=2.4, period=2.0),
+        collisionable=True, color=(0.2, 0.8, 0.3), fragment_cycles=4.0,
+        cd_mesh=board_cd,
+    )
+    # Collisionable gates the boarder weaves through: concentrated
+    # multi-object pixel overlap (the RBCD unit's stall pressure), while
+    # the rest of the slope shades for almost nothing.
+    gate_r = make_torus(0.7, 0.14, 5 * detail, 4 * detail)
+    gate_cd = make_torus(0.7, 0.14, 128 * detail, 96 * detail)
+    for i, (gx, gz) in enumerate(((-1.6, -1.2), (0.0, -1.2), (1.6, -1.2))):
+        scene.add_object(
+            f"gate_{i}", gate_r,
+            Static.at(Vec3(gx, 0.8, gz)),
+            collisionable=True, color=(0.9, 0.2, 0.6), fragment_cycles=4.0,
+            cd_mesh=gate_cd,
+        )
+    trunk_r = make_cylinder(0.14, 1.1, segments=4 * detail)
+    trunk_cd = make_cylinder(0.14, 1.1, segments=192 * detail)
+    crown_r = make_icosphere(radius=0.38, subdivisions=max(detail - 1, 0))
+    crown_cd = make_uv_sphere(radius=0.38, rings=64 * detail, segments=96 * detail)
+    rock_r = make_icosphere(radius=0.3, subdivisions=max(detail - 1, 0))
+    rock_cd = make_uv_sphere(radius=0.3, rings=64 * detail, segments=96 * detail)
+    spots = [(-2.4, -2.5), (2.4, -3.5), (-1.2, -5.5), (3.4, -2.0), (-3.6, -2.2)]
+    for i, (x, z) in enumerate(spots):
+        scene.add_object(
+            f"tree_trunk_{i}",
+            trunk_r.transformed(Mat4.rotation_x(-math.pi / 2.0)),
+            Static.at(Vec3(x, 0.8, z)),
+            collisionable=True, color=(0.45, 0.3, 0.15), fragment_cycles=4.0,
+            cd_mesh=trunk_cd.transformed(Mat4.rotation_x(-math.pi / 2.0)),
+        )
+        scene.add_object(
+            f"tree_crown_{i}", crown_r, Static.at(Vec3(x, 1.6, z)),
+            collisionable=True, color=(0.15, 0.5, 0.2), fragment_cycles=4.0,
+            cd_mesh=crown_cd,
+        )
+    scene.add_object(
+        "rock", rock_r, Static.at(Vec3(1.0, 0.3, -1.8)),
+        collisionable=True, color=(0.5, 0.5, 0.5), fragment_cycles=4.0,
+        cd_mesh=rock_cd,
+    )
+    return Workload(
+        name="Crazy Snowboard", alias="crazy", description="arcade",
+        scene=scene,
+    )
+
+
+def make_sleepy(detail: int = 2) -> Workload:
+    """Sleepy Jack: flying through a tunnel of concentrated objects."""
+    camera = Camera(eye=Vec3(0.0, 0.0, 8.0), target=Vec3(0.0, 0.0, -10.0))
+    scene = Scene(camera)
+
+    # Dim tunnel walls (non-collisionable, fragment-heavy).
+    tube = make_cylinder(radius=4.5, height=40.0, segments=24 * detail)
+    scene.add_object(
+        "tunnel", tube.flipped(),  # inside-out: camera flies inside it
+        Static.at(Vec3(0.0, 0.0, -8.0)),
+        color=(0.25, 0.2, 0.4), cull_mode=CullMode.BACK, fragment_cycles=6.0,
+    )
+    # Decorative rings along the tunnel (non-collisionable detail).
+    ring = make_torus(3.8, 0.25, 20 * detail, 10 * detail)
+    for i in range(5):
+        scene.add_object(
+            f"ring_{i}", ring, Static.at(Vec3(0.0, 0.0, 2.0 - 4.0 * i)),
+            color=(0.5, 0.4, 0.7), fragment_cycles=6.0,
+        )
+
+    jack_r, jack_cd = _capsule_pair(0.35, 0.8, detail)
+    scene.add_object(
+        "jack", jack_r, LinearPath(Vec3(0.0, 0.0, 4.0), Vec3(0.0, 0.0, -2.2)),
+        collisionable=True, color=(0.9, 0.7, 0.2), fragment_cycles=4.0,
+        cd_mesh=jack_cd,
+    )
+    # A swarm of toys concentrated near the view axis at many depths:
+    # their projections pile onto the same central pixels.
+    toy_sphere = _sphere_pair(0.36, detail)
+    toy_torus = _torus_pair(0.36, 0.13, detail)
+    toy_box = _box_pair(Vec3(0.26, 0.26, 0.26))
+    rng = np.random.RandomState(7)
+    for i in range(12):
+        render, cd = (toy_sphere, toy_torus, toy_box)[i % 3]
+        angle = rng.uniform(0, 2 * math.pi)
+        radius = rng.uniform(0.3, 1.6)
+        x, y = radius * math.cos(angle), radius * math.sin(angle)
+        z = 3.0 - 1.3 * i
+        scene.add_object(
+            f"toy_{i}", render,
+            Oscillate(Vec3(x, y, z), Vec3.unit_y(), amplitude=0.5,
+                      period=2.0, phase=i * 0.7),
+            collisionable=True, color=(0.3 + 0.05 * i % 0.7, 0.5, 0.8),
+            fragment_cycles=4.0, cd_mesh=cd,
+        )
+    return Workload(
+        name="Sleepy Jack", alias="sleepy", description="action",
+        scene=scene,
+    )
+
+
+def make_temple(detail: int = 2) -> Workload:
+    """Temple Run: corridor with deep stacks of collisionable geometry."""
+    camera = Camera(eye=Vec3(0.0, 1.6, 6.0), target=Vec3(0.0, 0.8, -20.0))
+    scene = Scene(camera)
+
+    # The walkway: only the narrow lane under the runner is collisionable
+    # (games tag the minimal geometry); the wide apron is scenery.
+    _floor(scene, "apron", 14.0, -0.02, (0.5, 0.42, 0.3), cpf=6.0)
+    lane_r, lane_cd = _box_pair(Vec3(0.9, 0.05, 8.0))
+    scene.add_object(
+        "lane", lane_r, Static.at(Vec3(0.0, 0.0, -4.0)),
+        collisionable=True, color=(0.55, 0.45, 0.3), fragment_cycles=6.0,
+        cd_mesh=lane_cd,
+    )
+    # Side walls and columns (non-collisionable decoration).
+    wall = make_box(Vec3(0.4, 2.2, 18.0))
+    scene.add_object(
+        "wall_left", wall, Static.at(Vec3(-3.0, 2.0, -8.0)),
+        color=(0.4, 0.35, 0.3), fragment_cycles=6.0,
+    )
+    scene.add_object(
+        "wall_right", wall, Static.at(Vec3(3.0, 2.0, -8.0)),
+        color=(0.4, 0.35, 0.3), fragment_cycles=6.0,
+    )
+    pillar = make_cylinder(radius=0.25, height=3.5, segments=28 * detail)
+    for i in range(6):
+        z = 2.0 - 4.0 * i
+        for side in (-2.2, 2.2):
+            scene.add_object(
+                f"pillar_{i}_{'l' if side < 0 else 'r'}",
+                pillar.transformed(Mat4.rotation_x(-math.pi / 2.0)),
+                Static.at(Vec3(side, 1.75, z)),
+                color=(0.45, 0.4, 0.32), fragment_cycles=6.0,
+            )
+
+    runner_r, runner_cd = _capsule_pair(0.32, 0.9, detail)
+    # The runner bobs as it runs in place; the world streams past it.
+    scene.add_object(
+        "runner", runner_r,
+        Oscillate(Vec3(0.0, 0.95, 2.0), Vec3.unit_y(), amplitude=0.35, period=0.7),
+        collisionable=True, color=(0.8, 0.6, 0.3), fragment_cycles=4.0,
+        cd_mesh=runner_cd,
+    )
+    # A long line of spinning coins dead ahead: from the camera they
+    # stack onto the same pixels, many layers deep.
+    coin_r, coin_cd = _torus_pair(0.4, 0.13, detail)
+    for i in range(10):
+        z = -2.0 - 1.8 * i
+        # Lateral jitter that grows down the line keeps distant coins
+        # from converging onto a single pixel column at the vanishing
+        # point: stacks run 3-6 coins deep, not all ten.
+        x = 0.1 * i * math.sin(1.7 * i)
+        y = 1.2 + 0.08 * math.cos(2.3 * i) + 0.03 * i
+        scene.add_object(
+            f"coin_{i}", coin_r,
+            Spin(Vec3(x, y, z), Vec3.unit_y(), period=1.2, scale=1.0),
+            collisionable=True, color=(0.95, 0.8, 0.15), fragment_cycles=4.0,
+            cd_mesh=coin_cd,
+        )
+    # Obstacles sliding toward the runner (the collisions of the run).
+    log_r, log_cd = _cylinder_pair(0.3, 2.6, detail)
+    scene.add_object(
+        "log", log_r.transformed(Mat4.rotation_y(math.pi / 2.0)),
+        LinearPath(Vec3(0.0, 0.75, -14.0), Vec3(0.0, 0.0, 8.0)),
+        collisionable=True, color=(0.5, 0.35, 0.2), fragment_cycles=4.0,
+        cd_mesh=log_cd.transformed(Mat4.rotation_y(math.pi / 2.0)),
+    )
+    boulder_r, boulder_cd = _sphere_pair(0.55, detail)
+    scene.add_object(
+        "boulder", boulder_r,
+        LinearPath(Vec3(0.8, 0.55, -22.0), Vec3(-0.05, 0.0, 10.0)),
+        collisionable=True, color=(0.5, 0.5, 0.55), fragment_cycles=4.0,
+        cd_mesh=boulder_cd,
+    )
+    return Workload(
+        name="Temple Run", alias="temple", description="adventure arcade",
+        scene=scene,
+    )
+
+
+def make_stress(num_objects: int = 16, detail: int = 1, seed: int = 42) -> Workload:
+    """Scalability stress scene: N orbiting collisionable spheres.
+
+    Not part of the paper's Table 1 — used by the scalability bench to
+    expose the complexity argument of Section 2: software CD grows with
+    the object count (O(n^2) pair tests plus O(total vertices) AABB
+    refits) while RBCD's marginal cost tracks the fixed pixel budget.
+    """
+    if num_objects < 2:
+        raise ValueError("need at least two objects")
+    camera = Camera(eye=Vec3(0.0, 0.0, 14.0), target=Vec3.zero(), far=100.0)
+    scene = Scene(camera)
+    scene.add_object(
+        "backdrop", make_box(Vec3(9.0, 6.0, 0.3)),
+        Static.at(Vec3(0.0, 0.0, -6.0)), color=(0.3, 0.3, 0.35),
+        fragment_cycles=5.0,
+    )
+    rng = np.random.RandomState(seed)
+    render, cd = _sphere_pair(0.45, detail)
+    for i in range(num_objects):
+        # Objects orbit a shared centre at staggered radii/phases so
+        # neighbours keep meeting and separating.
+        radius = 1.2 + 3.5 * (i % 5) / 4.0
+        period = 2.0 + float(rng.uniform(-0.3, 0.3))
+        phase = 2.0 * math.pi * i / num_objects
+        axis = Vec3(0.0, 1.0, 0.0) if i % 2 == 0 else Vec3(0.3, 1.0, 0.1)
+        scene.add_object(
+            f"ball_{i}", render,
+            Orbit(Vec3(0.0, 0.0, 0.0), radius=radius, period=period,
+                  axis=axis, phase=phase),
+            collisionable=True,
+            color=(0.3 + 0.6 * (i / num_objects), 0.5, 0.7),
+            fragment_cycles=4.0, cd_mesh=cd,
+        )
+    return Workload(
+        name=f"Stress-{num_objects}", alias=f"stress{num_objects}",
+        description="scalability stress", scene=scene,
+    )
+
+
+def all_workloads(detail: int = 2) -> list[Workload]:
+    """The paper's Table 1 benchmark set."""
+    return [make_cap(detail), make_crazy(detail), make_sleepy(detail), make_temple(detail)]
+
+
+BENCHMARKS = ("cap", "crazy", "sleepy", "temple")
+
+_FACTORIES = {
+    "cap": make_cap,
+    "crazy": make_crazy,
+    "sleepy": make_sleepy,
+    "temple": make_temple,
+}
+
+
+def workload_by_alias(alias: str, detail: int = 2) -> Workload:
+    if alias not in _FACTORIES:
+        raise ValueError(f"unknown benchmark {alias!r}; expected one of {BENCHMARKS}")
+    return _FACTORIES[alias](detail)

@@ -1,0 +1,41 @@
+"""Cameras for the benchmark scenes."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.geometry.vec import Mat4, Vec3
+
+
+@dataclass(frozen=True, slots=True)
+class Camera:
+    """A perspective look-at camera."""
+
+    eye: Vec3
+    target: Vec3
+    up: Vec3 = Vec3(0.0, 1.0, 0.0)
+    fov_y_deg: float = 60.0
+    near: float = 0.1
+    far: float = 200.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fov_y_deg < 180:
+            raise ValueError("fov_y_deg must be in (0, 180)")
+        if self.near <= 0 or self.far <= self.near:
+            raise ValueError("require 0 < near < far")
+
+    def view(self) -> Mat4:
+        return Mat4.look_at(self.eye, self.target, self.up)
+
+    def projection(self, aspect: float) -> Mat4:
+        return Mat4.perspective(math.radians(self.fov_y_deg), aspect, self.near, self.far)
+
+    def moved(self, eye: Vec3, target: Vec3 | None = None) -> "Camera":
+        """Camera translated to a new eye (same target unless given)."""
+        return replace(self, eye=eye, target=target if target is not None else self.target)
+
+    def dollied(self, offset: Vec3) -> "Camera":
+        """Camera with both eye and target shifted by ``offset`` (a
+        follow-camera step)."""
+        return replace(self, eye=self.eye + offset, target=self.target + offset)

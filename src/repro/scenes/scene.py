@@ -1,0 +1,167 @@
+"""Scenes: named, animated objects that compile to GPU frames.
+
+A ``Scene`` is the single source of truth both CD backends consume:
+
+* ``frame_at(t)`` builds the GPU :class:`~repro.gpu.commands.Frame`
+  (draw commands with object-id markers on collisionable objects);
+* ``collision_world()`` / ``sync_world(world, t)`` drive the software
+  :class:`~repro.physics.world.CollisionWorld` with the same meshes and
+  the same world transforms (the paper's Section 4.3 setup, where the
+  extracted GPU meshes feed Bullet directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.mesh import TriangleMesh
+from repro.gpu.commands import CullMode, DrawCommand, Frame
+from repro.gpu.config import GPUConfig
+from repro.physics.world import CollisionWorld
+from repro.scenes.animation import Animator, Static
+from repro.scenes.camera import Camera
+
+
+@dataclass
+class SceneObject:
+    """One object: mesh + animator + render/CD attributes.
+
+    ``cd_mesh`` is the mesh the *software* CD baseline processes.  In
+    the paper both sides consume the same full-detail meshes extracted
+    from the GPU traces; here the render mesh may be a decimated LOD of
+    the same surface (the pure-Python rasterizer is the expensive
+    part), while ``cd_mesh`` carries the full detail so the CPU
+    baseline's per-frame vertex workload matches commercial-game mesh
+    sizes.  When ``cd_mesh`` is None the render mesh is used for both.
+    """
+
+    name: str
+    mesh: TriangleMesh
+    animator: Animator
+    collisionable: bool = False
+    color: tuple[float, float, float] = (0.7, 0.7, 0.7)
+    cull_mode: CullMode = CullMode.BACK
+    fragment_cycles: float | None = None
+    cd_mesh: TriangleMesh | None = None
+
+    @property
+    def collision_mesh(self) -> TriangleMesh:
+        return self.cd_mesh if self.cd_mesh is not None else self.mesh
+
+
+class Scene:
+    """An animated scene with a (possibly moving) camera."""
+
+    def __init__(
+        self,
+        camera: Camera,
+        camera_animator=None,
+    ) -> None:
+        self._camera = camera
+        self._camera_animator = camera_animator  # t -> Camera, optional
+        self._objects: list[SceneObject] = []
+        self._ids: dict[str, int] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, obj: SceneObject) -> SceneObject:
+        if any(o.name == obj.name for o in self._objects):
+            raise ValueError(f"duplicate object name {obj.name!r}")
+        self._objects.append(obj)
+        if obj.collisionable:
+            self._ids[obj.name] = len(self._ids)
+        return obj
+
+    def add_object(
+        self,
+        name: str,
+        mesh: TriangleMesh,
+        animator: Animator | None = None,
+        collisionable: bool = False,
+        color: tuple[float, float, float] = (0.7, 0.7, 0.7),
+        cull_mode: CullMode = CullMode.BACK,
+        fragment_cycles: float | None = None,
+        cd_mesh: TriangleMesh | None = None,
+    ) -> SceneObject:
+        from repro.geometry.vec import Mat4
+
+        if animator is None:
+            animator = Static(Mat4.identity())
+        return self.add(
+            SceneObject(
+                name=name,
+                mesh=mesh,
+                animator=animator,
+                collisionable=collisionable,
+                color=color,
+                cull_mode=cull_mode,
+                fragment_cycles=fragment_cycles,
+                cd_mesh=cd_mesh,
+            )
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def objects(self) -> list[SceneObject]:
+        return list(self._objects)
+
+    def object_id(self, name: str) -> int:
+        """The collisionable object-id assigned to ``name``."""
+        return self._ids[name]
+
+    def name_of(self, object_id: int) -> str:
+        for name, oid in self._ids.items():
+            if oid == object_id:
+                return name
+        raise KeyError(object_id)
+
+    @property
+    def collisionable_names(self) -> list[str]:
+        return list(self._ids.keys())
+
+    def camera_at(self, t: float) -> Camera:
+        if self._camera_animator is not None:
+            return self._camera_animator(t)
+        return self._camera
+
+    # -- GPU side -------------------------------------------------------------------
+
+    def frame_at(self, t: float, config: GPUConfig, raster_only: bool = False) -> Frame:
+        """Compile the scene state at time ``t`` into a GPU frame."""
+        camera = self.camera_at(t)
+        aspect = config.screen_width / config.screen_height
+        draws = []
+        for obj in self._objects:
+            draws.append(
+                DrawCommand(
+                    mesh=obj.mesh,
+                    model=obj.animator.transform(t),
+                    object_id=self._ids.get(obj.name),
+                    cull_mode=obj.cull_mode,
+                    color=obj.color,
+                    fragment_cycles=obj.fragment_cycles,
+                )
+            )
+        return Frame(
+            draws=tuple(draws),
+            view=camera.view(),
+            projection=camera.projection(aspect),
+            raster_only=raster_only,
+        )
+
+    # -- CPU side -----------------------------------------------------------------------
+
+    def collision_world(self, broad_algorithm: str = "bruteforce") -> CollisionWorld:
+        """A software CD world over this scene's collisionable objects."""
+        world = CollisionWorld(broad_algorithm)
+        for obj in self._objects:
+            if obj.collisionable:
+                world.add_object(self._ids[obj.name], obj.collision_mesh)
+        return world
+
+    def sync_world(self, world: CollisionWorld, t: float) -> None:
+        """Push the transforms at time ``t`` into a collision world."""
+        for obj in self._objects:
+            if obj.collisionable:
+                world.set_transform(self._ids[obj.name], obj.animator.transform(t))

@@ -1,0 +1,78 @@
+"""CPU cost-model tests."""
+
+import pytest
+
+from repro.cpu.model import CPUConfig, CPUCost, CPUModel
+from repro.physics.counters import OpCounter
+
+
+class TestPricing:
+    def test_zero_ops_zero_cost(self):
+        cost = CPUModel().price(OpCounter())
+        assert cost.cycles == 0.0
+        assert cost.seconds == 0.0
+        assert cost.energy_j == 0.0
+
+    def test_cycles_per_class(self):
+        cfg = CPUConfig(issue_efficiency=1.0)
+        model = CPUModel(cfg)
+        assert model.cycles(OpCounter(flop=10)) == pytest.approx(10 * cfg.cycles_flop)
+        assert model.cycles(OpCounter(mem=10)) == pytest.approx(10 * cfg.cycles_mem)
+
+    def test_issue_efficiency_divides(self):
+        ops = OpCounter(flop=120)
+        slow = CPUModel(CPUConfig(issue_efficiency=1.0)).cycles(ops)
+        fast = CPUModel(CPUConfig(issue_efficiency=2.0)).cycles(ops)
+        assert fast == pytest.approx(slow / 2.0)
+
+    def test_seconds_from_frequency(self):
+        cfg = CPUConfig(issue_efficiency=1.0)
+        cost = CPUModel(cfg).price(OpCounter(flop=cfg.frequency_hz))
+        assert cost.seconds == pytest.approx(1.0)
+
+    def test_energy_includes_static(self):
+        cfg = CPUConfig(issue_efficiency=1.0)
+        cost = CPUModel(cfg).price(OpCounter(flop=1.5e9))
+        dynamic = 1.5e9 * (cfg.energy_flop_j + cfg.energy_per_cycle_j)
+        assert cost.energy_j == pytest.approx(dynamic + cfg.static_power_w * 1.0)
+
+    def test_mem_ops_cost_more_than_flops(self):
+        model = CPUModel()
+        assert (
+            model.price(OpCounter(mem=1000)).energy_j
+            > model.price(OpCounter(flop=1000)).energy_j
+        )
+
+    def test_monotone_in_ops(self):
+        model = CPUModel()
+        small = model.price(OpCounter(flop=100, mem=50))
+        large = model.price(OpCounter(flop=200, mem=100))
+        assert large.cycles > small.cycles
+        assert large.energy_j > small.energy_j
+
+
+class TestCPUCost:
+    def test_addition(self):
+        total = CPUCost(1, 2, 3) + CPUCost(10, 20, 30)
+        assert (total.cycles, total.seconds, total.energy_j) == (11, 22, 33)
+
+    def test_sum_builtin(self):
+        costs = [CPUCost(1, 1, 1)] * 3
+        assert sum(costs).cycles == 3
+
+
+class TestValidation:
+    def test_frequency_positive(self):
+        with pytest.raises(ValueError):
+            CPUConfig(frequency_hz=0)
+
+    def test_issue_efficiency_positive(self):
+        with pytest.raises(ValueError):
+            CPUConfig(issue_efficiency=0)
+
+    def test_table2_defaults(self):
+        cfg = CPUConfig()
+        assert cfg.frequency_hz == 1.5e9
+        assert cfg.cores == 2
+        assert cfg.l1_kb == 32
+        assert cfg.l2_kb == 1024

@@ -1,0 +1,115 @@
+"""GPU / RBCD energy model tests."""
+
+import pytest
+
+from repro.energy.components import ComponentEnergies
+from repro.energy.gpu_power import GPUEnergyBreakdown, GPUEnergyModel, GPUEnergyParams
+from repro.energy.rbcd_power import RBCDEnergyModel
+from repro.gpu.config import GPUConfig
+from repro.gpu.stats import GPUStats
+
+
+def stats_with(**kwargs) -> GPUStats:
+    stats = GPUStats()
+    for key, value in kwargs.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestGPUEnergy:
+    def test_zero_stats_zero_energy(self):
+        assert GPUEnergyModel().total_j(GPUStats()) == 0.0
+
+    def test_fragment_shading_dominates_matched_counts(self):
+        """Per event, fragment shading must dominate (Section 3.3)."""
+        params = GPUEnergyParams()
+        assert params.fragment_shaded_j > params.fragment_rasterized_j
+        assert params.fragment_shaded_j > params.vertex_shaded_j
+        assert params.fragment_shaded_j > params.early_z_test_j
+
+    def test_breakdown_sums_to_total(self):
+        model = GPUEnergyModel()
+        stats = stats_with(
+            vertices_shaded=100, triangles_assembled=50, tile_cache_stores=60,
+            tile_cache_loads=70, fragments_produced=1000, early_z_tests=900,
+            fragments_shaded=800, texture_accesses=800, color_writes=400,
+            vertex_cache_misses=5, gpu_cycles=1e6,
+        )
+        breakdown = model.breakdown(stats)
+        parts = (
+            breakdown.geometry_j + breakdown.raster_j + breakdown.fragment_j
+            + breakdown.memory_j + breakdown.static_j
+        )
+        assert breakdown.total_j == pytest.approx(parts)
+        assert breakdown.static_j > 0
+
+    def test_static_scales_with_time(self):
+        model = GPUEnergyModel()
+        fast = model.breakdown(stats_with(gpu_cycles=1e6))
+        slow = model.breakdown(stats_with(gpu_cycles=2e6))
+        assert slow.static_j == pytest.approx(2 * fast.static_j)
+
+    def test_breakdown_addition(self):
+        a = GPUEnergyBreakdown(geometry_j=1, raster_j=2)
+        b = GPUEnergyBreakdown(fragment_j=3, static_j=4)
+        total = a + b
+        assert total.total_j == pytest.approx(10)
+        assert sum([a, b]).total_j == pytest.approx(10)
+
+
+class TestRBCDEnergy:
+    def make(self, **rbcd_kwargs) -> RBCDEnergyModel:
+        config = GPUConfig().with_rbcd(**rbcd_kwargs) if rbcd_kwargs else GPUConfig()
+        return RBCDEnergyModel(config)
+
+    def test_insertion_energy_scales_with_m(self):
+        small = self.make(list_length=4).insertion_energy_per_fragment_j()
+        large = self.make(list_length=16).insertion_energy_per_fragment_j()
+        assert large == pytest.approx(4 * small)
+
+    def test_static_power_scales_with_zeb_count(self):
+        one = self.make(zeb_count=1).static_power_w()
+        two = self.make(zeb_count=2).static_power_w()
+        assert two == pytest.approx(2 * one)
+
+    def test_static_power_under_one_percent_of_gpu(self):
+        """Section 5.3: two 8 KB ZEBs leak < 1 % of GPU static power."""
+        model = self.make(zeb_count=2, list_length=8)
+        assert model.static_power_w() < 0.01 * model.gpu_static_power_w
+
+    def test_static_power_under_five_percent_with_m64(self):
+        model = RBCDEnergyModel(
+            GPUConfig().with_rbcd(list_length=64, z_bits=18, id_bits=13,
+                                  element_bits=32)
+        )
+        assert model.static_power_w() < 0.05 * model.gpu_static_power_w
+
+    def test_breakdown_components(self):
+        model = self.make()
+        stats = stats_with(
+            zeb_insertions=1000, overlap_elements_read=800,
+            collision_pairs_emitted=20, gpu_cycles=1e6,
+        )
+        breakdown = model.breakdown(stats)
+        assert breakdown.insertion_j > 0
+        assert breakdown.overlap_j > 0
+        assert breakdown.output_j > 0
+        assert breakdown.static_j > 0
+        assert breakdown.total_j == pytest.approx(
+            breakdown.insertion_j + breakdown.overlap_j
+            + breakdown.output_j + breakdown.static_j
+        )
+
+    def test_unit_energy_tiny_vs_fragment_shading(self):
+        """The RBCD events must be orders of magnitude below shading."""
+        model = self.make()
+        per_insertion = model.insertion_energy_per_fragment_j()
+        assert per_insertion < GPUEnergyParams().fragment_shaded_j / 5
+
+
+class TestComponentEnergies:
+    def test_defaults_positive(self):
+        c = ComponentEnergies()
+        assert c.sram_word_read_j > 0
+        assert c.lt_comparator_j > 0
+        assert c.pair_record_write_j > 0

@@ -1,0 +1,31 @@
+"""Table 1 / Table 2 printer tests."""
+
+from repro.experiments.config_tables import render_table1, render_table2
+from repro.gpu.config import GPUConfig
+
+
+class TestTable1:
+    def test_lists_all_benchmarks(self):
+        text = render_table1()
+        for name in ("Captain America", "Crazy Snowboard", "Sleepy Jack",
+                     "Temple Run"):
+            assert name in text
+        for alias in ("cap", "crazy", "sleepy", "temple"):
+            assert alias in text
+
+
+class TestTable2:
+    def test_contains_paper_parameters(self):
+        text = render_table2()
+        assert "400 MHz" in text           # GPU frequency
+        assert "800x480" in text           # WVGA
+        assert "16x16" in text             # tile size
+        assert "128 KB" in text            # L2
+        assert "4 fragments/cycle" in text
+        assert "1500 MHz" in text          # CPU frequency
+        assert "32 nm" in text
+        assert "8 KB" in text              # ZEB size (and texture cache)
+
+    def test_reflects_custom_config(self):
+        text = render_table2(GPUConfig().with_screen(320, 240))
+        assert "320x240" in text

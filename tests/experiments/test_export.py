@@ -1,0 +1,58 @@
+"""Figure export tests."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import export_figures, figure_to_csv, figure_to_json
+from repro.experiments.figures import FigureData
+
+
+@pytest.fixture
+def figure():
+    return FigureData(
+        figure="8a",
+        title="RBCD speedup vs. Broad-CD",
+        columns=["cap", "crazy", "geo.mean"],
+        series={
+            "1 ZEB": {"cap": 100.0, "crazy": 200.0, "geo.mean": 141.4},
+            "2 ZEB": {"cap": 300.0, "crazy": 400.0, "geo.mean": 346.4},
+        },
+        paper_reference={"1 ZEB": 250.0, "2 ZEB": 600.0},
+    )
+
+
+class TestCSV:
+    def test_structure(self, figure):
+        rows = list(csv.reader(figure_to_csv(figure).splitlines()))
+        assert rows[0] == ["series", "cap", "crazy", "geo.mean"]
+        assert rows[1][0] == "1 ZEB"
+        assert float(rows[1][1]) == 100.0
+        assert float(rows[2][3]) == 346.4
+
+
+class TestJSON:
+    def test_roundtrip(self, figure):
+        doc = json.loads(figure_to_json(figure))
+        assert doc["figure"] == "8a"
+        assert doc["series"]["2 ZEB"]["crazy"] == 400.0
+        assert doc["paper_reference"]["1 ZEB"] == 250.0
+
+
+class TestExportFiles:
+    def test_writes_both_formats(self, figure, tmp_path):
+        paths = export_figures([figure], tmp_path)
+        names = {p.name for p in paths}
+        assert names == {"fig_8a.csv", "fig_8a.json"}
+        for p in paths:
+            assert p.read_text()
+
+    def test_format_selection(self, figure, tmp_path):
+        paths = export_figures([figure], tmp_path, formats=("json",))
+        assert [p.suffix for p in paths] == [".json"]
+
+    def test_creates_directory(self, figure, tmp_path):
+        target = tmp_path / "out" / "nested"
+        export_figures([figure], target)
+        assert target.exists()

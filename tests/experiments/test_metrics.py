@@ -1,0 +1,67 @@
+"""Equations 1-4 and geomean tests."""
+
+import math
+
+import pytest
+
+from repro.experiments.metrics import (
+    energy_reduction,
+    geomean,
+    normalized_energy,
+    normalized_time,
+    speedup,
+)
+
+
+class TestEquations:
+    def test_speedup_definition(self):
+        # t_cpu = 600, delta = 1 -> 600x (the paper's headline shape).
+        assert speedup(600.0, 101.0, 100.0) == pytest.approx(600.0)
+
+    def test_speedup_requires_positive_delta(self):
+        with pytest.raises(ValueError):
+            speedup(10.0, 100.0, 100.0)
+        with pytest.raises(ValueError):
+            speedup(10.0, 99.0, 100.0)
+
+    def test_energy_reduction_definition(self):
+        assert energy_reduction(448.0, 2.0, 1.0) == pytest.approx(448.0)
+
+    def test_energy_reduction_requires_positive_delta(self):
+        with pytest.raises(ValueError):
+            energy_reduction(10.0, 1.0, 1.0)
+
+    def test_normalized_time(self):
+        assert normalized_time(103.0, 100.0) == pytest.approx(1.03)
+        with pytest.raises(ValueError):
+            normalized_time(1.0, 0.0)
+
+    def test_normalized_energy(self):
+        assert normalized_energy(105.0, 100.0) == pytest.approx(1.05)
+        with pytest.raises(ValueError):
+            normalized_energy(1.0, -1.0)
+
+
+class TestGeomean:
+    def test_equal_values(self):
+        assert geomean([5.0, 5.0, 5.0]) == pytest.approx(5.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_never_exceeds_max(self):
+        values = [3.0, 7.0, 21.0, 100.0]
+        assert geomean(values) <= max(values)
+        assert geomean(values) >= min(values)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_log_additivity(self):
+        a = geomean([2.0, 8.0])
+        assert math.log(a) == pytest.approx((math.log(2) + math.log(8)) / 2)

@@ -1,0 +1,49 @@
+"""Markdown report generator tests (small scale)."""
+
+import pytest
+
+from repro.experiments.report import build_report, write_report
+from repro.experiments.runner import run_all_benchmarks, run_overflow_sweeps
+
+
+@pytest.fixture(scope="module")
+def small_inputs():
+    runs = run_all_benchmarks(width=96, height=64, frames=1, detail=1)
+    sweeps = run_overflow_sweeps(width=96, height=64, frames=1, detail=1)
+    return runs, sweeps
+
+
+class TestBuildReport:
+    def test_contains_every_figure(self, small_inputs):
+        runs, sweeps = small_inputs
+        text = build_report(runs, sweeps)
+        for figure in ("8a", "8b", "8c", "8d", "9a", "9b", "10", "11", "Table 3"):
+            assert f"Figure {figure}" in text
+
+    def test_contains_benchmarks_and_paper_refs(self, small_inputs):
+        runs, sweeps = small_inputs
+        text = build_report(runs, sweeps)
+        for alias in ("cap", "crazy", "sleepy", "temple"):
+            assert alias in text
+        assert "paper" in text
+        assert "geo.mean" in text
+
+    def test_markdown_tables_well_formed(self, small_inputs):
+        runs, sweeps = small_inputs
+        for line in build_report(runs, sweeps).splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_setup_note_included(self, small_inputs):
+        runs, sweeps = small_inputs
+        assert "tiny setup" in build_report(runs, sweeps, "tiny setup")
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = write_report(tmp_path / "out.md", width=96, height=64,
+                            frames=1, detail=1)
+        assert path.exists()
+        text = path.read_text()
+        assert "Figure 8a" in text
+        assert "96x64" in text

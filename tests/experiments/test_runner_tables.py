@@ -1,0 +1,67 @@
+"""Runner caching and table rendering tests."""
+
+import pytest
+
+from repro.experiments import tables
+from repro.experiments.figures import FigureData
+from repro.experiments.runner import _cached_run, run_all_benchmarks
+
+
+class TestRunnerCache:
+    def test_same_parameters_hit_cache(self):
+        before = _cached_run.cache_info().hits
+        first = run_all_benchmarks(width=96, height=64, frames=1, detail=1)
+        second = run_all_benchmarks(width=96, height=64, frames=1, detail=1)
+        assert _cached_run.cache_info().hits >= before + 4
+        for a, b in zip(first, second):
+            assert a is b  # identical cached objects
+
+    def test_benchmark_order_stable(self):
+        runs = run_all_benchmarks(width=96, height=64, frames=1, detail=1)
+        assert [r.alias for r in runs] == ["cap", "crazy", "sleepy", "temple"]
+
+
+class TestTables:
+    def figure(self) -> FigureData:
+        return FigureData(
+            figure="9a",
+            title="Normalized GPU rendering time",
+            columns=["cap", "geo.mean"],
+            series={"1 ZEB": {"cap": 1.054, "geo.mean": 1.03}},
+            paper_reference={"1 ZEB": 1.054},
+        )
+
+    def test_format_value_ranges(self):
+        assert tables.format_value(0) == "0"
+        assert tables.format_value(0.123456) == "0.123"
+        assert tables.format_value(42.3) == "42.3"
+        assert tables.format_value(1234.6) == "1,235"  # thousands separator
+
+    def test_render_figure_contains_everything(self):
+        text = tables.render_figure(self.figure())
+        assert "Figure 9a" in text
+        assert "cap" in text and "geo.mean" in text
+        assert "1.054" in text
+        assert "paper geo.mean reference" in text
+
+    def test_render_comparison(self):
+        text = tables.render_comparison(self.figure())
+        assert "measured geo.mean" in text
+        assert "paper" in text
+
+    def test_render_figure_without_reference(self):
+        fig = self.figure()
+        fig.paper_reference = {}
+        assert "paper" not in tables.render_figure(fig)
+
+
+class TestCLI:
+    def test_main_quick_run(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["--width", "96", "--height", "64", "--frames", "1",
+                     "--detail", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 8a" in out
+        assert "Table 3" in out

@@ -1,0 +1,157 @@
+"""Experiment harness tests at reduced scale.
+
+The full paper-scale runs live in benchmarks/; these tests verify the
+harness mechanics and the headline result *shapes* at a small
+resolution so the suite stays fast.
+"""
+
+import pytest
+
+from repro.experiments.systems import run_workload
+from repro.gpu.config import GPUConfig
+from repro.scenes.benchmarks import make_cap, make_temple, workload_by_alias
+
+CFG = GPUConfig().with_screen(200, 120)
+
+
+@pytest.fixture(scope="module")
+def cap_run():
+    return run_workload(make_cap(detail=1), CFG, frames=3)
+
+
+@pytest.fixture(scope="module")
+def temple_run():
+    # temple carries the largest deferred-culling and ZEB load, so its
+    # deltas stay measurable even at this reduced test scale.
+    return run_workload(make_temple(detail=1), CFG, frames=3)
+
+
+class TestRunStructure:
+    def test_systems_present(self, cap_run):
+        assert set(cap_run.rbcd.keys()) == {1, 2}
+        assert cap_run.frames == 3
+        assert len(cap_run.rbcd_pairs) == 3
+        assert len(cap_run.cpu_broad_pairs) == 3
+        assert len(cap_run.cpu_narrow_pairs) == 3
+
+    def test_rbcd_functional_results_independent_of_zeb_count(self, cap_run):
+        # ZEB count only changes timing; functional counters must match.
+        s1, s2 = cap_run.rbcd_stats[1], cap_run.rbcd_stats[2]
+        assert s1.zeb_insertions == s2.zeb_insertions
+        assert s1.collision_pairs_emitted == s2.collision_pairs_emitted
+        assert s1.fragments_produced == s2.fragments_produced
+
+    def test_two_zebs_never_slower(self, cap_run):
+        assert cap_run.rbcd[2].seconds <= cap_run.rbcd[1].seconds
+        # Energy may tick *up* marginally when the second ZEB's leakage
+        # buys no time (the paper notes the same for ZEB counts > 2).
+        assert cap_run.rbcd[2].energy_j <= cap_run.rbcd[1].energy_j * 1.01
+
+
+class TestHeadlineShapes:
+    def test_rbcd_overhead_small_but_positive(self, temple_run):
+        for k in (1, 2):
+            norm = temple_run.rbcd[k].seconds / temple_run.baseline.seconds
+            assert 1.0 < norm < 1.25
+
+    def test_cpu_cd_orders_of_magnitude_slower(self, temple_run):
+        for k in (1, 2):
+            ratio = temple_run.cpu_broad.seconds / temple_run.rbcd_extra_seconds(k)
+            assert ratio > 20, f"broad speedup only {ratio:.1f}x with {k} ZEB"
+
+    def test_gjk_baseline_costs_more_than_broad(self, cap_run):
+        assert cap_run.cpu_narrow.seconds > cap_run.cpu_broad.seconds
+        assert cap_run.cpu_narrow.energy_j > cap_run.cpu_broad.energy_j
+
+    def test_energy_reduction_large(self, temple_run):
+        ratio = temple_run.cpu_broad.energy_j / temple_run.rbcd_extra_energy(2)
+        assert ratio > 20
+
+    def test_rbcd_agrees_with_gjk_on_real_contacts(self, cap_run):
+        """Narrow-phase positives should be found by RBCD too (both see
+        the same shapes; RBCD adds sub-pixel discretization only)."""
+        agree = 0
+        total = 0
+        for rbcd, narrow in zip(cap_run.rbcd_pairs, cap_run.cpu_narrow_pairs):
+            for pair in narrow:
+                total += 1
+                if pair in rbcd:
+                    agree += 1
+        if total:
+            assert agree / total >= 0.5
+
+    def test_broad_phase_superset_of_rbcd(self, cap_run):
+        """AABB broad phase is conservative: every RBCD pair (a real
+        surface contact) must have overlapping AABBs."""
+        for rbcd, broad in zip(cap_run.rbcd_pairs, cap_run.cpu_broad_pairs):
+            assert rbcd <= broad
+
+
+class TestFigureGeneration:
+    def test_figures_render(self, temple_run):
+        from repro.experiments import figures, tables
+
+        runs = [temple_run]
+        for fig in (
+            figures.fig8a_speedup_broad(runs),
+            figures.fig8b_energy_broad(runs),
+            figures.fig8c_speedup_gjk(runs),
+            figures.fig8d_energy_gjk(runs),
+            figures.fig9a_normalized_time(runs),
+            figures.fig9b_normalized_energy(runs),
+            figures.fig10_time_breakdown(runs),
+            figures.fig11_activity_factors(runs),
+        ):
+            text = tables.render_figure(fig)
+            assert fig.title in text
+            assert "temple" in text
+            assert "geo.mean" in text
+            assert tables.render_comparison(fig)
+
+    def test_fig10_fractions_sum_to_one(self, temple_run):
+        from repro.experiments import figures
+
+        fig = figures.fig10_time_breakdown([temple_run])
+        total = fig.value("Raster", "temple") + fig.value("Geometry", "temple")
+        assert total == pytest.approx(1.0)
+
+    def test_fig11_ratios_at_least_one(self, temple_run):
+        from repro.experiments import figures
+
+        fig = figures.fig11_activity_factors([temple_run])
+        for label in ("TC loads", "Primitives", "Fragments", "Raster cycles"):
+            assert fig.value(label, "temple") >= 1.0
+
+
+class TestOverflowSweep:
+    def test_sweep_monotone_in_m(self):
+        from repro.experiments.overflow import overflow_sweep
+
+        workload = workload_by_alias("temple", detail=1)
+        sweep = overflow_sweep(workload, CFG, m_values=(2, 4, 8), frames=2)
+        assert (
+            sweep.overflow_rate[2] >= sweep.overflow_rate[4] >= sweep.overflow_rate[8]
+        )
+
+    def test_spares_reduce_overflow(self):
+        from repro.experiments.overflow import overflow_sweep
+
+        workload = workload_by_alias("temple", detail=1)
+        without = overflow_sweep(workload, CFG, m_values=(4,), frames=2)
+        with_spares = overflow_sweep(
+            workload, CFG, m_values=(4,), frames=2, spare_entries=64
+        )
+        assert (
+            with_spares.overflow_rate[4] < without.overflow_rate[4]
+            or without.overflow_rate[4] == 0.0
+        )
+        assert with_spares.spare_allocations[4] > 0
+
+    def test_missed_pairs_interface(self):
+        from repro.experiments.overflow import overflow_sweep
+
+        workload = workload_by_alias("cap", detail=1)
+        sweep = overflow_sweep(workload, CFG, m_values=(8, 16), frames=2)
+        missed = sweep.missed_pairs(8, 16)
+        assert len(missed) == 2
+        assert sweep.all_collisions_detected(16, 16)

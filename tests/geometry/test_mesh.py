@@ -1,0 +1,120 @@
+"""TriangleMesh tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.primitives import make_box, make_uv_sphere
+from repro.geometry.vec import Mat4, Vec3
+
+
+def single_triangle() -> TriangleMesh:
+    return TriangleMesh(
+        vertices=[[0, 0, 0], [1, 0, 0], [0, 1, 0]],
+        faces=[[0, 1, 2]],
+    )
+
+
+class TestValidation:
+    def test_bad_vertex_shape(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 2)), [[0, 1, 2]])
+
+    def test_bad_face_shape(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 3)), [[0, 1]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((0, 3)), np.zeros((0, 3), dtype=int))
+
+    def test_out_of_range_indices(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 3)), [[0, 1, 3]])
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 3)), [[0, 1, -1]])
+
+    def test_arrays_read_only(self):
+        mesh = single_triangle()
+        with pytest.raises(ValueError):
+            mesh.vertices[0, 0] = 5.0
+
+
+class TestDerivedData:
+    def test_counts(self):
+        mesh = make_box()
+        assert mesh.vertex_count == 8
+        assert mesh.face_count == 12
+
+    def test_face_normal_direction(self):
+        mesh = single_triangle()
+        n = mesh.face_normals()
+        assert np.allclose(n, [[0, 0, 1]])
+
+    def test_face_areas(self):
+        mesh = single_triangle()
+        assert mesh.face_areas()[0] == pytest.approx(0.5)
+
+    def test_surface_area_of_unit_box(self):
+        assert make_box(Vec3(0.5, 0.5, 0.5)).surface_area() == pytest.approx(6.0)
+
+    def test_centroid_of_box_is_origin(self):
+        assert np.allclose(make_box().centroid(), [0, 0, 0], atol=1e-12)
+
+    def test_aabb(self):
+        box = make_box(Vec3(1, 2, 3)).aabb()
+        assert box.lo == Vec3(-1, -2, -3)
+        assert box.hi == Vec3(1, 2, 3)
+
+    def test_degenerate_faces_detected(self):
+        mesh = TriangleMesh(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [2, 0, 0]],
+            [[0, 1, 2], [0, 1, 3]],  # second face is collinear
+        )
+        assert list(mesh.degenerate_faces()) == [1]
+
+    def test_is_closed(self):
+        assert make_box().is_closed()
+        assert not single_triangle().is_closed()
+
+    def test_triangle_corners_shape(self):
+        assert make_box().triangle_corners().shape == (12, 3, 3)
+
+
+class TestTransforms:
+    def test_transformed_translates(self):
+        mesh = make_box().transformed(Mat4.translation(Vec3(1, 0, 0)))
+        assert np.allclose(mesh.centroid(), [1, 0, 0], atol=1e-12)
+
+    def test_mirror_flips_winding(self):
+        mesh = make_box()
+        mirrored = mesh.transformed(Mat4.scaling(Vec3(-1, 1, 1)))
+        # Signed volume must stay positive (outward winding preserved).
+        def signed_volume(m):
+            tri = m.triangle_corners()
+            return float(
+                np.einsum("ij,ij->i", tri[:, 0], np.cross(tri[:, 1], tri[:, 2])).sum()
+                / 6.0
+            )
+
+        assert signed_volume(mesh) > 0
+        assert signed_volume(mirrored) > 0
+
+    def test_flipped_inverts_volume(self):
+        mesh = make_uv_sphere()
+        tri = mesh.flipped().triangle_corners()
+        vol = float(
+            np.einsum("ij,ij->i", tri[:, 0], np.cross(tri[:, 1], tri[:, 2])).sum() / 6.0
+        )
+        assert vol < 0
+
+    def test_merged_with(self):
+        a = make_box()
+        b = make_box().transformed(Mat4.translation(Vec3(3, 0, 0)))
+        merged = a.merged_with(b)
+        assert merged.vertex_count == 16
+        assert merged.face_count == 24
+        assert merged.aabb().hi.x == pytest.approx(3.5)
+
+    def test_repr(self):
+        assert "vertices=8" in repr(make_box())

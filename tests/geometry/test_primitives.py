@@ -1,0 +1,142 @@
+"""Primitive mesh generators: closedness, winding, volumes, validation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import (
+    make_box,
+    make_capsule,
+    make_concave_l,
+    make_cylinder,
+    make_icosphere,
+    make_plane,
+    make_torus,
+    make_uv_sphere,
+)
+from repro.geometry.vec import Vec3
+
+
+def signed_volume(mesh) -> float:
+    tri = mesh.triangle_corners()
+    return float(
+        np.einsum("ij,ij->i", tri[:, 0], np.cross(tri[:, 1], tri[:, 2])).sum() / 6.0
+    )
+
+
+SOLIDS = {
+    "box": lambda: make_box(Vec3(0.5, 0.5, 0.5)),
+    "uv_sphere": lambda: make_uv_sphere(0.5),
+    "icosphere": lambda: make_icosphere(0.5, subdivisions=2),
+    "cylinder": lambda: make_cylinder(0.5, 1.0),
+    "capsule": lambda: make_capsule(0.25, 1.0),
+    "torus": lambda: make_torus(0.5, 0.15),
+    "concave_l": lambda: make_concave_l(),
+}
+
+
+@pytest.mark.parametrize("name", SOLIDS)
+def test_solids_are_closed(name):
+    assert SOLIDS[name]().is_closed(), f"{name} has boundary or non-manifold edges"
+
+
+@pytest.mark.parametrize("name", SOLIDS)
+def test_solids_wound_outward(name):
+    assert signed_volume(SOLIDS[name]()) > 0, f"{name} is wound inward"
+
+
+@pytest.mark.parametrize("name", SOLIDS)
+def test_no_degenerate_faces(name):
+    assert SOLIDS[name]().degenerate_faces().size == 0
+
+
+class TestVolumes:
+    """Discretized volumes approach the analytic solids from below."""
+
+    def test_box(self):
+        # Full extents are twice the half extents: 1 x 2 x 3.
+        assert signed_volume(make_box(Vec3(0.5, 1.0, 1.5))) == pytest.approx(6.0)
+
+    def test_sphere_converges(self):
+        exact = 4.0 / 3.0 * np.pi * 0.5**3
+        coarse = signed_volume(make_icosphere(0.5, subdivisions=1))
+        fine = signed_volume(make_icosphere(0.5, subdivisions=3))
+        assert coarse < fine < exact
+        assert fine == pytest.approx(exact, rel=0.02)
+
+    def test_cylinder(self):
+        exact = np.pi * 0.25
+        vol = signed_volume(make_cylinder(0.5, 1.0, segments=64))
+        assert vol == pytest.approx(exact, rel=0.01)
+
+    def test_capsule(self):
+        exact = np.pi * 0.25**2 * 1.0 + 4.0 / 3.0 * np.pi * 0.25**3
+        vol = signed_volume(make_capsule(0.25, 1.0, rings=16, segments=48))
+        assert vol == pytest.approx(exact, rel=0.01)
+
+    def test_torus(self):
+        exact = 2 * np.pi**2 * 0.5 * 0.15**2
+        vol = signed_volume(make_torus(0.5, 0.15, 48, 32))
+        assert vol == pytest.approx(exact, rel=0.01)
+
+    def test_concave_l(self):
+        # Two arms of 1.0 x 0.4 minus the double-counted 0.4 x 0.4 corner,
+        # extruded 0.4 deep.
+        exact = (2 * 1.0 * 0.4 - 0.4 * 0.4) * 0.4
+        assert signed_volume(make_concave_l(1.0, 0.4, 0.4)) == pytest.approx(exact)
+
+
+class TestBounds:
+    def test_sphere_radius(self):
+        mesh = make_uv_sphere(0.75)
+        radii = np.linalg.norm(mesh.vertices, axis=1)
+        assert np.allclose(radii, 0.75)
+
+    def test_capsule_total_height(self):
+        mesh = make_capsule(0.25, 1.0)
+        box = mesh.aabb()
+        assert box.hi.z == pytest.approx(0.75)
+        assert box.lo.z == pytest.approx(-0.75)
+
+    def test_plane_is_flat(self):
+        mesh = make_plane(2.0, subdivisions=3)
+        assert np.allclose(mesh.vertices[:, 2], 0.0)
+        assert mesh.face_count == 2 * 9
+
+    def test_plane_faces_positive_z(self):
+        assert np.allclose(make_plane().face_normals(), [[0, 0, 1], [0, 0, 1]])
+
+
+class TestValidation:
+    def test_box_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            make_box(Vec3(0, 1, 1))
+
+    def test_sphere_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            make_uv_sphere(-1.0)
+        with pytest.raises(ValueError):
+            make_uv_sphere(1.0, rings=1)
+        with pytest.raises(ValueError):
+            make_icosphere(1.0, subdivisions=9)
+
+    def test_cylinder_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            make_cylinder(0.5, -1.0)
+        with pytest.raises(ValueError):
+            make_cylinder(0.5, 1.0, segments=2)
+
+    def test_torus_rejects_bad_radii(self):
+        with pytest.raises(ValueError):
+            make_torus(0.2, 0.5)
+
+    def test_capsule_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            make_capsule(-0.1, 1.0)
+
+    def test_plane_rejects_bad_subdivisions(self):
+        with pytest.raises(ValueError):
+            make_plane(subdivisions=0)
+
+    def test_concave_l_rejects_bad_arms(self):
+        with pytest.raises(ValueError):
+            make_concave_l(arm_length=0.3, arm_width=0.4)

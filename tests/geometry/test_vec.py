@@ -1,0 +1,218 @@
+"""Vec3 / Mat4 math kernel tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.vec import (
+    Mat4,
+    Vec3,
+    transform_directions,
+    transform_points,
+    transform_points_homogeneous,
+)
+
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+vec3s = st.builds(Vec3, finite, finite, finite)
+angles = st.floats(min_value=-2 * math.pi, max_value=2 * math.pi, allow_nan=False)
+
+
+class TestVec3Arithmetic:
+    def test_add_sub(self):
+        assert Vec3(1, 2, 3) + Vec3(4, 5, 6) == Vec3(5, 7, 9)
+        assert Vec3(4, 5, 6) - Vec3(1, 2, 3) == Vec3(3, 3, 3)
+
+    def test_neg(self):
+        assert -Vec3(1, -2, 3) == Vec3(-1, 2, -3)
+
+    def test_scalar_mul_div(self):
+        assert Vec3(1, 2, 3) * 2 == Vec3(2, 4, 6)
+        assert 2 * Vec3(1, 2, 3) == Vec3(2, 4, 6)
+        assert Vec3(2, 4, 6) / 2 == Vec3(1, 2, 3)
+
+    def test_indexing_and_iteration(self):
+        v = Vec3(7, 8, 9)
+        assert (v[0], v[1], v[2]) == (7, 8, 9)
+        assert list(v) == [7, 8, 9]
+
+    def test_from_array_roundtrip(self):
+        v = Vec3.from_array(np.array([1.5, 2.5, 3.5]))
+        assert np.allclose(v.to_array(), [1.5, 2.5, 3.5])
+
+    def test_units(self):
+        assert Vec3.unit_x().cross(Vec3.unit_y()) == Vec3.unit_z()
+
+    @given(vec3s, vec3s)
+    def test_add_commutes(self, a, b):
+        assert (a + b).is_close(b + a)
+
+    @given(vec3s)
+    def test_sub_self_is_zero(self, a):
+        assert (a - a).is_close(Vec3.zero())
+
+
+class TestVec3Products:
+    def test_dot(self):
+        assert Vec3(1, 2, 3).dot(Vec3(4, 5, 6)) == 32
+
+    def test_cross_orthogonal(self):
+        a, b = Vec3(1, 2, 3), Vec3(4, 5, 6)
+        c = a.cross(b)
+        assert abs(c.dot(a)) < 1e-12
+        assert abs(c.dot(b)) < 1e-12
+
+    @given(vec3s, vec3s)
+    def test_cross_antisymmetric(self, a, b):
+        assert a.cross(b).is_close(-(b.cross(a)), tol=1e-6)
+
+    def test_length(self):
+        assert Vec3(3, 4, 0).length() == pytest.approx(5.0)
+        assert Vec3(3, 4, 0).length_squared() == pytest.approx(25.0)
+
+    def test_normalized(self):
+        n = Vec3(0, 0, 10).normalized()
+        assert n.is_close(Vec3.unit_z())
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            Vec3.zero().normalized()
+
+    def test_lerp_endpoints(self):
+        a, b = Vec3(0, 0, 0), Vec3(2, 4, 6)
+        assert a.lerp(b, 0.0).is_close(a)
+        assert a.lerp(b, 1.0).is_close(b)
+        assert a.lerp(b, 0.5).is_close(Vec3(1, 2, 3))
+
+    def test_min_max_with(self):
+        a, b = Vec3(1, 5, 3), Vec3(2, 4, 3)
+        assert a.min_with(b) == Vec3(1, 4, 3)
+        assert a.max_with(b) == Vec3(2, 5, 3)
+
+    def test_distance(self):
+        assert Vec3(0, 0, 0).distance_to(Vec3(0, 3, 4)) == pytest.approx(5.0)
+
+    def test_scaled_by(self):
+        assert Vec3(1, 2, 3).scaled_by(Vec3(2, 3, 4)) == Vec3(2, 6, 12)
+
+
+class TestMat4Constructors:
+    def test_identity(self):
+        assert Mat4.identity().transform_point(Vec3(1, 2, 3)) == Vec3(1, 2, 3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Mat4(np.eye(3))
+
+    def test_translation(self):
+        m = Mat4.translation(Vec3(1, 2, 3))
+        assert m.transform_point(Vec3(0, 0, 0)) == Vec3(1, 2, 3)
+        # Directions are unaffected by translation.
+        assert m.transform_direction(Vec3(1, 0, 0)) == Vec3(1, 0, 0)
+
+    def test_scaling_uniform_and_per_axis(self):
+        assert Mat4.scaling(2.0).transform_point(Vec3(1, 1, 1)) == Vec3(2, 2, 2)
+        m = Mat4.scaling(Vec3(1, 2, 3))
+        assert m.transform_point(Vec3(1, 1, 1)) == Vec3(1, 2, 3)
+
+    @pytest.mark.parametrize(
+        "rot,src,dst",
+        [
+            (Mat4.rotation_z(math.pi / 2), Vec3(1, 0, 0), Vec3(0, 1, 0)),
+            (Mat4.rotation_x(math.pi / 2), Vec3(0, 1, 0), Vec3(0, 0, 1)),
+            (Mat4.rotation_y(math.pi / 2), Vec3(0, 0, 1), Vec3(1, 0, 0)),
+        ],
+    )
+    def test_axis_rotations(self, rot, src, dst):
+        assert rot.transform_point(src).is_close(dst)
+
+    @given(angles)
+    def test_rotation_axis_matches_rotation_z(self, angle):
+        general = Mat4.rotation_axis(Vec3.unit_z(), angle)
+        assert general.is_close(Mat4.rotation_z(angle), tol=1e-9)
+
+    @given(vec3s, angles)
+    def test_rotation_preserves_length(self, v, angle):
+        rotated = Mat4.rotation_axis(Vec3(1, 2, 3), angle).transform_point(v)
+        assert rotated.length() == pytest.approx(v.length(), abs=1e-6)
+
+    def test_trs_order(self):
+        m = Mat4.trs(Vec3(10, 0, 0), Mat4.rotation_z(math.pi / 2), 2.0)
+        # Scale, then rotate, then translate.
+        assert m.transform_point(Vec3(1, 0, 0)).is_close(Vec3(10, 2, 0))
+
+
+class TestMat4ViewProjection:
+    def test_look_at_centers_target(self):
+        view = Mat4.look_at(Vec3(0, 0, 5), Vec3(0, 0, 0), Vec3(0, 1, 0))
+        p = view.transform_point(Vec3(0, 0, 0))
+        assert p.is_close(Vec3(0, 0, -5))
+
+    def test_look_at_preserves_up(self):
+        view = Mat4.look_at(Vec3(0, 0, 5), Vec3(0, 0, 0), Vec3(0, 1, 0))
+        up_point = view.transform_point(Vec3(0, 1, 0))
+        assert up_point.y > 0
+
+    def test_perspective_near_far_map_to_ndc(self):
+        proj = Mat4.perspective(math.radians(90), 1.0, 1.0, 10.0)
+        near = proj.transform_point(Vec3(0, 0, -1.0))
+        far = proj.transform_point(Vec3(0, 0, -10.0))
+        assert near.z == pytest.approx(-1.0)
+        assert far.z == pytest.approx(1.0)
+
+    def test_perspective_validation(self):
+        with pytest.raises(ValueError):
+            Mat4.perspective(1.0, 1.0, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            Mat4.perspective(1.0, 1.0, 10.0, 1.0)
+
+    def test_orthographic_maps_corners(self):
+        proj = Mat4.orthographic(-2, 2, -1, 1, 0.0, 10.0)
+        p = proj.transform_point(Vec3(2, 1, -10))
+        assert p.is_close(Vec3(1, 1, 1))
+
+    def test_inverse_roundtrip(self):
+        m = Mat4.translation(Vec3(1, 2, 3)) @ Mat4.rotation_y(0.7) @ Mat4.scaling(2.0)
+        assert (m @ m.inverse()).is_close(Mat4.identity(), tol=1e-9)
+
+    def test_matmul_point(self):
+        m = Mat4.translation(Vec3(1, 0, 0))
+        assert (m @ Vec3(0, 0, 0)) == Vec3(1, 0, 0)
+
+    def test_point_at_infinity_raises(self):
+        proj = Mat4.perspective(math.radians(90), 1.0, 0.1, 10.0)
+        with pytest.raises(ValueError):
+            proj.transform_point(Vec3(0, 0, 0))  # w == 0 at the eye plane
+
+
+class TestBatchTransforms:
+    def test_transform_points_matches_scalar(self):
+        m = Mat4.perspective(math.radians(60), 1.5, 0.1, 50.0) @ Mat4.translation(
+            Vec3(0, 0, -5)
+        )
+        pts = np.array([[0.0, 0.0, 0.0], [1.0, 2.0, 1.0], [-1.0, 0.5, -2.0]])
+        batch = transform_points(m, pts)
+        for i in range(pts.shape[0]):
+            single = m.transform_point(Vec3.from_array(pts[i]))
+            assert np.allclose(batch[i], single.to_array())
+
+    def test_transform_points_shape_validation(self):
+        with pytest.raises(ValueError):
+            transform_points(Mat4.identity(), np.zeros((3, 2)))
+
+    def test_transform_directions_ignores_translation(self):
+        m = Mat4.translation(Vec3(5, 5, 5))
+        d = transform_directions(m, np.array([[1.0, 0.0, 0.0]]))
+        assert np.allclose(d, [[1.0, 0.0, 0.0]])
+
+    def test_homogeneous_keeps_w(self):
+        m = Mat4.perspective(math.radians(60), 1.0, 0.1, 10.0)
+        hom = transform_points_homogeneous(m, np.array([[0.0, 0.0, -2.0]]))
+        assert hom.shape == (1, 4)
+        assert hom[0, 3] == pytest.approx(2.0)
+
+    def test_normal_matrix_orthogonal_for_rotation(self):
+        m = Mat4.rotation_y(0.5)
+        nm = m.normal_matrix()
+        assert np.allclose(nm @ nm.T, np.eye(3), atol=1e-12)

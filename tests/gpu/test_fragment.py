@@ -1,0 +1,85 @@
+"""Fragment stage tests: shading cost and color resolution."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import make_box
+from repro.geometry.vec import Mat4, Vec3
+from repro.gpu.commands import DrawCommand, Frame
+from repro.gpu.config import GPUConfig
+from repro.gpu.fragment import fragment_shader_cycles_per_draw
+from repro.gpu.pipeline import GPU
+from tests.conftest import simple_projection, simple_view
+
+
+CFG = GPUConfig().with_screen(96, 64)
+
+
+def render(draws, raster_only=False):
+    frame = Frame(
+        draws=tuple(draws),
+        view=simple_view(),
+        projection=simple_projection(CFG.screen_width / CFG.screen_height),
+        raster_only=raster_only,
+    )
+    return GPU(CFG, rbcd_enabled=False).render_frame(frame)
+
+
+class TestShaderCost:
+    def test_default_cycles_from_config(self):
+        frame = Frame(
+            draws=(DrawCommand(make_box(), Mat4.identity()),),
+            view=Mat4.identity(),
+            projection=Mat4.identity(),
+        )
+        assert fragment_shader_cycles_per_draw(frame, CFG)[0] == CFG.cycles_per_fragment
+
+    def test_override_cycles(self):
+        frame = Frame(
+            draws=(DrawCommand(make_box(), Mat4.identity(), fragment_cycles=9.0),),
+            view=Mat4.identity(),
+            projection=Mat4.identity(),
+        )
+        assert fragment_shader_cycles_per_draw(frame, CFG)[0] == 9.0
+
+    def test_expensive_material_costs_more(self):
+        cheap = render([DrawCommand(make_box(), Mat4.identity(), fragment_cycles=1.0)])
+        costly = render([DrawCommand(make_box(), Mat4.identity(), fragment_cycles=16.0)])
+        assert costly.stats.fragment_cycles > cheap.stats.fragment_cycles
+        assert cheap.stats.fragments_shaded == costly.stats.fragments_shaded
+
+    def test_shaded_equals_early_z_passes(self):
+        result = render([DrawCommand(make_box(), Mat4.identity())])
+        assert result.stats.fragments_shaded == result.stats.early_z_passes
+
+    def test_texture_accesses_track_shaded(self):
+        result = render([DrawCommand(make_box(), Mat4.identity())])
+        assert result.stats.texture_accesses == result.stats.fragments_shaded
+
+
+class TestColorOutput:
+    def test_flat_color_applied(self):
+        result = render(
+            [DrawCommand(make_box(), Mat4.identity(), color=(0.0, 0.0, 1.0))]
+        )
+        covered = result.z_buffer < 1.0
+        assert covered.any()
+        assert np.allclose(result.color[covered], [0.0, 0.0, 1.0])
+
+    def test_background_is_black(self):
+        result = render([DrawCommand(make_box(), Mat4.identity())])
+        empty = result.z_buffer == 1.0
+        assert np.allclose(result.color[empty], 0.0)
+
+    def test_color_writes_counted(self):
+        result = render([DrawCommand(make_box(), Mat4.identity())])
+        covered = int((result.z_buffer < 1.0).sum())
+        assert result.stats.color_writes == covered
+
+    def test_raster_only_produces_no_color(self):
+        result = render(
+            [DrawCommand(make_box(), Mat4.identity(), object_id=None)],
+            raster_only=True,
+        )
+        assert np.allclose(result.color, 0.0)
+        assert result.stats.fragments_shaded == 0

@@ -1,0 +1,54 @@
+"""PPM writer / ASCII preview tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.image import ascii_preview, load_ppm, save_ppm, to_ppm_bytes
+
+
+class TestPPM:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.RandomState(0)
+        img = rng.uniform(0, 1, size=(12, 17, 3))
+        path = save_ppm(img, tmp_path / "frame.ppm")
+        back = load_ppm(path)
+        assert back.shape == img.shape
+        assert np.abs(back - img).max() <= 0.5 / 255 + 1e-9
+
+    def test_header(self):
+        data = to_ppm_bytes(np.zeros((2, 3, 3)))
+        assert data.startswith(b"P6\n3 2\n255\n")
+        assert len(data) == len(b"P6\n3 2\n255\n") + 2 * 3 * 3
+
+    def test_values_clipped(self):
+        img = np.array([[[2.0, -1.0, 0.5]]])
+        data = to_ppm_bytes(img)
+        assert data[-3:] == bytes([255, 0, 128])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            to_ppm_bytes(np.zeros((4, 4)))
+
+    def test_load_rejects_non_ppm(self, tmp_path):
+        p = tmp_path / "bad.ppm"
+        p.write_bytes(b"JUNK")
+        with pytest.raises(ValueError):
+            load_ppm(p)
+
+
+class TestAsciiPreview:
+    def test_dimensions(self):
+        art = ascii_preview(np.zeros((100, 200, 3)), width=40, height=10)
+        lines = art.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_black_is_spaces_white_is_dense(self):
+        black = ascii_preview(np.zeros((8, 8, 3)), width=4, height=2)
+        assert set(black) <= {" ", "\n"}
+        white = ascii_preview(np.ones((8, 8, 3)), width=4, height=2)
+        assert "@" in white
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ascii_preview(np.zeros((4, 4)))

@@ -1,0 +1,134 @@
+"""Pipeline behaviour across configuration corners."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import make_box, make_plane
+from repro.geometry.vec import Mat4, Vec3
+from repro.gpu.commands import CullMode, DrawCommand, Frame
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU
+from tests.conftest import simple_projection, simple_view, two_boxes_frame
+
+
+def render(config, draws, rbcd=True):
+    frame = Frame(
+        draws=tuple(draws),
+        view=simple_view(),
+        projection=simple_projection(config.screen_width / config.screen_height),
+    )
+    return GPU(config, rbcd_enabled=rbcd).render_frame(frame)
+
+
+class TestScreenShapes:
+    def test_screen_not_multiple_of_tile(self):
+        config = GPUConfig().with_screen(150, 70)  # 10x5 tiles, ragged edge
+        result = GPU(config).render_frame(two_boxes_frame(config, 0.8))
+        assert result.color.shape == (70, 150, 3)
+        assert (1, 2) in result.collisions
+        assert (result.stats.fragments_produced > 0)
+
+    def test_tiny_screen(self):
+        # A single 16x16 tile: the overlap region must span at least a
+        # pixel at this resolution, so use deeply overlapping boxes.
+        config = GPUConfig().with_screen(16, 16)
+        result = GPU(config).render_frame(two_boxes_frame(config, 0.3))
+        assert config.tile_count == 1
+        assert (1, 2) in result.collisions
+
+    @pytest.mark.parametrize("tile_size", [8, 32])
+    def test_tile_size_variants(self, tile_size):
+        import dataclasses
+
+        config = dataclasses.replace(
+            GPUConfig().with_screen(128, 64), tile_size=tile_size
+        )
+        result = GPU(config).render_frame(two_boxes_frame(config, 0.8))
+        assert (1, 2) in result.collisions
+
+    def test_collisions_consistent_across_tile_sizes(self):
+        """Tile partitioning is an implementation detail: collision
+        results must not depend on it."""
+        import dataclasses
+
+        base = GPUConfig().with_screen(128, 128)
+        pair_sets = []
+        for tile_size in (8, 16, 32):
+            config = dataclasses.replace(base, tile_size=tile_size)
+            result = GPU(config).render_frame(two_boxes_frame(config, 0.75))
+            pair_sets.append(result.collisions.as_sorted_pairs())
+        assert pair_sets[0] == pair_sets[1] == pair_sets[2]
+
+
+class TestCullModesEndToEnd:
+    CFG = GPUConfig().with_screen(96, 96)
+
+    def test_cull_none_collisionable(self):
+        box = make_box(Vec3(0.5, 0.5, 0.5))
+        result = render(
+            self.CFG,
+            [
+                DrawCommand(box, Mat4.translation(Vec3(-0.3, 0, 0)),
+                            object_id=1, cull_mode=CullMode.NONE),
+                DrawCommand(box, Mat4.translation(Vec3(0.3, 0, 0)),
+                            object_id=2, cull_mode=CullMode.NONE),
+            ],
+        )
+        # No tagging needed: every face already reaches the rasterizer.
+        assert result.stats.triangles_tagged_to_be_culled == 0
+        assert (1, 2) in result.collisions
+
+    def test_front_cull_still_detects(self):
+        """Deferred culling keeps the fronts of front-culled draws, so
+        the interval structure survives."""
+        box = make_box(Vec3(0.5, 0.5, 0.5))
+        result = render(
+            self.CFG,
+            [
+                DrawCommand(box, Mat4.translation(Vec3(-0.3, 0, 0)),
+                            object_id=1, cull_mode=CullMode.FRONT),
+                DrawCommand(box, Mat4.translation(Vec3(0.3, 0, 0)),
+                            object_id=2, cull_mode=CullMode.FRONT),
+            ],
+        )
+        assert (1, 2) in result.collisions
+
+    def test_single_sided_plane_contributes_front_only(self):
+        plane = make_plane(half_size=1.0)
+        result = render(
+            self.CFG,
+            [DrawCommand(plane, Mat4.identity(), object_id=1)],
+        )
+        # An open surface cannot close an interval: no pairs, and its
+        # back side got tagged (deferred) rather than culled.
+        assert len(result.collisions) == 0
+
+
+class TestBandwidthAccounting:
+    def test_dram_traffic_counted(self, small_config):
+        result = GPU(small_config).render_frame(two_boxes_frame(small_config, 0.8))
+        stats = result.stats
+        assert stats.dram_bytes_written >= stats.color_writes * 4
+        assert stats.dram_bytes_total > 0
+
+    def test_interface_has_headroom_per_frame_budget(self):
+        """Table 2's interface (4 B/cycle at 400 MHz = 1.6 GB/s) moves a
+        frame's off-chip traffic in a small fraction of a 30 fps frame
+        budget — memory bandwidth is not the binding constraint."""
+        from repro.scenes.benchmarks import make_cap
+
+        config = GPUConfig().with_screen(320, 192)
+        workload = make_cap(detail=1)
+        frame = workload.scene.frame_at(1.0, config)
+        result = GPU(config).render_frame(frame)
+        budget_bytes = (
+            config.mem_bandwidth_bytes_per_cycle * config.frequency_hz / 30.0
+        )
+        assert 0.0 < result.stats.dram_bytes_total < 0.25 * budget_bytes
+
+    def test_zero_cycles_zero_utilization(self):
+        from repro.gpu.stats import GPUStats
+
+        assert GPUStats().bandwidth_utilization(4.0) == 0.0

@@ -1,0 +1,96 @@
+"""Trace record / replay tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU
+from repro.gpu.trace import (
+    decode_trace,
+    load_trace,
+    record_trace,
+    replay_trace,
+    save_trace,
+)
+from tests.conftest import two_boxes_frame
+
+CFG = GPUConfig().with_screen(96, 64)
+
+
+@pytest.fixture
+def frames():
+    return [two_boxes_frame(CFG, sep) for sep in (0.6, 0.9, 1.5)]
+
+
+class TestRoundtrip:
+    def test_decode_inverts_record(self, frames):
+        rebuilt = decode_trace(record_trace(frames))
+        assert len(rebuilt) == len(frames)
+        for original, copy in zip(frames, rebuilt):
+            assert len(copy.draws) == len(original.draws)
+            for d0, d1 in zip(original.draws, copy.draws):
+                assert np.allclose(d0.mesh.vertices, d1.mesh.vertices)
+                assert np.array_equal(d0.mesh.faces, d1.mesh.faces)
+                assert np.allclose(d0.model.a, d1.model.a)
+                assert d0.object_id == d1.object_id
+                assert d0.cull_mode == d1.cull_mode
+            assert np.allclose(original.view.a, copy.view.a)
+            assert np.allclose(original.projection.a, copy.projection.a)
+
+    def test_meshes_deduplicated(self, frames):
+        doc = record_trace(frames)
+        # Each frame draws the same box mesh twice, across 3 frames.
+        assert len(doc["meshes"]) == 1
+
+    def test_document_is_json_serializable(self, frames):
+        text = json.dumps(record_trace(frames))
+        assert decode_trace(json.loads(text))
+
+    def test_file_roundtrip(self, frames, tmp_path):
+        path = save_trace(frames, tmp_path / "run.trace.json")
+        rebuilt = load_trace(path)
+        assert len(rebuilt) == 3
+
+    def test_version_check(self, frames):
+        doc = record_trace(frames)
+        doc["version"] = 99
+        with pytest.raises(ValueError):
+            decode_trace(doc)
+
+    def test_format_check(self):
+        with pytest.raises(ValueError):
+            decode_trace({"format": "gltrace"})
+
+
+class TestReplay:
+    def test_replay_matches_direct_render(self, frames):
+        direct = [GPU(CFG).render_frame(f) for f in frames]
+        replayed = replay_trace(record_trace(frames), GPU(CFG))
+        assert replayed.frame_count == 3
+        for d, r in zip(direct, replayed.results):
+            assert d.stats.fragments_produced == r.stats.fragments_produced
+            assert d.stats.gpu_cycles == r.stats.gpu_cycles
+            assert d.collisions.as_sorted_pairs() == r.collisions.as_sorted_pairs()
+
+    def test_replay_pairs_per_frame(self, frames):
+        replayed = replay_trace(frames, GPU(CFG))
+        assert replayed.pairs_per_frame == [{(1, 2)}, {(1, 2)}, set()]
+
+    def test_replay_under_different_config(self, frames, tmp_path):
+        """The trace-driven workflow: capture once, re-simulate with a
+        different RBCD configuration."""
+        path = save_trace(frames, tmp_path / "t.json")
+        small = GPU(CFG.with_rbcd(list_length=2), rbcd_enabled=True)
+        large = GPU(CFG.with_rbcd(list_length=16, ff_stack_entries=16))
+        result_small = replay_trace(path, small)
+        result_large = replay_trace(path, large)
+        assert (
+            result_small.total_stats.zeb_overflow_events
+            >= result_large.total_stats.zeb_overflow_events
+        )
+
+    def test_total_stats_accumulates(self, frames):
+        replayed = replay_trace(frames, GPU(CFG))
+        assert replayed.total_stats.frames == 3

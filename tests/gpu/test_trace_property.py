@@ -1,0 +1,73 @@
+"""Property-based trace roundtrip tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.vec import Mat4, Vec3
+from repro.gpu.commands import CullMode, DrawCommand, Frame
+from repro.gpu.trace import decode_trace, record_trace
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+@st.composite
+def random_mesh(draw):
+    n_verts = draw(st.integers(min_value=3, max_value=12))
+    verts = [[draw(coords), draw(coords), draw(coords)] for _ in range(n_verts)]
+    n_faces = draw(st.integers(min_value=1, max_value=10))
+    faces = [
+        [draw(st.integers(0, n_verts - 1)) for _ in range(3)]
+        for _ in range(n_faces)
+    ]
+    return TriangleMesh(np.array(verts), np.array(faces))
+
+
+@st.composite
+def random_frame(draw):
+    n_draws = draw(st.integers(min_value=1, max_value=4))
+    draws = []
+    for i in range(n_draws):
+        mesh = draw(random_mesh())
+        model = Mat4.translation(Vec3(draw(coords), draw(coords), draw(coords)))
+        collisionable = draw(st.booleans())
+        draws.append(
+            DrawCommand(
+                mesh=mesh,
+                model=model,
+                object_id=i if collisionable else None,
+                cull_mode=draw(st.sampled_from(list(CullMode))),
+                color=(draw(st.floats(0, 1)), draw(st.floats(0, 1)),
+                       draw(st.floats(0, 1))),
+                fragment_cycles=draw(
+                    st.one_of(st.none(), st.floats(min_value=1, max_value=16))
+                ),
+            )
+        )
+    view = Mat4.look_at(Vec3(0, 0, 60), Vec3.zero(), Vec3.unit_y())
+    proj = Mat4.perspective(math.radians(60), 1.0, 0.1, 200.0)
+    return Frame(draws=tuple(draws), view=view, projection=proj,
+                 raster_only=draw(st.booleans()))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(random_frame(), min_size=1, max_size=3))
+def test_trace_roundtrip_is_lossless(frames):
+    rebuilt = decode_trace(record_trace(frames))
+    assert len(rebuilt) == len(frames)
+    for original, copy in zip(frames, rebuilt):
+        assert copy.raster_only == original.raster_only
+        assert np.array_equal(copy.view.a, original.view.a)
+        assert np.array_equal(copy.projection.a, original.projection.a)
+        assert len(copy.draws) == len(original.draws)
+        for d0, d1 in zip(original.draws, copy.draws):
+            assert np.array_equal(d0.mesh.vertices, d1.mesh.vertices)
+            assert np.array_equal(d0.mesh.faces, d1.mesh.faces)
+            assert np.array_equal(d0.model.a, d1.model.a)
+            assert d0.object_id == d1.object_id
+            assert d0.cull_mode == d1.cull_mode
+            assert d0.color == d1.color
+            assert d0.fragment_cycles == d1.fragment_cycles

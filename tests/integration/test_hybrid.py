@@ -1,0 +1,105 @@
+"""Hybrid (RBCD + software fallback) system tests."""
+
+import pytest
+
+from repro.geometry.primitives import make_box, make_uv_sphere
+from repro.geometry.vec import Mat4, Vec3
+from repro.hybrid import HybridCDSystem, aabb_outside_frustum
+from repro.scenes.camera import Camera
+
+CAMERA = Camera(eye=Vec3(0, 0, 6), target=Vec3.zero(), fov_y_deg=60, far=50.0)
+BOX = make_box(Vec3(0.5, 0.5, 0.5))
+
+
+def at(x, y=0.0, z=0.0) -> Mat4:
+    return Mat4.translation(Vec3(x, y, z))
+
+
+class TestFrustumTest:
+    def vp(self):
+        return CAMERA.projection(1.0) @ CAMERA.view()
+
+    def test_centered_box_inside(self):
+        assert not aabb_outside_frustum(BOX.aabb(), self.vp())
+
+    def test_far_left_box_outside(self):
+        assert aabb_outside_frustum(BOX.aabb().transformed(at(-50.0)), self.vp())
+
+    def test_behind_camera_outside(self):
+        assert aabb_outside_frustum(BOX.aabb().transformed(at(0, 0, 20)), self.vp())
+
+    def test_straddling_edge_counts_as_inside(self):
+        # Partially visible: conservative test must keep it.
+        box = BOX.aabb().transformed(at(0, 0, 5.0))  # pokes past near plane
+        assert not aabb_outside_frustum(box, self.vp())
+
+
+class TestHybridDetection:
+    def make(self):
+        return HybridCDSystem(resolution=(160, 120))
+
+    def test_onscreen_pair_via_rbcd(self):
+        system = self.make()
+        result = system.detect(
+            [(1, BOX, at(-0.3)), (2, BOX, at(0.3))], CAMERA
+        )
+        assert result.pairs == {(1, 2)}
+        assert result.rbcd_pairs == {(1, 2)}
+        assert not result.software_pairs
+        assert not result.offscreen_ids
+
+    def test_offscreen_pair_via_software(self):
+        system = self.make()
+        result = system.detect(
+            [(1, BOX, at(-40.0)), (2, BOX, at(-40.5))], CAMERA
+        )
+        assert result.pairs == {(1, 2)}
+        assert result.software_pairs == {(1, 2)}
+        assert result.offscreen_ids == {1, 2}
+        assert result.software_ops.total > 0
+
+    def test_mixed_scene(self):
+        system = self.make()
+        result = system.detect(
+            [
+                (1, BOX, at(-0.3)),       # on-screen, collides with 2
+                (2, BOX, at(0.3)),
+                (3, BOX, at(-40.0)),      # off-screen, collides with 4
+                (4, BOX, at(-40.6)),
+                (5, BOX, at(40.0)),       # off-screen, alone
+            ],
+            CAMERA,
+        )
+        assert result.pairs == {(1, 2), (3, 4)}
+        assert result.offscreen_ids == {3, 4, 5}
+
+    def test_offscreen_separated_pair_clear(self):
+        system = self.make()
+        result = system.detect(
+            [(1, BOX, at(-40.0)), (2, BOX, at(-45.0))], CAMERA
+        )
+        assert result.pairs == set()
+
+    def test_empty_scene(self):
+        assert self.make().detect([], CAMERA).pairs == set()
+
+    def test_single_offscreen_object(self):
+        result = self.make().detect([(1, BOX, at(-40.0))], CAMERA)
+        assert result.pairs == set()
+        assert result.offscreen_ids == {1}
+
+    def test_straddling_pair_detected(self):
+        """One object partly on screen, its partner fully off: the AABB
+        prefilter + GJK path must still find the contact."""
+        system = self.make()
+        # Place the pair near the left frustum edge at z=0: half-width
+        # of the frustum there is ~3.46 for fov 60 at distance 6.
+        result = system.detect(
+            [(1, BOX, at(-3.4)), (2, BOX, at(-4.1))], CAMERA
+        )
+        assert (1, 2) in result.pairs
+
+    def test_full_frame_mode(self):
+        system = HybridCDSystem(resolution=(160, 120), raster_only=False)
+        result = system.detect([(1, BOX, at(-0.3)), (2, BOX, at(0.3))], CAMERA)
+        assert result.pairs == {(1, 2)}

@@ -1,0 +1,116 @@
+"""Cross-module invariants on randomized scenes.
+
+Property tests over generated box scenes: counters must be consistent
+with each other, RBCD results must match ground-truth box overlap, and
+the baseline/RBCD pipelines must agree on everything deferred culling
+does not touch.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.geometry.primitives import make_box
+from repro.geometry.vec import Mat4, Vec3
+from repro.gpu.commands import DrawCommand, Frame
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU
+
+CFG = GPUConfig().with_screen(128, 128)
+BOUNDARY_BAND = 0.08
+
+positions = st.tuples(
+    st.floats(min_value=-1.2, max_value=1.2, allow_nan=False),
+    st.floats(min_value=-1.2, max_value=1.2, allow_nan=False),
+    st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+)
+
+
+def scene_frame(centers):
+    box = make_box(Vec3(0.4, 0.4, 0.4))
+    draws = tuple(
+        DrawCommand(box, Mat4.translation(Vec3(*c)), object_id=i + 1)
+        for i, c in enumerate(centers)
+    )
+    view = Mat4.look_at(Vec3(0, 0, 6), Vec3.zero(), Vec3.unit_y())
+    proj = Mat4.perspective(math.radians(55), 1.0, 0.1, 60.0)
+    return Frame(draws=draws, view=view, projection=proj)
+
+
+def true_overlaps(centers):
+    """Ground truth for axis-aligned equal boxes: per-axis distance."""
+    sure_hits, sure_misses = set(), set()
+    for i in range(len(centers)):
+        for j in range(i + 1, len(centers)):
+            gaps = [abs(centers[i][k] - centers[j][k]) for k in range(3)]
+            if all(g < 0.8 - BOUNDARY_BAND for g in gaps):
+                sure_hits.add((i + 1, j + 1))
+            elif any(g > 0.8 + BOUNDARY_BAND for g in gaps):
+                sure_misses.add((i + 1, j + 1))
+    return sure_hits, sure_misses
+
+
+class TestRandomBoxScenes:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(positions, min_size=2, max_size=5, unique=True))
+    def test_rbcd_matches_box_ground_truth(self, centers):
+        frame = scene_frame(centers)
+        result = GPU(CFG, rbcd_enabled=True).render_frame(frame)
+        found = {(p.id_a, p.id_b) for p in result.collisions.pairs}
+        sure_hits, sure_misses = true_overlaps(centers)
+        for pair in sure_hits:
+            assert pair in found, f"missed {pair} at {centers}"
+        for pair in sure_misses:
+            assert pair not in found, f"false positive {pair} at {centers}"
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(positions, min_size=1, max_size=4, unique=True))
+    def test_counter_consistency(self, centers):
+        frame = scene_frame(centers)
+        result = GPU(CFG, rbcd_enabled=True).render_frame(frame)
+        stats = result.stats
+        assert stats.early_z_passes <= stats.early_z_tests
+        assert stats.fragments_shaded == stats.early_z_passes
+        assert stats.fragments_tagged_culled <= stats.fragments_produced
+        assert (
+            stats.early_z_tests
+            == stats.fragments_produced - stats.fragments_tagged_culled
+        )
+        assert stats.zeb_insertions == stats.rbcd_fragments_in
+        assert stats.zeb_overflow_events <= stats.zeb_insertions
+        assert stats.overlap_elements_read <= stats.zeb_insertions
+        assert stats.tile_cache_loads == stats.prim_tile_pairs
+        assert stats.prims_rasterized == stats.prim_tile_pairs
+        assert stats.raster_pipeline_cycles >= stats.fragment_cycles
+        assert stats.gpu_cycles == pytest.approx(
+            stats.geometry_cycles + stats.raster_pipeline_cycles
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(positions, min_size=1, max_size=4, unique=True))
+    def test_baseline_and_rbcd_agree_on_shaded_output(self, centers):
+        """Deferred culling must not change the rendered image: tagged
+        fragments are filtered before early-Z."""
+        frame = scene_frame(centers)
+        base = GPU(CFG, rbcd_enabled=False).render_frame(frame)
+        rbcd = GPU(CFG, rbcd_enabled=True).render_frame(frame)
+        assert np.array_equal(base.z_buffer, rbcd.z_buffer)
+        assert np.array_equal(base.color, rbcd.color)
+        assert base.stats.fragments_shaded == rbcd.stats.fragments_shaded
+        assert base.stats.early_z_passes == rbcd.stats.early_z_passes
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(positions, min_size=2, max_size=4, unique=True))
+    def test_m16_finds_superset_of_m2(self, centers):
+        """Longer ZEB lists can only reveal more overlaps."""
+        frame = scene_frame(centers)
+        small = GPU(
+            CFG.with_rbcd(list_length=2, ff_stack_entries=8), rbcd_enabled=True
+        ).render_frame(frame)
+        large = GPU(
+            CFG.with_rbcd(list_length=16, ff_stack_entries=16), rbcd_enabled=True
+        ).render_frame(frame)
+        assert small.collisions.pairs <= large.collisions.pairs

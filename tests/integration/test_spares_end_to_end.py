@@ -1,0 +1,61 @@
+"""Section 5.3 extensions through the full pipeline.
+
+The spare-entry pool and the CPU fallback are unit-tested at the ZEB
+level; these tests drive them through ``GPU.render_frame`` on a real
+workload so the extensions are known to compose with everything else.
+"""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU
+from repro.scenes.benchmarks import make_temple
+
+BASE = GPUConfig().with_screen(200, 120)
+
+
+@pytest.fixture(scope="module")
+def temple_frame():
+    workload = make_temple(detail=1)
+    return workload.scene.frame_at(workload.duration_s / 2.0, BASE)
+
+
+class TestSparePoolEndToEnd:
+    def test_spares_absorb_overflow(self, temple_frame):
+        tight = BASE.with_rbcd(list_length=4)
+        spared = BASE.with_rbcd(list_length=4, spare_entries_per_tile=64)
+        plain = GPU(tight, rbcd_enabled=True).render_frame(temple_frame)
+        pooled = GPU(spared, rbcd_enabled=True).render_frame(temple_frame)
+        assert plain.stats.zeb_overflow_events > 0  # the stressor works
+        assert pooled.stats.zeb_spare_allocations > 0
+        assert pooled.stats.zeb_overflow_events < plain.stats.zeb_overflow_events
+
+    def test_spares_never_lose_pairs(self, temple_frame):
+        tight = BASE.with_rbcd(list_length=4)
+        spared = BASE.with_rbcd(list_length=4, spare_entries_per_tile=64)
+        plain = GPU(tight, rbcd_enabled=True).render_frame(temple_frame)
+        pooled = GPU(spared, rbcd_enabled=True).render_frame(temple_frame)
+        assert set(plain.collisions.as_sorted_pairs()) <= set(
+            pooled.collisions.as_sorted_pairs()
+        )
+
+    def test_spares_unused_when_lists_suffice(self, temple_frame):
+        roomy = BASE.with_rbcd(list_length=16, ff_stack_entries=16,
+                               spare_entries_per_tile=64)
+        result = GPU(roomy, rbcd_enabled=True).render_frame(temple_frame)
+        assert result.stats.zeb_spare_allocations == 0
+
+
+class TestFallbackEndToEnd:
+    def test_fallback_flag_counted_in_stats(self, temple_frame):
+        config = BASE.with_rbcd(list_length=4, cpu_fallback_overflow_rate=0.001)
+        result = GPU(config, rbcd_enabled=True).render_frame(temple_frame)
+        assert result.cpu_fallback
+        assert result.stats.cpu_fallback_frames == 1
+
+    def test_fallback_keeps_partial_report(self, temple_frame):
+        """The flagged frame still carries what the unit did find — the
+        CPU can use it or redo the frame, its choice."""
+        config = BASE.with_rbcd(list_length=4, cpu_fallback_overflow_rate=0.001)
+        result = GPU(config, rbcd_enabled=True).render_frame(temple_frame)
+        assert result.collisions is not None

@@ -1,0 +1,116 @@
+"""Dynamic AABB tree tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.physics.aabbtree import DynamicAABBTree, tree_broadphase_pairs
+from repro.physics.broadphase import aabb_bruteforce_pairs
+from repro.physics.counters import OpCounter
+
+
+def box_at(x, y=0.0, z=0.0, half=0.5) -> AABB:
+    return AABB.from_center_half_extents(Vec3(x, y, z), Vec3(half, half, half))
+
+
+class TestTreeMaintenance:
+    def test_insert_and_len(self):
+        tree = DynamicAABBTree()
+        tree.insert(1, box_at(0))
+        tree.insert(2, box_at(5))
+        assert len(tree) == 2
+
+    def test_duplicate_insert_rejected(self):
+        tree = DynamicAABBTree()
+        tree.insert(1, box_at(0))
+        with pytest.raises(ValueError):
+            tree.insert(1, box_at(1))
+
+    def test_remove(self):
+        tree = DynamicAABBTree()
+        tree.insert(1, box_at(0))
+        tree.insert(2, box_at(5))
+        tree.remove(1)
+        assert len(tree) == 1
+        assert tree.query(box_at(0)) == [2] or tree.query(box_at(0)) == []
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicAABBTree(margin=-0.1)
+
+    def test_update_within_fat_box_is_cheap(self):
+        tree = DynamicAABBTree(margin=0.5)
+        tree.insert(1, box_at(0))
+        assert tree.update(1, box_at(0.1)) is False   # still inside fat box
+        assert tree.update(1, box_at(3.0)) is True    # escaped: reinserted
+
+    def test_query_finds_overlapping(self):
+        tree = DynamicAABBTree(margin=0.0)
+        for i, x in enumerate((0.0, 2.0, 4.0)):
+            tree.insert(i, box_at(x))
+        assert sorted(tree.query(box_at(0.5))) == [0]
+        assert sorted(tree.query(box_at(1.0))) == [0, 1]
+        assert tree.query(box_at(100.0)) == []
+
+    def test_query_empty_tree(self):
+        assert DynamicAABBTree().query(box_at(0)) == []
+
+
+class TestPairQueries:
+    def test_simple_pairs(self):
+        tree = DynamicAABBTree(margin=0.0)
+        tree.insert(1, box_at(0.0))
+        tree.insert(2, box_at(0.8))
+        tree.insert(3, box_at(5.0))
+        assert tree.query_pairs() == [(1, 2)]
+
+    def test_single_leaf_no_pairs(self):
+        tree = DynamicAABBTree()
+        tree.insert(1, box_at(0.0))
+        assert tree.query_pairs() == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-8, max_value=8, allow_nan=False),
+                st.floats(min_value=-8, max_value=8, allow_nan=False),
+                st.floats(min_value=-8, max_value=8, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=14,
+        )
+    )
+    def test_matches_bruteforce_property(self, positions):
+        boxes = [box_at(*p) for p in positions]
+        ids = list(range(len(boxes)))
+        brute = aabb_bruteforce_pairs(boxes, ids, OpCounter())
+        tree_pairs, _ = tree_broadphase_pairs(boxes, ids, OpCounter())
+        assert tree_pairs == brute.pairs
+
+    def test_persistent_tree_across_frames(self):
+        """The DBVT's point: small motion costs almost nothing."""
+        rng = np.random.RandomState(3)
+        positions = rng.uniform(-10, 10, size=(20, 3))
+        boxes = [box_at(*p) for p in positions]
+        ids = list(range(20))
+        ops_first = OpCounter()
+        pairs1, tree = tree_broadphase_pairs(boxes, ids, ops_first)
+        # Tiny jitter: every box stays within its fat margin.
+        moved = [box_at(*(p + 0.01)) for p in positions]
+        ops_second = OpCounter()
+        pairs2, tree = tree_broadphase_pairs(moved, ids, ops_second, tree)
+        assert ops_second.total < ops_first.total
+        brute = aabb_bruteforce_pairs(moved, ids, OpCounter())
+        assert pairs2 == brute.pairs
+
+    def test_object_removal_between_frames(self):
+        boxes = [box_at(0.0), box_at(0.5), box_at(5.0)]
+        ids = [1, 2, 3]
+        pairs, tree = tree_broadphase_pairs(boxes, ids, OpCounter())
+        assert pairs == [(1, 2)]
+        pairs2, tree = tree_broadphase_pairs([box_at(0.0)], [1], OpCounter(), tree)
+        assert pairs2 == []
+        assert len(tree) == 1

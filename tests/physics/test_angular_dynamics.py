@@ -1,0 +1,130 @@
+"""Angular rigid-body dynamics tests."""
+
+import math
+
+import pytest
+
+from repro.geometry.primitives import make_box, make_icosphere
+from repro.geometry.vec import Mat4, Vec3
+from repro.physics.dynamics import PhysicsWorld, RigidBody
+from repro.physics.world import CollisionWorld
+
+
+def ball(body_id, position, **kwargs):
+    mesh = make_icosphere(0.5, subdivisions=2)
+    defaults = dict(
+        inverse_mass=1.0,
+        inverse_inertia=RigidBody.sphere_inverse_inertia(1.0, 0.5),
+    )
+    defaults.update(kwargs)
+    return RigidBody(body_id, mesh, position, **defaults)
+
+
+class TestBasics:
+    def test_sphere_inverse_inertia(self):
+        # Solid sphere: I = 0.4 m r^2, so invI = invM / (0.4 r^2).
+        assert RigidBody.sphere_inverse_inertia(2.0, 0.5) == pytest.approx(
+            2.0 / (0.4 * 0.25)
+        )
+        assert RigidBody.sphere_inverse_inertia(0.0, 0.5) == 0.0
+        with pytest.raises(ValueError):
+            RigidBody.sphere_inverse_inertia(1.0, 0.0)
+
+    def test_negative_inverse_inertia_rejected(self):
+        with pytest.raises(ValueError):
+            RigidBody(1, make_box(), Vec3.zero(), inverse_inertia=-1.0)
+
+    def test_velocity_at_includes_spin(self):
+        body = ball(1, Vec3.zero(), angular_velocity=Vec3(0, 0, 1.0))
+        v = body.velocity_at(Vec3(1.0, 0.0, 0.0))
+        assert v.is_close(Vec3(0.0, 1.0, 0.0))
+
+    def test_orientation_integrates(self):
+        world = PhysicsWorld(gravity=Vec3.zero())
+        body = world.add_body(
+            ball(1, Vec3.zero(), angular_velocity=Vec3(0, 0, math.pi))
+        )
+        world.integrate(0.5)  # quarter turn about z
+        rotated = body.orientation.transform_point(Vec3(1, 0, 0))
+        assert rotated.is_close(Vec3(0, 1, 0), tol=1e-9)
+
+    def test_model_matrix_includes_orientation(self):
+        body = ball(1, Vec3(2, 0, 0))
+        body.orientation = Mat4.rotation_z(math.pi / 2)
+        p = body.model_matrix().transform_point(Vec3(1, 0, 0))
+        assert p.is_close(Vec3(2, 1, 0), tol=1e-12)
+
+    def test_zero_inertia_never_spins(self):
+        world = PhysicsWorld(gravity=Vec3.zero())
+        a = world.add_body(RigidBody(1, make_icosphere(0.5, 2), Vec3(-1, 0.3, 0),
+                                     velocity=Vec3(3, 0, 0)))
+        b = world.add_body(RigidBody(2, make_icosphere(0.5, 2), Vec3(1, -0.3, 0)))
+        cw = CollisionWorld()
+        for bid in (1, 2):
+            cw.add_object(bid, world.body(bid).mesh)
+        for _ in range(60):
+            for bid in (1, 2):
+                cw.set_transform(bid, world.body(bid).model_matrix())
+            world.step(1 / 60, cw.detect("broad+narrow").pairs)
+        assert a.angular_velocity.is_close(Vec3.zero())
+        assert b.angular_velocity.is_close(Vec3.zero())
+
+
+class TestOffCentreImpact:
+    def run_glancing(self):
+        """A moving ball grazes a stationary one above centre."""
+        world = PhysicsWorld(gravity=Vec3.zero())
+        mover = world.add_body(
+            ball(1, Vec3(-1.5, 0.55, 0.0), velocity=Vec3(4.0, 0.0, 0.0))
+        )
+        target = world.add_body(ball(2, Vec3(0.0, 0.0, 0.0)))
+        cw = CollisionWorld()
+        for bid in (1, 2):
+            cw.add_object(bid, world.body(bid).mesh)
+        for _ in range(90):
+            for bid in (1, 2):
+                cw.set_transform(bid, world.body(bid).model_matrix())
+            world.step(1 / 120, cw.detect("broad+narrow").pairs)
+        return mover, target
+
+    def test_glancing_impact_induces_spin(self):
+        mover, target = self.run_glancing()
+        assert target.angular_velocity.length() > 1e-6 or (
+            mover.angular_velocity.length() > 1e-6
+        )
+
+    def test_target_gains_linear_momentum(self):
+        _, target = self.run_glancing()
+        assert target.velocity.length() > 0.1
+
+    def test_spin_axis_perpendicular_to_impact_plane(self):
+        mover, target = self.run_glancing()
+        spin = target.angular_velocity
+        if spin.length() > 1e-9:
+            axis = spin / spin.length()
+            # Impact geometry lies in the xy plane: spin about +-z.
+            assert abs(axis.z) > 0.9
+
+
+class TestEnergyBounds:
+    def test_restitution_one_conserves_speed_head_on(self):
+        world = PhysicsWorld(gravity=Vec3.zero())
+        a = world.add_body(ball(1, Vec3(-1.0, 0, 0), velocity=Vec3(2, 0, 0),
+                                restitution=1.0))
+        b = world.add_body(ball(2, Vec3(1.0, 0, 0), velocity=Vec3(-2, 0, 0),
+                                restitution=1.0))
+        cw = CollisionWorld()
+        for bid in (1, 2):
+            cw.add_object(bid, world.body(bid).mesh)
+        for _ in range(60):
+            for bid in (1, 2):
+                cw.set_transform(bid, world.body(bid).model_matrix())
+            world.step(1 / 60, cw.detect("broad+narrow").pairs)
+        total = (
+            a.velocity.length_squared() + b.velocity.length_squared()
+            + a.angular_velocity.length_squared() / a.inverse_inertia
+            + b.angular_velocity.length_squared() / b.inverse_inertia
+        )
+        # Head-on, so nearly all energy stays linear; small tessellation
+        # leakage allowed.
+        assert total == pytest.approx(8.0, rel=0.1)

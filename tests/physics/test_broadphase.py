@@ -1,0 +1,123 @@
+"""Broad-phase tests: correctness and brute-force/SAP agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.geometry.primitives import make_box
+from repro.geometry.vec import Mat4, Vec3
+from repro.physics.broadphase import (
+    aabb_bruteforce_pairs,
+    sweep_and_prune_pairs,
+    world_aabb_of_mesh,
+    world_aabbs,
+)
+from repro.physics.counters import OpCounter
+
+
+def boxes_at(positions, half=0.5):
+    return [
+        AABB.from_center_half_extents(Vec3(*p), Vec3(half, half, half))
+        for p in positions
+    ]
+
+
+class TestWorldAABB:
+    def test_transformed_bounds(self):
+        mesh = make_box(Vec3(0.5, 0.5, 0.5))
+        ops = OpCounter()
+        box = world_aabb_of_mesh(mesh.vertices, Mat4.translation(Vec3(2, 0, 0)), ops)
+        assert box.lo.is_close(Vec3(1.5, -0.5, -0.5))
+        assert ops.flop > 0 and ops.mem > 0
+
+    def test_rotation_recomputes_tight_bounds(self):
+        mesh = make_box(Vec3(0.5, 0.5, 0.5))
+        box = world_aabb_of_mesh(mesh.vertices, Mat4.rotation_z(np.pi / 4), OpCounter())
+        assert box.hi.x == pytest.approx(np.sqrt(0.5))
+
+    def test_world_aabbs_length_check(self):
+        with pytest.raises(ValueError):
+            world_aabbs([make_box().vertices], [], OpCounter())
+
+    def test_op_count_scales_with_vertices(self):
+        small = OpCounter()
+        world_aabb_of_mesh(make_box().vertices, Mat4.identity(), small)
+        from repro.geometry.primitives import make_uv_sphere
+
+        big = OpCounter()
+        world_aabb_of_mesh(make_uv_sphere(1.0, 16, 24).vertices, Mat4.identity(), big)
+        assert big.total > small.total
+
+
+class TestBruteForce:
+    def test_overlapping_pair_found(self):
+        boxes = boxes_at([(0, 0, 0), (0.8, 0, 0), (5, 0, 0)])
+        result = aabb_bruteforce_pairs(boxes, [10, 20, 30], OpCounter())
+        assert result.pairs == [(10, 20)]
+
+    def test_pairs_canonically_ordered(self):
+        boxes = boxes_at([(0, 0, 0), (0.5, 0, 0)])
+        result = aabb_bruteforce_pairs(boxes, [9, 2], OpCounter())
+        assert result.pairs == [(2, 9)]
+
+    def test_ops_quadratic(self):
+        small_ops = OpCounter()
+        aabb_bruteforce_pairs(boxes_at([(i * 5, 0, 0) for i in range(4)]),
+                              list(range(4)), small_ops)
+        big_ops = OpCounter()
+        aabb_bruteforce_pairs(boxes_at([(i * 5, 0, 0) for i in range(8)]),
+                              list(range(8)), big_ops)
+        assert big_ops.cmp == pytest.approx(small_ops.cmp * 28 / 6)
+
+    def test_mismatched_ids_rejected(self):
+        with pytest.raises(ValueError):
+            aabb_bruteforce_pairs(boxes_at([(0, 0, 0)]), [], OpCounter())
+
+
+class TestSweepAndPrune:
+    def test_matches_bruteforce_simple(self):
+        positions = [(0, 0, 0), (0.8, 0, 0), (0.8, 0.8, 0), (5, 5, 5)]
+        boxes = boxes_at(positions)
+        ids = [1, 2, 3, 4]
+        brute = aabb_bruteforce_pairs(boxes, ids, OpCounter())
+        sap = sweep_and_prune_pairs(boxes, ids, OpCounter())
+        assert brute.pairs == sap.pairs
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-10, max_value=10, allow_nan=False),
+                st.floats(min_value=-10, max_value=10, allow_nan=False),
+                st.floats(min_value=-10, max_value=10, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=15,
+        ),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_sap_equals_bruteforce_property(self, positions, axis):
+        boxes = boxes_at(positions)
+        ids = list(range(len(boxes)))
+        brute = aabb_bruteforce_pairs(boxes, ids, OpCounter())
+        sap = sweep_and_prune_pairs(boxes, ids, OpCounter(), axis=axis)
+        assert brute.pairs == sap.pairs
+
+    def test_sap_cheaper_on_spread_scenes(self):
+        # Widely separated boxes: SAP's sweep avoids most pair tests.
+        boxes = boxes_at([(i * 10, 0, 0) for i in range(30)])
+        ids = list(range(30))
+        brute_ops = OpCounter()
+        aabb_bruteforce_pairs(boxes, ids, brute_ops)
+        sap_ops = OpCounter()
+        sweep_and_prune_pairs(boxes, ids, sap_ops)
+        assert sap_ops.cmp < brute_ops.cmp
+
+    def test_axis_validation(self):
+        with pytest.raises(ValueError):
+            sweep_and_prune_pairs([], [], OpCounter(), axis=3)
+
+    def test_fewer_than_two_boxes(self):
+        result = sweep_and_prune_pairs(boxes_at([(0, 0, 0)]), [1], OpCounter())
+        assert result.pairs == []

@@ -1,0 +1,45 @@
+"""OpCounter tests."""
+
+import pytest
+
+from repro.physics.counters import OP_KINDS, OpCounter
+
+
+class TestOpCounter:
+    def test_add_by_kind(self):
+        ops = OpCounter()
+        ops.add("flop", 10)
+        ops.add("mem")
+        assert ops.flop == 10
+        assert ops.mem == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            OpCounter().add("simd", 1)
+
+    def test_add_all(self):
+        ops = OpCounter()
+        ops.add_all(flop=1, cmp=2, mem=3, branch=4)
+        assert ops.total == 10
+
+    def test_counter_addition(self):
+        a = OpCounter(flop=1, cmp=2)
+        b = OpCounter(mem=3, branch=4)
+        c = a + b
+        assert (c.flop, c.cmp, c.mem, c.branch) == (1, 2, 3, 4)
+        # Originals unchanged.
+        assert a.mem == 0
+
+    def test_sum_builtin(self):
+        counters = [OpCounter(flop=1), OpCounter(flop=2), OpCounter(flop=3)]
+        assert sum(counters).flop == 6
+
+    def test_scaled(self):
+        ops = OpCounter(flop=2, mem=4).scaled(0.5)
+        assert ops.flop == 1 and ops.mem == 2
+
+    def test_as_dict_covers_all_kinds(self):
+        assert set(OpCounter().as_dict()) == set(OP_KINDS)
+
+    def test_repr_readable(self):
+        assert "flop" in repr(OpCounter(flop=5))

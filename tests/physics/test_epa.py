@@ -1,0 +1,110 @@
+"""EPA penetration-depth tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.primitives import make_box, make_icosphere
+from repro.geometry.vec import Mat4, Vec3
+from repro.physics.counters import OpCounter
+from repro.physics.epa import epa_penetration
+from repro.physics.shapes import ConvexShape
+
+
+def box_shape(half=0.5):
+    return ConvexShape(make_box(Vec3(half, half, half)).vertices)
+
+
+def moved(shape, offset: Vec3):
+    shape.update_transform(Mat4.translation(offset))
+    return shape
+
+
+class TestBoxes:
+    @pytest.mark.parametrize("dx", [0.3, 0.6, 0.9])
+    def test_axis_depth(self, dx):
+        a = box_shape()
+        b = moved(box_shape(), Vec3(dx, 0, 0))
+        result = epa_penetration(a, b)
+        assert result.converged
+        assert result.depth == pytest.approx(1.0 - dx, abs=1e-6)
+        # Normal points from A toward B (+x here).
+        assert result.normal[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_y_axis_normal(self):
+        a = box_shape()
+        b = moved(box_shape(), Vec3(0, 0.75, 0))
+        result = epa_penetration(a, b)
+        assert result.depth == pytest.approx(0.25, abs=1e-6)
+        assert result.normal[1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_separated_returns_none(self):
+        a = box_shape()
+        b = moved(box_shape(), Vec3(3, 0, 0))
+        assert epa_penetration(a, b) is None
+
+    def test_reuses_gjk_result(self):
+        from repro.physics.gjk import gjk_intersect
+
+        a = box_shape()
+        b = moved(box_shape(), Vec3(0.6, 0, 0))
+        gjk = gjk_intersect(a, b)
+        result = epa_penetration(a, b, gjk)
+        assert result.depth == pytest.approx(0.4, abs=1e-6)
+
+    def test_ops_counted(self):
+        ops = OpCounter()
+        epa_penetration(box_shape(), moved(box_shape(), Vec3(0.5, 0, 0)), ops=ops)
+        assert ops.flop > 0
+
+
+class TestSpheres:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=0.2, max_value=0.9, allow_nan=False),
+        st.floats(min_value=0.0, max_value=2 * np.pi, allow_nan=False),
+    )
+    def test_depth_matches_analytic(self, distance, phi):
+        radius = 0.5
+        offset = Vec3(distance * np.cos(phi), distance * np.sin(phi), 0.0)
+        a = ConvexShape(make_icosphere(radius, subdivisions=3).vertices)
+        b = moved(ConvexShape(make_icosphere(radius, subdivisions=3).vertices), offset)
+        result = epa_penetration(a, b)
+        assert result is not None
+        expected = 2 * radius - distance
+        # Tessellation makes the hull slightly smaller than the sphere.
+        assert result.depth == pytest.approx(expected, abs=0.03)
+
+    def test_normal_along_center_line(self):
+        a = ConvexShape(make_icosphere(0.5, subdivisions=3).vertices)
+        b = moved(ConvexShape(make_icosphere(0.5, subdivisions=3).vertices),
+                  Vec3(0.6, 0.3, 0.0))
+        result = epa_penetration(a, b)
+        direction = np.array([0.6, 0.3, 0.0])
+        direction /= np.linalg.norm(direction)
+        assert float(result.normal @ direction) == pytest.approx(1.0, abs=0.05)
+
+
+class TestSeparationProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=0.1, max_value=0.95, allow_nan=False),
+        st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+    )
+    def test_translating_by_depth_separates(self, dx, dy, dz):
+        """Moving B by normal * (depth + eps) must separate the shapes."""
+        from repro.physics.gjk import gjk_intersect
+
+        offset = Vec3(dx, dy * dx, dz * dx)
+        a = box_shape()
+        b = moved(box_shape(), offset)
+        gjk = gjk_intersect(a, b)
+        if not gjk.intersecting:
+            return
+        result = epa_penetration(a, b, gjk)
+        if result is None or not result.converged:
+            return
+        push = Vec3.from_array(result.normal * (result.depth + 1e-4))
+        b2 = moved(box_shape(), offset + push)
+        assert not gjk_intersect(a, b2).intersecting

@@ -1,0 +1,124 @@
+"""GJK tests: analytic cases and property-based sphere ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.primitives import make_box, make_icosphere, make_uv_sphere
+from repro.geometry.vec import Mat4, Vec3
+from repro.physics.counters import OpCounter
+from repro.physics.gjk import gjk_intersect
+from repro.physics.shapes import ConvexShape
+
+
+def box_shape(half=0.5):
+    return ConvexShape(make_box(Vec3(half, half, half)).vertices)
+
+
+def moved(shape, offset: Vec3):
+    shape.update_transform(Mat4.translation(offset))
+    return shape
+
+
+class TestBoxes:
+    @pytest.mark.parametrize("dx,expected", [
+        (0.0, True), (0.5, True), (0.99, True), (1.0, True),
+        (1.01, False), (2.0, False), (10.0, False),
+    ])
+    def test_axis_separation(self, dx, expected):
+        a = box_shape()
+        b = moved(box_shape(), Vec3(dx, 0, 0))
+        assert gjk_intersect(a, b).intersecting == expected
+
+    def test_diagonal_separation(self):
+        a = box_shape()
+        b = moved(box_shape(), Vec3(0.9, 0.9, 0.9))
+        assert gjk_intersect(a, b).intersecting
+        b = moved(box_shape(), Vec3(1.1, 1.1, 1.1))
+        assert not gjk_intersect(a, b).intersecting
+
+    def test_rotated_box_corner_hit(self):
+        # A 45-degree rotated box reaches sqrt(2)/2 along x.
+        a = box_shape()
+        b = box_shape()
+        b.update_transform(
+            Mat4.translation(Vec3(1.1, 0, 0)) @ Mat4.rotation_z(np.pi / 4)
+        )
+        assert gjk_intersect(a, b).intersecting  # 0.5 + 0.707 > 1.1
+        b.update_transform(
+            Mat4.translation(Vec3(1.3, 0, 0)) @ Mat4.rotation_z(np.pi / 4)
+        )
+        assert not gjk_intersect(a, b).intersecting
+
+    def test_containment(self):
+        outer = box_shape(2.0)
+        inner = box_shape(0.2)
+        assert gjk_intersect(outer, inner).intersecting
+
+    def test_symmetry(self):
+        a = box_shape()
+        b = moved(box_shape(), Vec3(0.7, 0.3, 0.1))
+        assert gjk_intersect(a, b).intersecting == gjk_intersect(b, a).intersecting
+
+
+class TestSpheresGroundTruth:
+    """Discretized spheres vs the exact sphere-sphere test."""
+
+    RADIUS = 0.5
+    # A fine icosphere's hull radius is slightly under the true radius;
+    # keep a tolerance band around the decision boundary.
+    TOL = 0.02
+
+    def make(self):
+        return ConvexShape(make_icosphere(self.RADIUS, subdivisions=3).vertices)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=2.5, allow_nan=False),
+        st.floats(min_value=0.0, max_value=np.pi, allow_nan=False),
+        st.floats(min_value=0.0, max_value=2 * np.pi, allow_nan=False),
+    )
+    def test_matches_analytic_spheres(self, distance, theta, phi):
+        boundary = 2 * self.RADIUS
+        if abs(distance - boundary) < self.TOL:
+            return  # too close to the tessellation-dependent boundary
+        offset = Vec3(
+            distance * np.sin(theta) * np.cos(phi),
+            distance * np.sin(theta) * np.sin(phi),
+            distance * np.cos(theta),
+        )
+        a = self.make()
+        b = moved(self.make(), offset)
+        assert gjk_intersect(a, b).intersecting == (distance < boundary)
+
+
+class TestInstrumentation:
+    def test_ops_counted(self):
+        ops = OpCounter()
+        gjk_intersect(box_shape(), moved(box_shape(), Vec3(3, 0, 0)), ops)
+        assert ops.flop > 0 and ops.cmp > 0
+
+    def test_larger_shapes_cost_more(self):
+        small_ops = OpCounter()
+        gjk_intersect(box_shape(), moved(box_shape(), Vec3(3, 0, 0)), small_ops)
+        big = ConvexShape(make_uv_sphere(0.5, 24, 36).vertices)
+        big2 = moved(ConvexShape(make_uv_sphere(0.5, 24, 36).vertices), Vec3(3, 0, 0))
+        big_ops = OpCounter()
+        gjk_intersect(big, big2, big_ops)
+        assert big_ops.total > small_ops.total
+
+    def test_iteration_bound_respected(self):
+        result = gjk_intersect(box_shape(), moved(box_shape(), Vec3(3, 0, 0)),
+                               max_iterations=2)
+        assert result.iterations <= 2
+
+    def test_result_reports_simplex(self):
+        result = gjk_intersect(box_shape(), moved(box_shape(), Vec3(0.5, 0, 0)))
+        assert result.intersecting
+        assert 1 <= len(result.simplex) <= 4
+        assert len(result.simplex) == len(result.simplex_witnesses)
+
+    def test_coincident_shapes(self):
+        a = box_shape()
+        b = box_shape()
+        assert gjk_intersect(a, b).intersecting

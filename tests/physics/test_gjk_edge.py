@@ -1,0 +1,124 @@
+"""GJK/EPA edge cases: degenerate shapes, deep containment, witnesses."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import make_box, make_icosphere, make_plane
+from repro.geometry.vec import Mat4, Vec3
+from repro.physics.counters import OpCounter
+from repro.physics.epa import epa_penetration
+from repro.physics.gjk import gjk_intersect
+from repro.physics.shapes import ConvexShape, minkowski_support
+
+
+def box(half=0.5):
+    return ConvexShape(make_box(Vec3(half, half, half)).vertices)
+
+
+def at(shape, x, y=0.0, z=0.0):
+    shape.update_transform(Mat4.translation(Vec3(x, y, z)))
+    return shape
+
+
+class TestDegenerateShapes:
+    def test_flat_shape_vs_box(self):
+        # A plane (zero thickness) intersecting a box.
+        plane = ConvexShape(make_plane(half_size=1.0).vertices)
+        assert gjk_intersect(plane, box()).intersecting
+        assert not gjk_intersect(plane, at(box(), 0.0, 0.0, 3.0)).intersecting
+
+    def test_point_shape(self):
+        point = ConvexShape(np.array([[0.0, 0.0, 0.0]]))
+        assert gjk_intersect(point, box()).intersecting
+        assert not gjk_intersect(point, at(box(), 2.0)).intersecting
+
+    def test_segment_shape(self):
+        segment = ConvexShape(np.array([[-2.0, 0.0, 0.0], [2.0, 0.0, 0.0]]))
+        assert gjk_intersect(segment, box()).intersecting
+        assert not gjk_intersect(segment, at(box(), 0.0, 3.0)).intersecting
+
+    def test_two_flat_shapes_coplanar_offset(self):
+        a = ConvexShape(make_plane(half_size=1.0).vertices)
+        b = ConvexShape(make_plane(half_size=1.0).vertices)
+        at(b, 0.0, 0.0, 0.5)
+        assert not gjk_intersect(a, b).intersecting
+
+
+class TestContainment:
+    def test_deep_containment_fast(self):
+        outer = box(5.0)
+        inner = box(0.1)
+        result = gjk_intersect(outer, inner)
+        assert result.intersecting
+        assert result.iterations <= 8
+
+    def test_epa_containment_depth(self):
+        outer = box(2.0)
+        inner = at(box(0.5), 1.0)
+        result = epa_penetration(outer, inner)
+        # Separating the inner box requires pushing it out through the
+        # nearest face: the +x face at distance 2 - (1 - 0.5) = 1.5.
+        assert result.depth == pytest.approx(1.5, abs=1e-6)
+
+
+class TestWitnesses:
+    def test_simplex_points_are_minkowski_differences(self):
+        a = box()
+        b = at(box(), 0.4)
+        result = gjk_intersect(a, b)
+        for point, (ia, ib) in zip(result.simplex, result.simplex_witnesses):
+            reconstructed = a.world_points[ia] - b.world_points[ib]
+            assert np.allclose(point, reconstructed)
+
+    def test_minkowski_support_extremal(self):
+        a = box()
+        b = at(box(), 1.0)
+        for direction in (np.eye(3)[0], -np.eye(3)[1], np.array([1.0, 1.0, 0.0])):
+            point, _, _ = minkowski_support(a, b, direction)
+            # No other A-B difference can be more extreme.
+            diffs = a.world_points[:, None, :] - b.world_points[None, :, :]
+            assert float(point @ direction) == pytest.approx(
+                float((diffs @ direction).max())
+            )
+
+
+class TestRobustness:
+    def test_identical_overlap_many_directions(self):
+        sphere = make_icosphere(0.5, subdivisions=2)
+        a = ConvexShape(sphere.vertices)
+        rng = np.random.RandomState(11)
+        for _ in range(20):
+            direction = rng.randn(3)
+            direction /= np.linalg.norm(direction)
+            b = ConvexShape(sphere.vertices)
+            b.update_transform(Mat4.translation(Vec3.from_array(direction * 0.5)))
+            assert gjk_intersect(a, b).intersecting
+
+    def test_separated_many_directions(self):
+        sphere = make_icosphere(0.5, subdivisions=2)
+        a = ConvexShape(sphere.vertices)
+        rng = np.random.RandomState(12)
+        for _ in range(20):
+            direction = rng.randn(3)
+            direction /= np.linalg.norm(direction)
+            b = ConvexShape(sphere.vertices)
+            b.update_transform(Mat4.translation(Vec3.from_array(direction * 1.3)))
+            assert not gjk_intersect(a, b).intersecting
+
+    def test_scaled_world_magnitudes(self):
+        """The algorithms must not depend on absolute scale."""
+        for scale in (1e-3, 1.0, 1e3):
+            a = ConvexShape(make_box(Vec3(0.5, 0.5, 0.5)).vertices * scale)
+            b = ConvexShape(make_box(Vec3(0.5, 0.5, 0.5)).vertices * scale)
+            b.update_transform(Mat4.translation(Vec3(0.6 * scale, 0, 0)))
+            assert gjk_intersect(a, b).intersecting
+            b.update_transform(Mat4.translation(Vec3(1.4 * scale, 0, 0)))
+            assert not gjk_intersect(a, b).intersecting
+
+    def test_epa_ops_exceed_gjk_ops(self):
+        gjk_ops = OpCounter()
+        a, b = box(), at(box(), 0.5)
+        result = gjk_intersect(a, b, gjk_ops)
+        epa_ops = OpCounter()
+        epa_penetration(a, b, result, epa_ops)
+        assert epa_ops.total > gjk_ops.total

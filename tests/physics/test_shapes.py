@@ -1,0 +1,77 @@
+"""ConvexShape support-function tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import make_box
+from repro.geometry.vec import Mat4, Vec3
+from repro.physics.counters import OpCounter
+from repro.physics.shapes import ConvexShape, minkowski_support
+
+
+class TestSupport:
+    def test_axis_support_on_box(self):
+        shape = ConvexShape(make_box(Vec3(0.5, 1.0, 1.5)).vertices)
+        sup = shape.support(np.array([1.0, 0.0, 0.0]))
+        assert sup.point[0] == pytest.approx(0.5)
+        sup = shape.support(np.array([0.0, 0.0, -1.0]))
+        assert sup.point[2] == pytest.approx(-1.5)
+
+    def test_support_scales_with_direction_invariance(self):
+        shape = ConvexShape(make_box().vertices)
+        a = shape.support(np.array([1.0, 2.0, 3.0]))
+        b = shape.support(np.array([10.0, 20.0, 30.0]))
+        assert np.allclose(a.point, b.point)
+
+    def test_support_after_transform(self):
+        shape = ConvexShape(make_box(Vec3(0.5, 0.5, 0.5)).vertices)
+        shape.update_transform(Mat4.translation(Vec3(10, 0, 0)))
+        sup = shape.support(np.array([1.0, 0.0, 0.0]))
+        assert sup.point[0] == pytest.approx(10.5)
+
+    def test_support_after_rotation(self):
+        shape = ConvexShape(make_box(Vec3(0.5, 0.5, 0.5)).vertices)
+        shape.update_transform(Mat4.rotation_z(np.pi / 4))
+        sup = shape.support(np.array([1.0, 0.0, 0.0]))
+        assert sup.point[0] == pytest.approx(np.sqrt(0.5))
+
+    def test_support_index_valid(self):
+        shape = ConvexShape(make_box().vertices)
+        sup = shape.support(np.array([1.0, 1.0, 1.0]))
+        assert np.allclose(shape.world_points[sup.index], sup.point)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvexShape(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            ConvexShape(np.zeros((4, 2)))
+
+
+class TestOpCounting:
+    def test_support_ops_linear_in_vertices(self):
+        shape = ConvexShape(make_box().vertices)
+        ops = OpCounter()
+        shape.support(np.array([1.0, 0.0, 0.0]), ops)
+        assert ops.cmp == 8  # one comparison per vertex
+
+    def test_transform_ops_counted(self):
+        shape = ConvexShape(make_box().vertices)
+        ops = OpCounter()
+        shape.update_transform(Mat4.identity(), ops)
+        assert ops.flop == 8 * 18
+
+
+class TestMinkowskiSupport:
+    def test_difference_support(self):
+        a = ConvexShape(make_box(Vec3(0.5, 0.5, 0.5)).vertices)
+        b = ConvexShape(make_box(Vec3(0.5, 0.5, 0.5)).vertices)
+        b.update_transform(Mat4.translation(Vec3(2, 0, 0)))
+        point, ia, ib = minkowski_support(a, b, np.array([1.0, 0.0, 0.0]))
+        # sup_A(+x) = 0.5; sup_B(-x) = 1.5 -> difference = -1.0.
+        assert point[0] == pytest.approx(-1.0)
+        assert 0 <= ia < 8 and 0 <= ib < 8
+
+    def test_center(self):
+        shape = ConvexShape(make_box().vertices)
+        shape.update_transform(Mat4.translation(Vec3(3, 0, 0)))
+        assert np.allclose(shape.center(), [3, 0, 0])

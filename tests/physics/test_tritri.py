@@ -1,0 +1,144 @@
+"""Triangle-triangle / exact mesh-mesh intersection tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.primitives import make_box, make_concave_l, make_icosphere
+from repro.geometry.vec import Mat4, Vec3
+from repro.physics.counters import OpCounter
+from repro.physics.tritri import mesh_pair_intersect, meshes_intersect, tri_tri_intersect
+from repro.physics.world import CollisionWorld
+
+
+def tri(*points):
+    return np.array(points, dtype=np.float64)
+
+
+class TestTriTri:
+    def test_crossing_triangles(self):
+        a = tri([0, 0, 0], [2, 0, 0], [0, 2, 0])
+        b = tri([0.5, 0.5, -1], [0.5, 0.5, 1], [1.5, 0.5, 0])
+        assert tri_tri_intersect(a, b)
+
+    def test_parallel_separated(self):
+        a = tri([0, 0, 0], [1, 0, 0], [0, 1, 0])
+        b = tri([0, 0, 1], [1, 0, 1], [0, 1, 1])
+        assert not tri_tri_intersect(a, b)
+
+    def test_coplanar_overlapping(self):
+        a = tri([0, 0, 0], [2, 0, 0], [0, 2, 0])
+        b = tri([0.5, 0.5, 0], [2.5, 0.5, 0], [0.5, 2.5, 0])
+        assert tri_tri_intersect(a, b)
+
+    def test_coplanar_disjoint(self):
+        a = tri([0, 0, 0], [1, 0, 0], [0, 1, 0])
+        b = tri([5, 5, 0], [6, 5, 0], [5, 6, 0])
+        assert not tri_tri_intersect(a, b)
+
+    def test_shared_edge_counts_as_touching(self):
+        a = tri([0, 0, 0], [1, 0, 0], [0, 1, 0])
+        b = tri([0, 0, 0], [1, 0, 0], [0, -1, 0])
+        assert tri_tri_intersect(a, b)
+
+    def test_piercing_through_interior(self):
+        a = tri([-1, -1, 0], [2, -1, 0], [0, 2, 0])
+        b = tri([0.2, 0.2, -0.5], [0.3, 0.2, 0.5], [0.25, 0.4, 0.5])
+        assert tri_tri_intersect(a, b)
+
+    def test_near_miss_above_plane(self):
+        a = tri([0, 0, 0], [1, 0, 0], [0, 1, 0])
+        b = tri([0.2, 0.2, 0.01], [0.4, 0.2, 0.3], [0.2, 0.4, 0.3])
+        assert not tri_tri_intersect(a, b)
+
+    def test_symmetry(self):
+        rng = np.random.RandomState(0)
+        for _ in range(30):
+            a = rng.randn(3, 3)
+            b = rng.randn(3, 3)
+            assert tri_tri_intersect(a, b) == tri_tri_intersect(b, a)
+
+
+class TestMeshPairs:
+    def test_overlapping_boxes(self):
+        box = make_box(Vec3(0.5, 0.5, 0.5))
+        assert mesh_pair_intersect(
+            box, Mat4.identity(), box, Mat4.translation(Vec3(0.8, 0, 0))
+        )
+
+    def test_separated_boxes(self):
+        box = make_box(Vec3(0.5, 0.5, 0.5))
+        assert not mesh_pair_intersect(
+            box, Mat4.identity(), box, Mat4.translation(Vec3(1.4, 0, 0))
+        )
+
+    def test_concave_notch_true_negative(self):
+        """The exact oracle agrees with RBCD on the Figure 2 scene:
+        a probe inside the concave notch does not touch the L."""
+        l_shape = make_concave_l(1.0, 0.4, 0.4)
+        probe = make_box(Vec3(0.1, 0.1, 0.1))
+        assert not mesh_pair_intersect(
+            l_shape, Mat4.identity(), probe, Mat4.translation(Vec3(0.7, 0.7, 0.0))
+        )
+
+    def test_concave_arm_true_positive(self):
+        l_shape = make_concave_l(1.0, 0.4, 0.4)
+        probe = make_box(Vec3(0.1, 0.1, 0.1))
+        assert mesh_pair_intersect(
+            l_shape, Mat4.identity(), probe, Mat4.translation(Vec3(0.3, 0.35, 0.0))
+        )
+
+    def test_ops_counted_and_large(self):
+        sphere = make_icosphere(0.5, subdivisions=2)
+        exact_ops = OpCounter()
+        mesh_pair_intersect(
+            sphere, Mat4.identity(), sphere, Mat4.translation(Vec3(0.7, 0, 0)),
+            exact_ops,
+        )
+        assert exact_ops.total > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.2, max_value=2.0, allow_nan=False))
+    def test_agrees_with_gjk_on_convex(self, distance):
+        """On convex shapes the exact test and GJK must agree away from
+        the tessellation boundary."""
+        if abs(distance - 1.0) < 0.05:
+            return
+        from repro.physics.gjk import gjk_intersect
+        from repro.physics.shapes import ConvexShape
+
+        sphere = make_icosphere(0.5, subdivisions=2)
+        model = Mat4.translation(Vec3(distance, 0, 0))
+        exact = mesh_pair_intersect(sphere, Mat4.identity(), sphere, model)
+        a = ConvexShape(sphere.vertices)
+        b = ConvexShape(sphere.vertices)
+        b.update_transform(model)
+        assert exact == gjk_intersect(a, b).intersecting
+
+
+class TestWorldExactMode:
+    def test_exact_mode_pairs(self):
+        world = CollisionWorld()
+        world.add_object(1, make_box(Vec3(0.5, 0.5, 0.5)))
+        world.add_object(2, make_box(Vec3(0.5, 0.5, 0.5)))
+        world.set_transform(2, Mat4.translation(Vec3(0.8, 0, 0)))
+        result = world.detect("broad+exact")
+        assert result.pairs == [(1, 2)]
+        assert result.mode == "broad+exact"
+
+    def test_exact_rejects_hull_false_positive(self):
+        world = CollisionWorld()
+        world.add_object(1, make_concave_l(1.0, 0.4, 0.4))
+        world.add_object(2, make_box(Vec3(0.1, 0.1, 0.1)))
+        world.set_transform(2, Mat4.translation(Vec3(0.7, 0.7, 0.0)))
+        assert world.detect("broad+narrow").pairs == [(1, 2)]  # hull FP
+        assert world.detect("broad+exact").pairs == []          # exact TN
+
+    def test_exact_costs_more_than_gjk(self):
+        world = CollisionWorld()
+        world.add_object(1, make_icosphere(0.5, subdivisions=2))
+        world.add_object(2, make_icosphere(0.5, subdivisions=2))
+        world.set_transform(2, Mat4.translation(Vec3(0.7, 0, 0)))
+        gjk_cost = world.detect("broad+narrow").ops.total
+        exact_cost = world.detect("broad+exact").ops.total
+        assert exact_cost > 3 * gjk_cost

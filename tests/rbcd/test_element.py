@@ -1,0 +1,80 @@
+"""ZEB element packing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.config import RBCDConfig
+from repro.rbcd.element import (
+    dequantize_depth,
+    max_object_id,
+    pack_element,
+    quantize_depth,
+    unpack_element,
+)
+
+CFG = RBCDConfig()
+
+
+class TestQuantization:
+    def test_endpoints(self):
+        assert quantize_depth(0.0, CFG) == 0
+        assert quantize_depth(1.0, CFG) == (1 << CFG.z_bits) - 1
+
+    def test_clamps_out_of_range(self):
+        assert quantize_depth(-0.5, CFG) == 0
+        assert quantize_depth(1.5, CFG) == (1 << CFG.z_bits) - 1
+
+    def test_monotone(self):
+        zs = np.linspace(0, 1, 1000)
+        codes = quantize_depth(zs, CFG)
+        assert (np.diff(codes) >= 0).all()
+
+    def test_array_input(self):
+        codes = quantize_depth(np.array([0.0, 0.5, 1.0]), CFG)
+        assert codes.shape == (3,)
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_roundtrip_error_bounded(self, z):
+        code = quantize_depth(z, CFG)
+        back = dequantize_depth(code, CFG)
+        assert abs(float(back) - z) <= 0.5 / ((1 << CFG.z_bits) - 1) + 1e-12
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        word = pack_element(1234, 56, True, CFG)
+        assert unpack_element(word, CFG) == (1234, 56, True)
+
+    def test_word_fits_element_bits(self):
+        word = pack_element((1 << CFG.z_bits) - 1, max_object_id(CFG), True, CFG)
+        assert word < (1 << CFG.element_bits)
+
+    def test_z_in_high_bits_preserves_depth_order(self):
+        near = pack_element(10, max_object_id(CFG), True, CFG)
+        far = pack_element(11, 0, False, CFG)
+        assert near < far
+
+    def test_out_of_range_z_rejected(self):
+        with pytest.raises(ValueError):
+            pack_element(1 << CFG.z_bits, 0, True, CFG)
+
+    def test_out_of_range_id_rejected(self):
+        with pytest.raises(ValueError):
+            pack_element(0, max_object_id(CFG) + 1, True, CFG)
+
+    def test_unpack_validates_width(self):
+        with pytest.raises(ValueError):
+            unpack_element(1 << CFG.element_bits, CFG)
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 18) - 1),
+        st.integers(min_value=0, max_value=(1 << 13) - 1),
+        st.booleans(),
+    )
+    def test_roundtrip_property(self, z, oid, front):
+        assert unpack_element(pack_element(z, oid, front, CFG), CFG) == (z, oid, front)
+
+    def test_id_width_suits_wvga_workloads(self):
+        # 13 id bits give 8192 collisionable objects per frame.
+        assert max_object_id(CFG) == 8191

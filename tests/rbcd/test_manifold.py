@@ -1,0 +1,102 @@
+"""World-space contact unprojection / manifold tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import RBCDSystem
+from repro.geometry.primitives import make_box
+from repro.geometry.vec import Mat4, Vec3
+from repro.rbcd.manifold import ContactManifold, build_manifold, unproject_contacts
+from repro.rbcd.pairs import ContactPoint
+from repro.scenes.camera import Camera
+
+CAMERA = Camera(eye=Vec3(0.0, 0.0, 6.0), target=Vec3.zero())
+SYSTEM = RBCDSystem(resolution=(320, 320))
+
+
+def detect(separation: float):
+    box = make_box(Vec3(0.5, 0.5, 0.5))
+    return SYSTEM.detect(
+        [
+            (1, box, Mat4.translation(Vec3(-separation / 2, 0, 0))),
+            (2, box, Mat4.translation(Vec3(separation / 2, 0, 0))),
+        ],
+        CAMERA,
+    )
+
+
+class TestUnprojection:
+    def test_roundtrip_of_projected_point(self):
+        """Project a known world point, unproject the contact record,
+        and land back on the original."""
+        width = height = 320
+        vp = CAMERA.projection(1.0) @ CAMERA.view()
+        world = Vec3(0.25, -0.3, 0.4)
+        clip = vp.transform_point(world)  # NDC after divide
+        x = int((clip.x + 1.0) * 0.5 * width)
+        y = int((1.0 - clip.y) * 0.5 * height)
+        depth = (clip.z + 1.0) * 0.5
+        contact = ContactPoint(x, y, depth, depth)
+        ends = unproject_contacts([contact], vp, width, height)
+        # Pixel-centre rounding bounds the error to about one pixel's
+        # world footprint at this depth.
+        assert np.linalg.norm(ends[0, 0] - world.to_array()) < 0.05
+
+    def test_empty_contacts(self):
+        vp = CAMERA.projection(1.0) @ CAMERA.view()
+        assert unproject_contacts([], vp, 320, 320).shape == (0, 2, 3)
+
+    def test_front_end_nearer_camera_than_back(self):
+        result = detect(0.8)
+        ends = result.world_contacts(1, 2)
+        assert ends.shape[0] > 0
+        eye = np.array([0.0, 0.0, 6.0])
+        d_front = np.linalg.norm(ends[:, 0] - eye, axis=1)
+        d_back = np.linalg.norm(ends[:, 1] - eye, axis=1)
+        assert (d_front <= d_back + 1e-9).all()
+
+
+class TestManifoldFromDetection:
+    def test_centroid_in_overlap_region(self):
+        # Boxes at +-0.4: overlap region x in [-0.1, 0.1].
+        result = detect(0.8)
+        manifold = result.manifold(1, 2)
+        assert not manifold.is_degenerate()
+        assert abs(manifold.centroid[0]) < 0.15
+        assert abs(manifold.centroid[1]) < 0.55
+        assert abs(manifold.centroid[2]) < 0.6
+
+    def test_penetration_magnitude(self):
+        # Overlap depth along x is 0.2; the per-pixel z interval spans
+        # the boxes' overlap along the VIEW axis (z here), which is the
+        # full box depth where both overlap: up to 1.0.  The mean sits
+        # well inside (0, 1.1).
+        result = detect(0.8)
+        manifold = result.manifold(1, 2)
+        assert 0.0 < manifold.penetration < 1.1
+
+    def test_points_shape(self):
+        result = detect(0.8)
+        manifold = result.manifold(1, 2)
+        assert manifold.points.shape == (manifold.point_count, 3)
+
+    def test_degenerate_for_non_colliding_pair(self):
+        result = detect(2.0)
+        manifold = result.manifold(1, 2)
+        assert manifold.is_degenerate()
+        assert manifold.penetration == 0.0
+
+    def test_normal_is_unit(self):
+        result = detect(0.8)
+        manifold = result.manifold(1, 2)
+        assert np.linalg.norm(manifold.normal) == pytest.approx(1.0)
+
+
+class TestManifoldConstruction:
+    def test_single_contact_normal_along_interval(self):
+        vp = CAMERA.projection(1.0) @ CAMERA.view()
+        contact = ContactPoint(160, 160, 0.4, 0.6)
+        manifold = build_manifold(1, 2, [contact], vp, 320, 320)
+        assert manifold.point_count == 1
+        # Interval runs along the view ray: normal ~ -z (into the scene).
+        assert abs(manifold.normal[2]) > 0.9

@@ -1,0 +1,101 @@
+"""Benchmark workload tests (run at reduced resolution)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU
+from repro.scenes.benchmarks import (
+    BENCHMARKS,
+    all_workloads,
+    workload_by_alias,
+)
+
+CFG = GPUConfig().with_screen(200, 120)
+
+
+@pytest.fixture(scope="module", params=BENCHMARKS)
+def rendered(request):
+    """One RBCD-rendered mid-run frame per workload (cached per module)."""
+    workload = workload_by_alias(request.param, detail=1)
+    frame = workload.scene.frame_at(workload.duration_s / 2.0, CFG)
+    result = GPU(CFG, rbcd_enabled=True).render_frame(frame)
+    return workload, result
+
+
+class TestWorkloadSet:
+    def test_table1_set(self):
+        aliases = [w.alias for w in all_workloads(detail=1)]
+        assert aliases == list(BENCHMARKS)
+
+    def test_unknown_alias_rejected(self):
+        with pytest.raises(ValueError):
+            workload_by_alias("doom")
+
+    def test_times_span_duration(self):
+        workload = workload_by_alias("cap", detail=1)
+        times = workload.times(5)
+        assert times[0] == 0.0
+        assert times[-1] == pytest.approx(workload.duration_s)
+
+    def test_times_validation(self):
+        with pytest.raises(ValueError):
+            workload_by_alias("cap", detail=1).times(0)
+
+
+class TestRenderedFrames:
+    def test_produces_fragments_and_collisionables(self, rendered):
+        workload, result = rendered
+        stats = result.stats
+        assert stats.fragments_produced > 1000, workload.alias
+        assert stats.rbcd_fragments_in > 0, workload.alias
+
+    def test_collisionable_fraction_is_minor(self, rendered):
+        """Most screen fragments belong to untagged scenery (the
+        deferred-culling overhead story depends on this)."""
+        workload, result = rendered
+        frac = result.stats.rbcd_fragments_in / result.stats.fragments_produced
+        assert frac < 0.5, workload.alias
+
+    def test_deferred_culling_produces_tagged_primitives(self, rendered):
+        workload, result = rendered
+        assert result.stats.triangles_tagged_to_be_culled > 0, workload.alias
+
+    def test_cd_meshes_finer_than_render_meshes(self, rendered):
+        workload, _ = rendered
+        finer = 0
+        for obj in workload.scene.objects:
+            if obj.collisionable and obj.cd_mesh is not None:
+                assert obj.cd_mesh.vertex_count >= obj.mesh.vertex_count
+                finer += 1
+        assert finer > 0, workload.alias
+
+    def test_collisions_occur_during_run(self):
+        """Every benchmark's choreography must produce real contacts."""
+        for workload in all_workloads(detail=1):
+            gpu = GPU(CFG, rbcd_enabled=True)
+            found = set()
+            for t in workload.times(6):
+                frame = workload.scene.frame_at(float(t), CFG)
+                result = gpu.render_frame(frame)
+                found |= result.collisions.pairs
+            assert found, f"{workload.alias} produced no collisions"
+
+
+class TestOverflowOrdering:
+    def test_stacked_benchmarks_overflow_more(self):
+        """Table 3's ordering: temple and sleepy stress the ZEB, cap and
+        crazy barely touch it."""
+        cfg4 = CFG.with_rbcd(list_length=4, z_bits=18, id_bits=13)
+        rates = {}
+        for alias in BENCHMARKS:
+            workload = workload_by_alias(alias, detail=1)
+            gpu = GPU(cfg4, rbcd_enabled=True)
+            total_stats = sum(
+                gpu.render_frame(workload.scene.frame_at(float(t), cfg4)).stats
+                for t in workload.times(3)
+            )
+            rates[alias] = total_stats.zeb_overflow_rate
+        assert max(rates["temple"], rates["sleepy"]) > max(
+            rates["cap"], rates["crazy"]
+        )

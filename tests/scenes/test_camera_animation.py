@@ -1,0 +1,104 @@
+"""Camera and animator tests."""
+
+import math
+
+import pytest
+
+from repro.geometry.vec import Mat4, Vec3
+from repro.scenes.animation import (
+    Compose,
+    Drop,
+    LinearPath,
+    Orbit,
+    Oscillate,
+    Spin,
+    Static,
+)
+from repro.scenes.camera import Camera
+
+
+def position_of(animator, t: float) -> Vec3:
+    return animator.transform(t).transform_point(Vec3.zero())
+
+
+class TestCamera:
+    def test_view_places_target_in_front(self):
+        camera = Camera(eye=Vec3(0, 0, 5), target=Vec3(0, 0, 0))
+        view = camera.view()
+        assert view.transform_point(Vec3(0, 0, 0)).z == pytest.approx(-5.0)
+
+    def test_projection_uses_aspect(self):
+        camera = Camera(eye=Vec3(0, 0, 5), target=Vec3(0, 0, 0), fov_y_deg=90)
+        p_wide = camera.projection(2.0)
+        p_square = camera.projection(1.0)
+        assert p_wide.a[0, 0] == pytest.approx(p_square.a[0, 0] / 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Camera(eye=Vec3.zero(), target=Vec3.unit_z(), fov_y_deg=0)
+        with pytest.raises(ValueError):
+            Camera(eye=Vec3.zero(), target=Vec3.unit_z(), near=2.0, far=1.0)
+
+    def test_moved_and_dollied(self):
+        camera = Camera(eye=Vec3(0, 0, 5), target=Vec3(0, 0, 0))
+        assert camera.moved(Vec3(1, 0, 5)).eye == Vec3(1, 0, 5)
+        dollied = camera.dollied(Vec3(0, 0, -1))
+        assert dollied.eye == Vec3(0, 0, 4)
+        assert dollied.target == Vec3(0, 0, -1)
+
+
+class TestAnimators:
+    def test_static(self):
+        anim = Static.at(Vec3(1, 2, 3), scale=2.0)
+        assert position_of(anim, 0.0) == Vec3(1, 2, 3)
+        assert position_of(anim, 99.0) == Vec3(1, 2, 3)
+
+    def test_linear_path(self):
+        anim = LinearPath(Vec3(0, 0, 0), Vec3(1, 0, 0))
+        assert position_of(anim, 2.0).is_close(Vec3(2, 0, 0))
+
+    def test_oscillate_period(self):
+        anim = Oscillate(Vec3.zero(), Vec3.unit_x(), amplitude=2.0, period=1.0)
+        assert position_of(anim, 0.0).is_close(Vec3.zero(), tol=1e-9)
+        assert position_of(anim, 0.25).is_close(Vec3(2, 0, 0), tol=1e-9)
+        assert position_of(anim, 1.0).is_close(Vec3.zero(), tol=1e-6)
+
+    def test_oscillate_phase(self):
+        anim = Oscillate(Vec3.zero(), Vec3.unit_x(), 1.0, 1.0, phase=math.pi / 2)
+        assert position_of(anim, 0.0).is_close(Vec3(1, 0, 0), tol=1e-9)
+
+    def test_orbit_radius_constant(self):
+        anim = Orbit(Vec3(5, 0, 0), radius=2.0, period=1.0)
+        for t in (0.0, 0.13, 0.5, 0.77):
+            p = position_of(anim, t)
+            assert (p - Vec3(5, 0, 0)).length() == pytest.approx(2.0)
+
+    def test_orbit_plane(self):
+        anim = Orbit(Vec3.zero(), radius=1.0, period=1.0, axis=Vec3.unit_y())
+        for t in (0.0, 0.3, 0.6):
+            assert position_of(anim, t).y == pytest.approx(0.0, abs=1e-12)
+
+    def test_spin_rotates_in_place(self):
+        anim = Spin(Vec3(1, 0, 0), Vec3.unit_z(), period=1.0)
+        # The object's origin stays put.
+        assert position_of(anim, 0.37) == Vec3(1, 0, 0)
+        # A local point is rotated about the object origin, then placed:
+        # (2,0,0) at half period -> (-2,0,0) local -> (-1,0,0) world.
+        q = anim.transform(0.5).transform_point(Vec3(2, 0, 0))
+        assert q.is_close(Vec3(-1, 0, 0), tol=1e-9)
+
+    def test_drop_clamps_at_floor(self):
+        anim = Drop(Vec3(0, 10, 0), floor_y=1.0)
+        assert position_of(anim, 0.0).y == pytest.approx(10.0)
+        assert position_of(anim, 100.0).y == pytest.approx(1.0)
+
+    def test_drop_parabolic(self):
+        anim = Drop(Vec3(0, 10, 0), floor_y=0.0, gravity=2.0)
+        assert position_of(anim, 1.0).y == pytest.approx(9.0)
+
+    def test_compose(self):
+        anim = Compose(
+            outer=Static(Mat4.translation(Vec3(10, 0, 0))),
+            inner=LinearPath(Vec3.zero(), Vec3(1, 0, 0)),
+        )
+        assert position_of(anim, 1.0).is_close(Vec3(11, 0, 0))

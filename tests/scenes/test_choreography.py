@@ -1,0 +1,60 @@
+"""Workload choreography: every benchmark exercises both CD outcomes."""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU
+from repro.scenes.benchmarks import BENCHMARKS, workload_by_alias
+
+CFG = GPUConfig().with_screen(200, 120)
+
+
+@pytest.fixture(scope="module", params=BENCHMARKS)
+def run_pairs(request):
+    """Per-frame RBCD pair sets over a 6-frame run (cached per module)."""
+    workload = workload_by_alias(request.param, detail=1)
+    gpu = GPU(CFG, rbcd_enabled=True)
+    per_frame = []
+    for t in workload.times(6):
+        result = gpu.render_frame(workload.scene.frame_at(float(t), CFG))
+        per_frame.append({(p.id_a, p.id_b) for p in result.collisions.pairs})
+    return workload, per_frame
+
+
+class TestChoreography:
+    def test_some_frames_have_collisions(self, run_pairs):
+        workload, per_frame = run_pairs
+        assert any(per_frame), workload.alias
+
+    def test_collision_set_changes_over_time(self, run_pairs):
+        """Objects approach and separate: the pair set must not be
+        constant across the run (static scenes would make the CD-cost
+        comparison degenerate)."""
+        workload, per_frame = run_pairs
+        assert len({frozenset(p) for p in per_frame}) > 1, workload.alias
+
+    def test_not_everything_collides(self, run_pairs):
+        """Most object pairs never touch: CD must mostly return 'no'."""
+        workload, per_frame = run_pairs
+        n = len(workload.scene.collisionable_names)
+        all_pairs = n * (n - 1) // 2
+        seen = set().union(*per_frame)
+        assert len(seen) < all_pairs / 2, workload.alias
+
+    def test_determinism(self, run_pairs):
+        workload, per_frame = run_pairs
+        gpu = GPU(CFG, rbcd_enabled=True)
+        t = float(workload.times(6)[2])
+        again = gpu.render_frame(workload.scene.frame_at(t, CFG))
+        assert {(p.id_a, p.id_b) for p in again.collisions.pairs} == per_frame[2]
+
+
+class TestSoftwareAgreement:
+    def test_rbcd_pairs_are_broad_phase_subset(self, run_pairs):
+        """Every RBCD-detected contact implies AABB overlap."""
+        workload, per_frame = run_pairs
+        world = workload.scene.collision_world()
+        for t, pairs in zip(workload.times(6), per_frame):
+            workload.scene.sync_world(world, float(t))
+            broad = set(world.detect("broad").pairs)
+            assert pairs <= broad, (workload.alias, float(t))

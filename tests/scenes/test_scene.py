@@ -1,0 +1,93 @@
+"""Scene container tests."""
+
+import pytest
+
+from repro.geometry.primitives import make_box, make_uv_sphere
+from repro.geometry.vec import Mat4, Vec3
+from repro.gpu.config import GPUConfig
+from repro.scenes.animation import LinearPath, Static
+from repro.scenes.camera import Camera
+from repro.scenes.scene import Scene
+
+CFG = GPUConfig().with_screen(64, 64)
+
+
+def make_scene() -> Scene:
+    scene = Scene(Camera(eye=Vec3(0, 0, 5), target=Vec3.zero()))
+    scene.add_object("floor", make_box(Vec3(5, 0.1, 5)))
+    scene.add_object("ball", make_uv_sphere(0.5),
+                     LinearPath(Vec3(0, 2, 0), Vec3(0, -1, 0)),
+                     collisionable=True)
+    scene.add_object("crate", make_box(), Static.at(Vec3(2, 0, 0)),
+                     collisionable=True)
+    return scene
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        scene = make_scene()
+        with pytest.raises(ValueError):
+            scene.add_object("ball", make_box())
+
+    def test_object_ids_assigned_in_order(self):
+        scene = make_scene()
+        assert scene.object_id("ball") == 0
+        assert scene.object_id("crate") == 1
+        assert scene.collisionable_names == ["ball", "crate"]
+
+    def test_name_of_roundtrip(self):
+        scene = make_scene()
+        assert scene.name_of(scene.object_id("crate")) == "crate"
+        with pytest.raises(KeyError):
+            scene.name_of(99)
+
+    def test_non_collisionable_has_no_id(self):
+        scene = make_scene()
+        with pytest.raises(KeyError):
+            scene.object_id("floor")
+
+
+class TestFrameCompilation:
+    def test_frame_carries_object_ids(self):
+        frame = make_scene().frame_at(0.0, CFG)
+        ids = [d.object_id for d in frame.draws]
+        assert ids == [None, 0, 1]
+
+    def test_animation_advances(self):
+        scene = make_scene()
+        frame0 = scene.frame_at(0.0, CFG)
+        frame1 = scene.frame_at(1.0, CFG)
+        p0 = frame0.draws[1].model.transform_point(Vec3.zero())
+        p1 = frame1.draws[1].model.transform_point(Vec3.zero())
+        assert p0.y == pytest.approx(2.0)
+        assert p1.y == pytest.approx(1.0)
+
+    def test_raster_only_flag(self):
+        frame = make_scene().frame_at(0.0, CFG, raster_only=True)
+        assert frame.raster_only
+
+    def test_camera_animator_used(self):
+        base = Camera(eye=Vec3(0, 0, 5), target=Vec3.zero())
+        scene = Scene(base, camera_animator=lambda t: base.dollied(Vec3(t, 0, 0)))
+        assert scene.camera_at(2.0).eye.x == pytest.approx(2.0)
+
+
+class TestWorldSync:
+    def test_world_has_collisionables_only(self):
+        world = make_scene().collision_world()
+        assert len(world) == 2
+
+    def test_sync_matches_frame_transforms(self):
+        scene = make_scene()
+        world = scene.collision_world()
+        scene.sync_world(world, 1.0)
+        obj = next(o for o in world.objects() if o.object_id == 0)
+        assert obj.model.transform_point(Vec3.zero()).y == pytest.approx(1.0)
+
+    def test_cd_mesh_used_for_world(self):
+        scene = Scene(Camera(eye=Vec3(0, 0, 5), target=Vec3.zero()))
+        fine = make_uv_sphere(0.5, 24, 36)
+        scene.add_object("ball", make_uv_sphere(0.5), collisionable=True,
+                         cd_mesh=fine)
+        world = scene.collision_world()
+        assert world.objects()[0].mesh.vertex_count == fine.vertex_count

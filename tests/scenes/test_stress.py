@@ -1,0 +1,41 @@
+"""Stress workload tests."""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU
+from repro.scenes.benchmarks import make_stress
+
+CFG = GPUConfig().with_screen(160, 96)
+
+
+class TestMakeStress:
+    def test_object_count(self):
+        workload = make_stress(num_objects=10, detail=1)
+        assert len(workload.scene.collisionable_names) == 10
+
+    def test_minimum_objects(self):
+        with pytest.raises(ValueError):
+            make_stress(num_objects=1)
+
+    def test_deterministic_for_seed(self):
+        a = make_stress(8, detail=1, seed=5)
+        b = make_stress(8, detail=1, seed=5)
+        fa = a.scene.frame_at(0.7, CFG)
+        fb = b.scene.frame_at(0.7, CFG)
+        import numpy as np
+
+        for da, db in zip(fa.draws, fb.draws):
+            assert np.allclose(da.model.a, db.model.a)
+
+    def test_produces_collisions_over_run(self):
+        workload = make_stress(num_objects=12, detail=1)
+        gpu = GPU(CFG, rbcd_enabled=True)
+        found = set()
+        for t in workload.times(5):
+            result = gpu.render_frame(workload.scene.frame_at(float(t), CFG))
+            found |= result.collisions.pairs
+        assert found
+
+    def test_alias_encodes_size(self):
+        assert make_stress(num_objects=7, detail=1).alias == "stress7"
