@@ -96,9 +96,17 @@ class RBCDSystem:
         (Section 2.2).
     zeb_count, list_length:
         RBCD unit configuration (Table 2 defaults: 2 ZEBs, M=8).
+    workers, executor_backend:
+        Host-side tile-execution engine: fan per-tile RBCD work out to
+        ``workers`` workers ("thread" or "process" backend; the default
+        picks "process" when ``workers > 1``).  Results are merged
+        deterministically, so any worker count produces bit-identical
+        collisions, stats, and simulated cycles.  Use :meth:`close` (or
+        a ``with`` block) to release pooled workers.
     config:
         Full :class:`GPUConfig` override; when given, the other
-        keyword parameters are ignored.
+        keyword parameters are ignored (except ``workers`` /
+        ``executor_backend``, which still apply when non-default).
     """
 
     def __init__(
@@ -106,6 +114,8 @@ class RBCDSystem:
         resolution: tuple[int, int] = (800, 480),
         zeb_count: int = 2,
         list_length: int = 8,
+        workers: int = 1,
+        executor_backend: str | None = None,
         config: GPUConfig | None = None,
     ) -> None:
         if config is None:
@@ -115,8 +125,22 @@ class RBCDSystem:
                 list_length=list_length,
                 ff_stack_entries=max(list_length, 8),
             )
+        if workers != 1 or executor_backend is not None:
+            config = config.with_executor(
+                workers=workers, backend=executor_backend
+            )
         self.config = config
         self._gpu = GPU(config, rbcd_enabled=True)
+
+    def close(self) -> None:
+        """Shut down the tile-executor worker pool, if any."""
+        self._gpu.close()
+
+    def __enter__(self) -> "RBCDSystem":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def detect_frame(self, frame: Frame) -> RBCDFrameResult:
         """Run detection (and rendering) on a prepared GPU frame."""
@@ -187,16 +211,18 @@ def detect_collisions(
     objects: list[tuple[int, TriangleMesh, Mat4]],
     camera: Camera | None = None,
     resolution: tuple[int, int] = (256, 256),
+    workers: int = 1,
 ) -> set[tuple[int, int]]:
     """One-shot render-based collision detection.
 
     When no camera is given, one is synthesized to frame all objects
     (see :func:`default_camera_for`).  Returns the set of colliding
-    ``(id_low, id_high)`` pairs.
+    ``(id_low, id_high)`` pairs.  ``workers > 1`` runs the per-tile
+    RBCD work on a process pool; the result is identical.
     """
     if not objects:
         return set()
     if camera is None:
         camera = default_camera_for(objects)
-    system = RBCDSystem(resolution=resolution)
-    return system.detect(objects, camera).pairs
+    with RBCDSystem(resolution=resolution, workers=workers) as system:
+        return system.detect(objects, camera).pairs

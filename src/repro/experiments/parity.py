@@ -1,0 +1,104 @@
+"""Serial-vs-parallel parity check (CI smoke job).
+
+Renders a benchmark scene twice — once on the serial tile executor and
+once with a worker pool — and diffs everything observable: collision
+pairs, contact records, the full stats dict, and the simulated cycle
+count.  Any difference is a determinism bug in the parallel engine.
+
+    PYTHONPATH=src python -m repro.experiments.parity --workers 2
+
+Exit status 0 means bit-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU, FrameResult
+from repro.scenes.benchmarks import BENCHMARKS, workload_by_alias
+
+
+def _frame_fingerprint(result: FrameResult) -> dict:
+    """Everything a frame result exposes, in comparable form."""
+    report = result.collisions
+    return {
+        "pairs": report.as_sorted_pairs(),
+        "contacts": {
+            (pair.id_a, pair.id_b): [
+                (c.x, c.y, c.z_front, c.z_back) for c in points
+            ]
+            for pair, points in report.contacts.items()
+        },
+        "pair_records_written": report.pair_records_written,
+        "stats": result.stats.as_dict(),
+        "gpu_cycles": result.gpu_cycles,
+    }
+
+
+def check_parity(
+    alias: str = "temple",
+    width: int = 320,
+    height: int = 192,
+    frames: int = 2,
+    detail: int = 1,
+    workers: int = 2,
+    backend: str = "process",
+) -> list[str]:
+    """Compare serial and parallel renders; returns mismatch messages."""
+    workload = workload_by_alias(alias, detail)
+    serial_config = GPUConfig().with_screen(width, height)
+    parallel_config = serial_config.with_executor(workers=workers, backend=backend)
+
+    mismatches: list[str] = []
+    serial_gpu = GPU(serial_config, rbcd_enabled=True)
+    with GPU(parallel_config, rbcd_enabled=True) as parallel_gpu:
+        for t in workload.times(frames):
+            frame = workload.scene.frame_at(float(t), serial_config)
+            serial = _frame_fingerprint(serial_gpu.render_frame(frame))
+            parallel = _frame_fingerprint(parallel_gpu.render_frame(frame))
+            for key in serial:
+                if serial[key] != parallel[key]:
+                    mismatches.append(
+                        f"{alias} t={t}: {key} differs\n"
+                        f"  serial:   {serial[key]}\n"
+                        f"  parallel: {parallel[key]}"
+                    )
+    return mismatches
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.parity",
+        description="Prove parallel tile execution is bit-identical to serial.",
+    )
+    parser.add_argument("--benchmark", choices=BENCHMARKS, default="temple")
+    parser.add_argument("--width", type=int, default=320)
+    parser.add_argument("--height", type=int, default=192)
+    parser.add_argument("--frames", type=int, default=2)
+    parser.add_argument("--detail", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--backend", choices=("thread", "process"), default="process"
+    )
+    args = parser.parse_args(argv)
+
+    mismatches = check_parity(
+        alias=args.benchmark, width=args.width, height=args.height,
+        frames=args.frames, detail=args.detail, workers=args.workers,
+        backend=args.backend,
+    )
+    if mismatches:
+        print("\n".join(mismatches))
+        print(f"PARITY FAIL: {len(mismatches)} mismatch(es)")
+        return 1
+    print(
+        f"PARITY OK: {args.benchmark} x{args.frames} frames, "
+        f"{args.backend} pool with {args.workers} workers == serial"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,274 @@
+"""Parallel tile-execution engine with a deterministic merge.
+
+The paper's core observation is that per-tile RBCD work — ZEB sorted
+insertion plus the Z-Overlap Test — is fully independent across the
+tiles of a TBR GPU: each tile owns its ZEB, its spare pool, and its
+slice of the output buffer.  The simulator exploits the same
+independence on the host CPU: a :class:`TileExecutor` fans per-tile
+work (:func:`repro.rbcd.unit.compute_tile`) out to a pool of workers
+and hands the results back **in tile-schedule order**, so the caller's
+merge — :meth:`RBCDUnit.absorb` tile by tile — produces collision
+reports, counters, and cycle numbers bit-identical to the serial path
+regardless of worker count or completion order.
+
+Three backends, selected by :class:`~repro.gpu.config.GPUConfig`:
+
+* ``serial`` — in-process loop, zero dispatch overhead (the default);
+* ``thread`` — ``ThreadPoolExecutor``; cheap dispatch, shared memory,
+  but insertion/overlap kernels hold the GIL between numpy calls;
+* ``process`` — ``ProcessPoolExecutor``; true CPU parallelism, paying
+  one config pickle per chunk and one result pickle per tile.
+
+Tiles are batched into chunks (``executor_chunk_tiles``) to amortize
+dispatch overhead: most tiles of a real frame carry a handful of
+collisionable fragments, far too little work to justify one IPC round
+trip each.
+
+Determinism argument (tested by ``tests/gpu/test_parallel.py`` and
+``tests/rbcd/test_differential.py``):
+
+1. :func:`compute_tile` is a pure function of ``(config, tile
+   fragments)`` — no shared state, and numpy kernels are deterministic
+   across threads and processes.
+2. ``Executor.map`` returns results in submission order, which is the
+   tile-schedule order produced by :func:`gather_tile_tasks`.
+3. The merge (absorbing results and summing stats) runs serially over
+   that order, so contact-record ordering, counters and the
+   per-tile cycle arrays fed to the stall model are identical to a
+   serial run.  Simulated ``gpu_cycles`` are computed from those
+   per-tile timings — never from wall clock — so they are invariant
+   under the worker count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.stats import TileStats
+from repro.rbcd.unit import RBCDTileResult, RBCDUnit, compute_tile
+
+__all__ = [
+    "TileTask",
+    "TileExecutor",
+    "SerialTileExecutor",
+    "ThreadPoolTileExecutor",
+    "ProcessPoolTileExecutor",
+    "make_executor",
+    "gather_tile_tasks",
+    "chunk_tasks",
+    "merge_tile_results",
+    "tile_stats_of",
+]
+
+
+@dataclass(frozen=True)
+class TileTask:
+    """One tile's collisionable fragments, in arrival order.
+
+    Coordinates are global pixel coordinates, exactly what
+    :func:`repro.rbcd.unit.compute_tile` expects.  Frozen and
+    array-valued so tasks pickle cheaply to process workers.
+    """
+
+    tile_index: int
+    x: np.ndarray
+    y: np.ndarray
+    z: np.ndarray
+    object_id: np.ndarray
+    front: np.ndarray
+
+    @property
+    def fragment_count(self) -> int:
+        return int(self.x.shape[0])
+
+
+def gather_tile_tasks(frags, config: GPUConfig) -> list[TileTask]:
+    """Group a frame's collisionable fragments into per-tile tasks.
+
+    Tasks come back in tile-schedule order (ascending tile index, the
+    order the Tile Scheduler visits them) with each tile's fragments in
+    their original arrival order — the ordering contract every executor
+    backend preserves.
+    """
+    coll = np.flatnonzero(frags.object_id >= 0)
+    if coll.shape[0] == 0:
+        return []
+    tiles = frags.tile_index(config)[coll]
+    order = np.lexsort((coll, tiles))  # per tile, arrival order
+    sorted_idx = coll[order]
+    sorted_tiles = tiles[order]
+    boundaries = np.flatnonzero(np.r_[True, sorted_tiles[1:] != sorted_tiles[:-1]])
+    boundaries = np.r_[boundaries, sorted_tiles.shape[0]]
+    tasks: list[TileTask] = []
+    for b in range(boundaries.shape[0] - 1):
+        lo, hi = boundaries[b], boundaries[b + 1]
+        idx = sorted_idx[lo:hi]
+        tasks.append(
+            TileTask(
+                tile_index=int(sorted_tiles[lo]),
+                x=frags.x[idx],
+                y=frags.y[idx],
+                z=frags.z[idx],
+                object_id=frags.object_id[idx],
+                front=frags.front[idx],
+            )
+        )
+    return tasks
+
+
+def chunk_tasks(
+    tasks: Sequence[TileTask], chunk_size: int
+) -> list[tuple[TileTask, ...]]:
+    """Split a task list into dispatch chunks, preserving order."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [
+        tuple(tasks[i : i + chunk_size]) for i in range(0, len(tasks), chunk_size)
+    ]
+
+
+def _run_chunk(
+    payload: tuple[GPUConfig, tuple[TileTask, ...]]
+) -> list[RBCDTileResult]:
+    """Worker entry point: compute every tile of one chunk in order.
+
+    Top-level so it pickles for the process backend.
+    """
+    config, chunk = payload
+    return [
+        compute_tile(config, t.tile_index, t.x, t.y, t.z, t.object_id, t.front)
+        for t in chunk
+    ]
+
+
+class TileExecutor:
+    """Maps per-tile RBCD work over a frame's tile tasks.
+
+    Subclasses implement :meth:`_map_chunks`; :meth:`run` guarantees the
+    result list is in task order (tile-schedule order) whatever the
+    completion order underneath.  Executors are reusable across frames
+    and configs — pass the config per call — and pooled backends keep
+    their pool alive until :meth:`close`.
+    """
+
+    backend = "serial"
+
+    def run(
+        self, config: GPUConfig, tasks: Sequence[TileTask]
+    ) -> list[RBCDTileResult]:
+        """Compute all tasks; results ordered exactly like ``tasks``."""
+        if not tasks:
+            return []
+        chunks = chunk_tasks(tasks, config.executor_chunk_tiles)
+        results: list[RBCDTileResult] = []
+        for chunk_results in self._map_chunks(config, chunks):
+            results.extend(chunk_results)
+        return results
+
+    def _map_chunks(
+        self, config: GPUConfig, chunks: list[tuple[TileTask, ...]]
+    ) -> Iterable[list[RBCDTileResult]]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled resources (no-op for the serial backend)."""
+
+    def __enter__(self) -> "TileExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialTileExecutor(TileExecutor):
+    """The reference backend: compute tiles inline, one at a time."""
+
+    backend = "serial"
+
+    def _map_chunks(self, config, chunks):
+        for chunk in chunks:
+            yield _run_chunk((config, chunk))
+
+
+class _PooledTileExecutor(TileExecutor):
+    """Shared machinery for the thread/process backends: a lazily
+    created ``concurrent.futures`` pool whose ``map`` (order-preserving
+    by contract) runs chunks concurrently."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._pool: Executor | None = None
+
+    def _make_pool(self) -> Executor:
+        raise NotImplementedError
+
+    def _map_chunks(self, config, chunks):
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool.map(_run_chunk, [(config, chunk) for chunk in chunks])
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadPoolTileExecutor(_PooledTileExecutor):
+    """Thread-pool backend: cheap dispatch, GIL-limited speedup."""
+
+    backend = "thread"
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="rbcd-tile"
+        )
+
+
+class ProcessPoolTileExecutor(_PooledTileExecutor):
+    """Process-pool backend: true CPU parallelism across tiles."""
+
+    backend = "process"
+
+    def _make_pool(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+def make_executor(config: GPUConfig) -> TileExecutor:
+    """Build the executor a config asks for (see ``executor_backend``)."""
+    if config.executor_backend == "serial" or config.executor_workers == 1:
+        return SerialTileExecutor()
+    if config.executor_backend == "thread":
+        return ThreadPoolTileExecutor(config.executor_workers)
+    return ProcessPoolTileExecutor(config.executor_workers)
+
+
+def merge_tile_results(
+    unit: RBCDUnit, results: Iterable[RBCDTileResult]
+) -> list[RBCDTileResult]:
+    """Deterministic reduction: absorb results in the given order.
+
+    The caller passes results in tile-schedule order (what
+    :meth:`TileExecutor.run` returns); absorbing serially makes the
+    unit's report and counters bit-identical to a serial run.
+    """
+    absorbed = []
+    for result in results:
+        unit.absorb(result)
+        absorbed.append(result)
+    return absorbed
+
+
+def tile_stats_of(result: RBCDTileResult) -> TileStats:
+    """Per-tile activity record for one computed tile."""
+    return TileStats(
+        tile_index=result.tile_index,
+        collisionable_fragments=result.zeb.insertions,
+        overlap_cycles=result.overlap_cycles,
+    )

@@ -47,6 +47,7 @@ from repro.gpu.fragment import (
     fragment_shader_cycles_per_draw,
     shade_fragments,
 )
+from repro.gpu.parallel import TileExecutor, gather_tile_tasks, make_executor
 from repro.gpu.raster import FragmentSoup, rasterize
 from repro.gpu.shading import shade_draws, vertex_stage_cycles
 from repro.gpu.stats import GPUStats
@@ -163,6 +164,7 @@ class GPU:
         config: GPUConfig | None = None,
         rbcd_enabled: bool = True,
         rendering_mode: str = "tbr",
+        executor: TileExecutor | None = None,
     ) -> None:
         """``rendering_mode``:
 
@@ -174,6 +176,12 @@ class GPU:
           paper scopes RBCD to tile-based GPUs, so IMR is baseline-only
           (``rbcd_enabled`` must be False); it exists to quantify the
           TBR-vs-IMR memory-traffic trade the paper describes.
+
+        ``executor`` injects a :class:`~repro.gpu.parallel.TileExecutor`
+        for the RBCD tile fan-out; by default one is built lazily from
+        the config's ``executor_*`` fields (and owned — closed — by
+        this GPU).  Parallel execution changes nothing observable:
+        results merge deterministically in tile-schedule order.
         """
         if rendering_mode not in ("tbr", "tbdr", "imr"):
             raise ValueError('rendering_mode must be "tbr", "tbdr" or "imr"')
@@ -185,6 +193,27 @@ class GPU:
         self.config = config if config is not None else GPUConfig()
         self.rbcd_enabled = rbcd_enabled
         self.rendering_mode = rendering_mode
+        self._executor = executor
+        self._owns_executor = executor is None
+
+    @property
+    def executor(self) -> TileExecutor:
+        """The tile-execution engine (built from the config on first use)."""
+        if self._executor is None:
+            self._executor = make_executor(self.config)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down an owned worker pool (serial backend: no-op)."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "GPU":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def render_frame(
         self,
@@ -381,33 +410,20 @@ class GPU:
         overlap_cycles: np.ndarray,
         insertion_limit: np.ndarray,
     ) -> CollisionReport:
-        """Feed every collisionable fragment, tile by tile, to the unit."""
-        config = self.config
-        coll = np.flatnonzero(frags.object_id >= 0)
-        stats.rbcd_fragments_in += int(coll.shape[0])
-        if coll.shape[0]:
-            tiles = frags.tile_index(config)[coll]
-            order = np.lexsort((coll, tiles))  # per tile, arrival order
-            sorted_idx = coll[order]
-            sorted_tiles = tiles[order]
-            boundaries = np.flatnonzero(
-                np.r_[True, sorted_tiles[1:] != sorted_tiles[:-1]]
-            )
-            boundaries = np.r_[boundaries, sorted_tiles.shape[0]]
-            for b in range(boundaries.shape[0] - 1):
-                lo, hi = boundaries[b], boundaries[b + 1]
-                idx = sorted_idx[lo:hi]
-                tile = int(sorted_tiles[lo])
-                result = unit.process_tile(
-                    tile,
-                    frags.x[idx],
-                    frags.y[idx],
-                    frags.z[idx],
-                    frags.object_id[idx],
-                    frags.front[idx],
-                )
-                overlap_cycles[tile] = result.overlap_cycles
-                insertion_limit[tile] = result.insertion_cycles
+        """Feed every collisionable fragment, tile by tile, to the unit.
+
+        Tiles are dispatched through the configured
+        :class:`~repro.gpu.parallel.TileExecutor` and the results are
+        absorbed back in tile-schedule order, so the report, counters,
+        and cycle arrays are identical whatever the backend or worker
+        count.
+        """
+        tasks = gather_tile_tasks(frags, self.config)
+        stats.rbcd_fragments_in += sum(t.fragment_count for t in tasks)
+        for result in self.executor.run(self.config, tasks):
+            unit.absorb(result)
+            overlap_cycles[result.tile_index] = result.overlap_cycles
+            insertion_limit[result.tile_index] = result.insertion_cycles
 
         stats.zeb_insertions += unit.insertions
         stats.zeb_overflow_events += unit.overflow_events

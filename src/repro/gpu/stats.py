@@ -80,10 +80,23 @@ class GPUStats:
         return out
 
     def __radd__(self, other):
-        # Support sum() starting from 0.
-        if other == 0:
+        # Support plain ``sum(stats_iterable)``: the implicit 0 start
+        # value (and any int-zero partial accumulator) folds away, so
+        # the parallel merge can ``sum()`` per-tile stats directly.
+        if isinstance(other, GPUStats):
+            return other.__add__(self)
+        if isinstance(other, (int, float)) and other == 0:
             return self
-        return self.__add__(other)
+        return NotImplemented
+
+    @classmethod
+    def sum(cls, items: "list[GPUStats] | tuple[GPUStats, ...]") -> "GPUStats":
+        """Sum an iterable of stats; an empty iterable yields zeros
+        (plain ``sum([])`` would return the int 0)."""
+        total = cls()
+        for item in items:
+            total = total + item
+        return total
 
     # -- derived ratios (used by the figures) -----------------------------------
 
@@ -147,3 +160,22 @@ class TileStats:
     overlap_cycles: float = 0.0
     tc_load_lines: int = 0
     tc_load_misses: int = 0
+
+    def __add__(self, other: "TileStats") -> "TileStats":
+        """Aggregate two tiles' activity (``tile_index`` becomes the
+        earlier one's — an accumulation is no longer a single tile)."""
+        if not isinstance(other, TileStats):
+            return NotImplemented
+        out = TileStats(tile_index=min(self.tile_index, other.tile_index))
+        for f in fields(self):
+            if f.name == "tile_index":
+                continue
+            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return out
+
+    def __radd__(self, other):
+        if isinstance(other, TileStats):
+            return other.__add__(self)
+        if isinstance(other, (int, float)) and other == 0:
+            return self
+        return NotImplemented

@@ -77,9 +77,26 @@ class HybridCDSystem:
         resolution: tuple[int, int] = (800, 480),
         rbcd_system: RBCDSystem | None = None,
         raster_only: bool = True,
+        workers: int = 1,
     ) -> None:
-        self.rbcd = rbcd_system if rbcd_system is not None else RBCDSystem(resolution)
+        """``workers`` configures the RBCD side's parallel tile engine
+        (ignored when an explicit ``rbcd_system`` is injected)."""
+        self.rbcd = (
+            rbcd_system
+            if rbcd_system is not None
+            else RBCDSystem(resolution, workers=workers)
+        )
         self.raster_only = raster_only
+
+    def close(self) -> None:
+        """Release the RBCD system's worker pool, if any."""
+        self.rbcd.close()
+
+    def __enter__(self) -> "HybridCDSystem":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def detect(
         self,

@@ -52,13 +52,77 @@ def _multi_object_lists(zeb: ZEBTile) -> np.ndarray:
 
 @dataclass
 class RBCDTileResult:
-    """Everything the unit produced for one tile."""
+    """Everything the unit produced for one tile.
+
+    Instances are self-contained (plain ints and numpy arrays), so they
+    pickle cleanly across process boundaries: the parallel tile engine
+    computes them in workers and the owning :class:`RBCDUnit` absorbs
+    them afterwards, in tile-schedule order.
+    """
 
     tile_index: int
     zeb: ZEBTile
     overlap: OverlapResult
     insertion_cycles: float
     overlap_cycles: float
+    analyzed_lists: int = 0
+    analyzed_elements: int = 0
+
+
+def compute_tile(
+    gpu_config: GPUConfig,
+    tile_index: int,
+    x: np.ndarray,
+    y: np.ndarray,
+    z: np.ndarray,
+    object_id: np.ndarray,
+    is_front: np.ndarray,
+) -> RBCDTileResult:
+    """Pure per-tile RBCD computation: ZEB insertion + Z-Overlap Test.
+
+    This is the stateless core of :meth:`RBCDUnit.process_tile`: it
+    touches no shared state, so any number of tiles may be computed
+    concurrently (each tile has its own ZEB and its own spare pool).
+    ``x``/``y`` are *global* pixel coordinates in arrival order; the
+    tile-local pixel index is derived here, mirroring how the
+    Rasterizer addresses the ZEB.
+    """
+    config = gpu_config.rbcd
+    ts = gpu_config.tile_size
+    if x.shape[0] and int(object_id.max()) > max_object_id(config):
+        raise ValueError(
+            f"object id {int(object_id.max())} exceeds the "
+            f"{config.id_bits}-bit ZEB id field"
+        )
+    local = (y % ts).astype(np.int64) * ts + (x % ts).astype(np.int64)
+    zeb = build_zeb_tile(local, z, object_id, is_front, config)
+    overlap = analyze_tile(zeb, config)
+
+    # The multi-object filter: lists whose entries all belong to one
+    # object are skipped by the overlap hardware (they cannot yield a
+    # pair).  Functionally a no-op; counted for the cycle model.
+    multi_object = _multi_object_lists(zeb)
+    analyzed_lists = int(multi_object.sum())
+    analyzed_elements = int(zeb.counts[multi_object].sum())
+
+    insertion_cycles = float(zeb.insertions)
+    overlap_cycles = 0.0
+    if zeb.insertions:
+        overlap_cycles = (
+            gpu_config.tile_pixels / _BITMAP_PIXELS_PER_CYCLE
+            + analyzed_lists
+            + analyzed_elements
+            + overlap.pair_records
+        )
+    return RBCDTileResult(
+        tile_index=tile_index,
+        zeb=zeb,
+        overlap=overlap,
+        insertion_cycles=insertion_cycles,
+        overlap_cycles=overlap_cycles,
+        analyzed_lists=analyzed_lists,
+        analyzed_elements=analyzed_elements,
+    )
 
 
 class RBCDUnit:
@@ -104,51 +168,31 @@ class RBCDUnit:
 
         ``x``/``y`` are *global* pixel coordinates (in arrival order);
         the unit derives the tile-local pixel index itself, mirroring
-        how the Rasterizer addresses the ZEB.
+        how the Rasterizer addresses the ZEB.  Equivalent to
+        :func:`compute_tile` followed by :meth:`absorb`.
         """
-        ts = self.gpu_config.tile_size
-        if x.shape[0] and int(object_id.max()) > max_object_id(self.config):
-            raise ValueError(
-                f"object id {int(object_id.max())} exceeds the "
-                f"{self.config.id_bits}-bit ZEB id field"
-            )
-        local = (y % ts).astype(np.int64) * ts + (x % ts).astype(np.int64)
-        zeb = build_zeb_tile(local, z, object_id, is_front, self.config)
-        overlap = analyze_tile(zeb, self.config)
-
-        # The multi-object filter: lists whose entries all belong to one
-        # object are skipped by the overlap hardware (they cannot yield
-        # a pair).  Functionally a no-op; counted for the cycle model.
-        multi_object = _multi_object_lists(zeb)
-        analyzed_lists = int(multi_object.sum())
-        analyzed_elements = int(zeb.counts[multi_object].sum())
-
-        self.insertions += zeb.insertions
-        self.overflow_events += zeb.overflow_events
-        self.spare_allocations += zeb.spare_allocations
-        self.lists_analyzed += analyzed_lists
-        self.elements_read += analyzed_elements
-        self.stack_overflows += overlap.stack_overflows
-        self.unmatched_backfaces += overlap.unmatched_backfaces
-
-        self._record_pairs(tile_index, zeb, overlap)
-
-        insertion_cycles = float(zeb.insertions)
-        overlap_cycles = 0.0
-        if zeb.insertions:
-            overlap_cycles = (
-                self.gpu_config.tile_pixels / _BITMAP_PIXELS_PER_CYCLE
-                + analyzed_lists
-                + analyzed_elements
-                + overlap.pair_records
-            )
-        return RBCDTileResult(
-            tile_index=tile_index,
-            zeb=zeb,
-            overlap=overlap,
-            insertion_cycles=insertion_cycles,
-            overlap_cycles=overlap_cycles,
+        result = compute_tile(
+            self.gpu_config, tile_index, x, y, z, object_id, is_front
         )
+        self.absorb(result)
+        return result
+
+    def absorb(self, result: RBCDTileResult) -> None:
+        """Fold one tile's result into the per-frame counters and report.
+
+        Results must be absorbed in tile-schedule order for the report's
+        contact-record ordering to be bit-identical to the serial path;
+        every counter is a plain sum, so the order affects only record
+        layout, never values.
+        """
+        self.insertions += result.zeb.insertions
+        self.overflow_events += result.zeb.overflow_events
+        self.spare_allocations += result.zeb.spare_allocations
+        self.lists_analyzed += result.analyzed_lists
+        self.elements_read += result.analyzed_elements
+        self.stack_overflows += result.overlap.stack_overflows
+        self.unmatched_backfaces += result.overlap.unmatched_backfaces
+        self._record_pairs(result.tile_index, result.zeb, result.overlap)
 
     def _record_pairs(
         self, tile_index: int, zeb: ZEBTile, overlap: OverlapResult

@@ -1,0 +1,215 @@
+"""Parallel tile-execution engine: determinism and merge algebra.
+
+The acceptance bar for the engine: rendering any frame with any
+backend, worker count, or chunk size yields a ``FrameResult`` — pairs,
+contact records, the full stats dict, simulated cycles — exactly equal
+to the serial path's.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.parallel import (
+    ProcessPoolTileExecutor,
+    SerialTileExecutor,
+    ThreadPoolTileExecutor,
+    chunk_tasks,
+    gather_tile_tasks,
+    make_executor,
+    tile_stats_of,
+)
+from repro.gpu.pipeline import GPU
+from repro.gpu.stats import GPUStats, TileStats
+from tests.conftest import sphere_pair_frame, two_boxes_frame
+
+
+def frame_fingerprint(result):
+    report = result.collisions
+    return {
+        "pairs": report.as_sorted_pairs(),
+        "contacts": {
+            (p.id_a, p.id_b): [(c.x, c.y, c.z_front, c.z_back) for c in pts]
+            for p, pts in report.contacts.items()
+        },
+        "pair_records_written": report.pair_records_written,
+        "stats": result.stats.as_dict(),
+        "gpu_cycles": result.gpu_cycles,
+    }
+
+
+class TestDeterminism:
+    def test_worker_count_does_not_change_frame_result(self, small_config):
+        """The issue's regression check: 1, 2 and 8 workers ≡ serial."""
+        frame = sphere_pair_frame(small_config, 0.8)
+        serial = frame_fingerprint(GPU(small_config).render_frame(frame))
+        for workers in (1, 2, 8):
+            config = small_config.with_executor(workers=workers, backend="process")
+            with GPU(config) as gpu:
+                parallel = frame_fingerprint(gpu.render_frame(frame))
+            assert parallel == serial
+
+    def test_thread_backend_matches_serial(self, small_config):
+        frame = two_boxes_frame(small_config, 0.8)
+        serial = frame_fingerprint(GPU(small_config).render_frame(frame))
+        config = small_config.with_executor(workers=4, backend="thread")
+        with GPU(config) as gpu:
+            assert frame_fingerprint(gpu.render_frame(frame)) == serial
+
+    @pytest.mark.parametrize("chunk", [1, 3, 64])
+    def test_chunk_size_does_not_change_frame_result(self, small_config, chunk):
+        frame = two_boxes_frame(small_config, 0.8)
+        serial = frame_fingerprint(GPU(small_config).render_frame(frame))
+        config = small_config.with_executor(
+            workers=2, backend="thread", chunk_tiles=chunk
+        )
+        with GPU(config) as gpu:
+            assert frame_fingerprint(gpu.render_frame(frame)) == serial
+
+    def test_executor_reused_across_frames(self, small_config):
+        config = small_config.with_executor(workers=2, backend="thread")
+        with GPU(config) as gpu:
+            first_executor = gpu.executor
+            for separation in (0.6, 0.8, 1.5):
+                frame = two_boxes_frame(small_config, separation)
+                serial = frame_fingerprint(GPU(small_config).render_frame(frame))
+                assert frame_fingerprint(gpu.render_frame(frame)) == serial
+                assert gpu.executor is first_executor
+
+    def test_stall_model_cycles_invariant_under_workers(self, small_config):
+        # Simulated cycles come from per-tile timings, not wall clock:
+        # the double-buffered-ZEB stall accounting must not move.
+        frame = sphere_pair_frame(small_config, 0.7)
+        serial = GPU(small_config).render_frame(frame)
+        config = small_config.with_executor(workers=8, backend="process")
+        with GPU(config) as gpu:
+            parallel = gpu.render_frame(frame)
+        assert parallel.stats.raster_stall_cycles == serial.stats.raster_stall_cycles
+        assert parallel.stats.raster_pipeline_cycles == serial.stats.raster_pipeline_cycles
+        assert parallel.stats.gpu_cycles == serial.stats.gpu_cycles
+
+
+class TestStatsMergeAlgebra:
+    @staticmethod
+    def random_stats(rng):
+        # Integer-valued fields keep float addition exact, so shuffled
+        # merge orders must agree to the last bit.
+        stats = GPUStats()
+        for f in GPUStats.__dataclass_fields__:
+            value = int(rng.randrange(0, 1000))
+            current = getattr(stats, f)
+            setattr(stats, f, float(value) if isinstance(current, float) else value)
+        return stats
+
+    def test_add_commutative_and_associative_over_shuffled_tiles(self):
+        rng = random.Random(3)
+        parts = [self.random_stats(rng) for _ in range(12)]
+        reference = GPUStats.sum(parts).as_dict()
+        for seed in range(5):
+            shuffled = parts[:]
+            random.Random(seed).shuffle(shuffled)
+            assert GPUStats.sum(shuffled).as_dict() == reference
+        a, b = parts[0], parts[1]
+        assert (a + b).as_dict() == (b + a).as_dict()
+        assert ((a + b) + parts[2]).as_dict() == (a + (b + parts[2])).as_dict()
+
+    def test_plain_sum_over_stats(self):
+        rng = random.Random(1)
+        parts = [self.random_stats(rng) for _ in range(4)]
+        assert sum(parts).as_dict() == GPUStats.sum(parts).as_dict()
+
+    def test_sum_of_empty_iterable_is_zero_stats(self):
+        total = GPUStats.sum([])
+        assert isinstance(total, GPUStats)
+        assert total.as_dict() == GPUStats().as_dict()
+
+    def test_radd_rejects_nonzero_garbage(self):
+        with pytest.raises(TypeError):
+            1 + GPUStats()
+        with pytest.raises(TypeError):
+            "x" + GPUStats()
+
+    def test_tile_stats_addition(self):
+        a = TileStats(tile_index=4, fragments=10, overlap_cycles=2.0)
+        b = TileStats(tile_index=2, fragments=5, overlap_cycles=1.5)
+        total = sum([a, b])
+        assert total.tile_index == 2
+        assert total.fragments == 15
+        assert total.overlap_cycles == 3.5
+        assert sum([], TileStats()).fragments == 0
+
+
+class TestExecutorMachinery:
+    def test_factory_maps_config_to_backend(self):
+        base = GPUConfig()
+        assert isinstance(make_executor(base), SerialTileExecutor)
+        assert isinstance(
+            make_executor(base.with_executor(workers=2, backend="thread")),
+            ThreadPoolTileExecutor,
+        )
+        assert isinstance(
+            make_executor(base.with_executor(workers=2)),
+            ProcessPoolTileExecutor,
+        )
+        # One worker degenerates to serial whatever the backend says.
+        assert isinstance(
+            make_executor(base.with_executor(workers=1, backend="thread")),
+            SerialTileExecutor,
+        )
+
+    def test_config_validates_executor_fields(self):
+        with pytest.raises(ValueError):
+            GPUConfig(executor_backend="gpu")
+        with pytest.raises(ValueError):
+            GPUConfig(executor_workers=0)
+        with pytest.raises(ValueError):
+            GPUConfig(executor_chunk_tiles=0)
+
+    def test_chunk_tasks_preserves_order_and_content(self, small_config):
+        frame = two_boxes_frame(small_config, 0.8)
+        result = GPU(small_config).render_frame(frame, keep_fragments=True)
+        tasks = gather_tile_tasks(result.fragments, small_config)
+        chunks = chunk_tasks(tasks, 3)
+        assert [t for chunk in chunks for t in chunk] == tasks
+        assert all(len(chunk) <= 3 for chunk in chunks)
+        with pytest.raises(ValueError):
+            chunk_tasks(tasks, 0)
+
+    def test_run_on_empty_task_list(self):
+        config = GPUConfig()
+        assert SerialTileExecutor().run(config, []) == []
+        with ThreadPoolTileExecutor(2) as executor:
+            assert executor.run(config, []) == []
+
+    def test_close_is_idempotent_and_reopenable(self):
+        config = GPUConfig().with_screen(64, 32).with_executor(
+            workers=2, backend="thread"
+        )
+        executor = ThreadPoolTileExecutor(2)
+        executor.close()
+        executor.close()
+        # A closed pool is lazily rebuilt on next use.
+        soup_gpu = GPU(config)
+        frame_result = GPU(config.with_executor(workers=1)).render_frame(
+            two_boxes_frame(config, 0.8), keep_fragments=True
+        )
+        tasks = gather_tile_tasks(frame_result.fragments, config)
+        results = executor.run(config, tasks)
+        assert [r.tile_index for r in results] == [t.tile_index for t in tasks]
+        executor.close()
+        soup_gpu.close()
+
+    def test_tile_stats_of_result(self, small_config):
+        result = GPU(small_config).render_frame(
+            two_boxes_frame(small_config, 0.8), keep_fragments=True
+        )
+        tasks = gather_tile_tasks(result.fragments, small_config)
+        tile_results = SerialTileExecutor().run(small_config, tasks)
+        stats = [tile_stats_of(r) for r in tile_results]
+        assert [s.tile_index for s in stats] == [t.tile_index for t in tasks]
+        total = sum(stats, TileStats())
+        assert total.collisionable_fragments == sum(
+            t.fragment_count for t in tasks
+        )
