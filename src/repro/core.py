@@ -107,6 +107,10 @@ class RBCDSystem:
         Full :class:`GPUConfig` override; when given, the other
         keyword parameters are ignored (except ``workers`` /
         ``executor_backend``, which still apply when non-default).
+    tracer:
+        Optional :class:`repro.observability.Tracer`; frames rendered
+        through this system then record stage spans (wall time +
+        simulated cycles).  Tracing never changes detection results.
     """
 
     def __init__(
@@ -117,6 +121,7 @@ class RBCDSystem:
         workers: int = 1,
         executor_backend: str | None = None,
         config: GPUConfig | None = None,
+        tracer=None,
     ) -> None:
         if config is None:
             width, height = resolution
@@ -130,7 +135,7 @@ class RBCDSystem:
                 workers=workers, backend=executor_backend
             )
         self.config = config
-        self._gpu = GPU(config, rbcd_enabled=True)
+        self._gpu = GPU(config, rbcd_enabled=True, tracer=tracer)
 
     def close(self) -> None:
         """Shut down the tile-executor worker pool, if any."""

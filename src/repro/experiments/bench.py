@@ -1,0 +1,353 @@
+"""Benchmark harness: traced runs over the paper's four scenes.
+
+``python -m repro.experiments.bench`` renders each benchmark workload
+through a traced :class:`~repro.core.RBCDSystem` and writes
+``BENCH_rbcd.json`` — per-stage wall-time medians (from the
+observability tracer's span stream), simulated cycle totals, and
+throughput figures (fragments/sec, pairs/sec).
+
+The document layout (checked by :func:`validate_bench_document`):
+
+.. code-block:: text
+
+    {
+      "schema": "rbcd-bench",          # fixed discriminator
+      "version": 1,
+      "config": {width, height, frames, detail, quick},
+      "scenes": {
+        "<alias>": {
+          "frames": N,
+          "stages": {                  # one entry per span name
+            "<stage>": {count, wall_ms_median, wall_ms_total, cycles}
+          },
+          "totals": {fragments_produced, pair_records_written,
+                     gpu_cycles, colliding_pairs},
+          "throughput": {wall_s, fragments_per_s, pairs_per_s},
+          "counters": {"<name>": value}   # merged CounterRegistry
+        }
+      }
+    }
+
+``--quick`` shrinks the run (160x96, 2 frames, detail 1) for CI smoke
+jobs; ``--check FILE`` validates an existing document and exits, so CI
+can assert the artifact it just produced is well-formed without any
+third-party schema library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from statistics import median
+from typing import Any, Mapping, Sequence
+
+from repro.core import RBCDSystem
+from repro.gpu.config import GPUConfig
+from repro.observability.counters import CounterRegistry
+from repro.observability.export import write_chrome_trace, write_ndjson
+from repro.observability.tracer import Tracer
+from repro.scenes.benchmarks import BENCHMARKS, workload_by_alias
+
+__all__ = [
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "REQUIRED_STAGES",
+    "run_bench",
+    "run_scene",
+    "stage_summary",
+    "validate_bench_document",
+    "main",
+]
+
+SCHEMA_NAME = "rbcd-bench"
+SCHEMA_VERSION = 1
+
+# Stage spans every traced frame is guaranteed to emit; their absence
+# in a bench document means the run (or the tracer wiring) is broken.
+REQUIRED_STAGES = ("frame", "geometry", "raster", "rbcd", "schedule")
+
+
+def stage_summary(tracer: Tracer) -> dict[str, dict[str, float]]:
+    """Aggregate a tracer's spans by name: medians, totals, cycles."""
+    wall_ms: dict[str, list[float]] = {}
+    cycles: dict[str, float] = {}
+    for span in tracer.spans:
+        wall_ms.setdefault(span.name, []).append(span.wall_s * 1e3)
+        cycles[span.name] = cycles.get(span.name, 0.0) + span.cycles
+    return {
+        name: {
+            "count": len(samples),
+            "wall_ms_median": median(samples),
+            "wall_ms_total": sum(samples),
+            "cycles": cycles[name],
+        }
+        for name, samples in wall_ms.items()
+    }
+
+
+def run_scene(
+    alias: str,
+    config: GPUConfig,
+    frames: int,
+    detail: int,
+    trace_dir: Path | None = None,
+) -> dict[str, Any]:
+    """Render one workload through a traced system; return its entry."""
+    workload = workload_by_alias(alias, detail=detail)
+    tracer = Tracer()
+    fragments = 0
+    pair_records = 0
+    gpu_cycles = 0.0
+    pairs: set[tuple[int, int]] = set()
+    counters: CounterRegistry | int = 0
+    with RBCDSystem(config=config, tracer=tracer) as system:
+        for t in workload.times(frames):
+            frame = workload.scene.frame_at(float(t), config)
+            result = system.detect_frame(frame)
+            fragments += result.stats.fragments_produced
+            pair_records += result.report.pair_records_written
+            gpu_cycles += result.stats.gpu_cycles
+            pairs |= result.pairs
+            counters = counters + result.stats.registry()
+
+    frame_wall_s = sum(
+        span.wall_s for span in tracer.by_name("frame") if span.closed
+    )
+    if trace_dir is not None:
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        write_ndjson(tracer, trace_dir / f"trace_{alias}.ndjson")
+        write_chrome_trace(
+            tracer,
+            trace_dir / f"trace_{alias}.json",
+            process_name=f"repro bench:{alias}",
+        )
+    assert isinstance(counters, CounterRegistry)
+    return {
+        "frames": frames,
+        "stages": stage_summary(tracer),
+        "totals": {
+            "fragments_produced": fragments,
+            "pair_records_written": pair_records,
+            "gpu_cycles": gpu_cycles,
+            "colliding_pairs": len(pairs),
+        },
+        "throughput": {
+            "wall_s": frame_wall_s,
+            "fragments_per_s": fragments / frame_wall_s if frame_wall_s else 0.0,
+            "pairs_per_s": pair_records / frame_wall_s if frame_wall_s else 0.0,
+        },
+        "counters": counters.as_dict(),
+    }
+
+
+def run_bench(
+    scenes: Sequence[str],
+    width: int,
+    height: int,
+    frames: int,
+    detail: int,
+    quick: bool = False,
+    trace_dir: Path | None = None,
+    progress=None,
+) -> dict[str, Any]:
+    """Run the bench over ``scenes`` and assemble the full document."""
+    config = GPUConfig().with_screen(width, height)
+    doc: dict[str, Any] = {
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "config": {
+            "width": width,
+            "height": height,
+            "frames": frames,
+            "detail": detail,
+            "quick": quick,
+        },
+        "scenes": {},
+    }
+    for alias in scenes:
+        if progress is not None:
+            progress(alias)
+        doc["scenes"][alias] = run_scene(
+            alias, config, frames, detail, trace_dir=trace_dir
+        )
+    return doc
+
+
+def _fail(errors: list[str], path: str, message: str) -> None:
+    errors.append(f"{path}: {message}")
+
+
+def _check_number(errors, path, value, minimum=0.0) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(errors, path, f"expected a number, got {type(value).__name__}")
+    elif value < minimum:
+        _fail(errors, path, f"expected >= {minimum}, got {value}")
+
+
+def _check_int(errors, path, value, minimum=0) -> None:
+    if isinstance(value, bool) or not isinstance(value, int):
+        _fail(errors, path, f"expected an int, got {type(value).__name__}")
+    elif value < minimum:
+        _fail(errors, path, f"expected >= {minimum}, got {value}")
+
+
+def validate_bench_document(doc: Any) -> None:
+    """Raise ``ValueError`` (listing every problem) if ``doc`` is not a
+    well-formed rbcd-bench document."""
+    errors: list[str] = []
+    if not isinstance(doc, Mapping):
+        raise ValueError("bench document must be a JSON object")
+    if doc.get("schema") != SCHEMA_NAME:
+        _fail(errors, "schema", f"expected {SCHEMA_NAME!r}, got {doc.get('schema')!r}")
+    if doc.get("version") != SCHEMA_VERSION:
+        _fail(errors, "version", f"expected {SCHEMA_VERSION}, got {doc.get('version')!r}")
+
+    config = doc.get("config")
+    if not isinstance(config, Mapping):
+        _fail(errors, "config", "missing or not an object")
+    else:
+        for key in ("width", "height", "frames", "detail"):
+            _check_int(errors, f"config.{key}", config.get(key), minimum=1)
+        if not isinstance(config.get("quick"), bool):
+            _fail(errors, "config.quick", "expected a bool")
+
+    scenes = doc.get("scenes")
+    if not isinstance(scenes, Mapping) or not scenes:
+        _fail(errors, "scenes", "missing, not an object, or empty")
+        scenes = {}
+    for alias, entry in scenes.items():
+        base = f"scenes.{alias}"
+        if not isinstance(entry, Mapping):
+            _fail(errors, base, "not an object")
+            continue
+        _check_int(errors, f"{base}.frames", entry.get("frames"), minimum=1)
+
+        stages = entry.get("stages")
+        if not isinstance(stages, Mapping) or not stages:
+            _fail(errors, f"{base}.stages", "missing, not an object, or empty")
+            stages = {}
+        for required in REQUIRED_STAGES:
+            if required not in stages:
+                _fail(errors, f"{base}.stages", f"missing stage {required!r}")
+        for stage, record in stages.items():
+            spath = f"{base}.stages.{stage}"
+            if not isinstance(record, Mapping):
+                _fail(errors, spath, "not an object")
+                continue
+            _check_int(errors, f"{spath}.count", record.get("count"), minimum=1)
+            for key in ("wall_ms_median", "wall_ms_total", "cycles"):
+                _check_number(errors, f"{spath}.{key}", record.get(key))
+
+        totals = entry.get("totals")
+        if not isinstance(totals, Mapping):
+            _fail(errors, f"{base}.totals", "missing or not an object")
+        else:
+            for key in ("fragments_produced", "pair_records_written",
+                        "colliding_pairs"):
+                _check_int(errors, f"{base}.totals.{key}", totals.get(key))
+            _check_number(errors, f"{base}.totals.gpu_cycles",
+                          totals.get("gpu_cycles"))
+
+        throughput = entry.get("throughput")
+        if not isinstance(throughput, Mapping):
+            _fail(errors, f"{base}.throughput", "missing or not an object")
+        else:
+            for key in ("wall_s", "fragments_per_s", "pairs_per_s"):
+                _check_number(errors, f"{base}.throughput.{key}",
+                              throughput.get(key))
+
+        counters = entry.get("counters")
+        if not isinstance(counters, Mapping) or not counters:
+            _fail(errors, f"{base}.counters", "missing, not an object, or empty")
+        else:
+            for name, value in counters.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    _fail(errors, f"{base}.counters.{name}",
+                          f"expected a number, got {type(value).__name__}")
+
+    if errors:
+        raise ValueError(
+            "invalid rbcd-bench document:\n  " + "\n  ".join(errors)
+        )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.bench",
+        description="Traced benchmark runs over the paper's four scenes.",
+    )
+    parser.add_argument(
+        "--scenes", nargs="+", choices=BENCHMARKS, default=list(BENCHMARKS),
+        help="benchmark aliases to run (default: all four)",
+    )
+    parser.add_argument("--width", type=int, default=320)
+    parser.add_argument("--height", type=int, default=192)
+    parser.add_argument(
+        "--frames", type=int, default=4,
+        help="animation frames per scene (default: 4)",
+    )
+    parser.add_argument(
+        "--detail", type=int, default=2,
+        help="mesh tessellation detail (default: 2)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke preset: 160x96, 2 frames, detail 1",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_rbcd.json"),
+        help="output JSON path (default: BENCH_rbcd.json)",
+    )
+    parser.add_argument(
+        "--trace-dir", type=Path, default=None,
+        help="also write per-scene ndjson + Chrome traces here",
+    )
+    parser.add_argument(
+        "--check", type=Path, default=None, metavar="FILE",
+        help="validate an existing bench document and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.check is not None:
+        try:
+            doc = json.loads(args.check.read_text())
+            validate_bench_document(doc)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"FAIL {args.check}: {exc}", file=sys.stderr)
+            return 1
+        print(f"OK {args.check}: valid {SCHEMA_NAME} v{SCHEMA_VERSION} "
+              f"({len(doc['scenes'])} scenes)")
+        return 0
+
+    if args.quick:
+        args.width, args.height = 160, 96
+        args.frames, args.detail = 2, 1
+
+    doc = run_bench(
+        args.scenes, args.width, args.height, args.frames, args.detail,
+        quick=args.quick, trace_dir=args.trace_dir,
+        progress=lambda alias: print(f"bench: {alias} ...", flush=True),
+    )
+    validate_bench_document(doc)
+    args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    for alias, entry in doc["scenes"].items():
+        totals = entry["totals"]
+        throughput = entry["throughput"]
+        print(
+            f"  {alias}: {totals['fragments_produced']} fragments, "
+            f"{totals['pair_records_written']} pair records, "
+            f"{throughput['fragments_per_s']:.0f} frag/s, "
+            f"{throughput['pairs_per_s']:.1f} pairs/s"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,7 @@ import numpy as np
 
 from repro.gpu.config import GPUConfig
 from repro.gpu.stats import TileStats
+from repro.observability.counters import CounterRegistry
 from repro.rbcd.unit import RBCDTileResult, RBCDUnit, compute_tile
 
 __all__ = [
@@ -63,6 +64,7 @@ __all__ = [
     "chunk_tasks",
     "merge_tile_results",
     "tile_stats_of",
+    "tile_registry_of",
 ]
 
 
@@ -272,3 +274,31 @@ def tile_stats_of(result: RBCDTileResult) -> TileStats:
         collisionable_fragments=result.zeb.insertions,
         overlap_cycles=result.overlap_cycles,
     )
+
+
+def tile_registry_of(result: RBCDTileResult) -> CounterRegistry:
+    """Named-counter view of one tile's RBCD activity.
+
+    Registries merge by plain per-name sums, so any shard grouping of a
+    frame's tile results merges to the same totals the serial absorb
+    loop produces — the property that lets per-tile counters survive
+    the parallel executor's deterministic merge.
+    """
+    registry = CounterRegistry()
+    for name, kind, value in (
+        ("rbcd.zeb_insertions", "int", result.zeb.insertions),
+        ("rbcd.zeb_overflow_events", "int", result.zeb.overflow_events),
+        ("rbcd.zeb_spare_allocations", "int", result.zeb.spare_allocations),
+        ("rbcd.overlap_lists_analyzed", "int", result.analyzed_lists),
+        ("rbcd.overlap_elements_read", "int", result.analyzed_elements),
+        ("rbcd.ff_stack_overflows", "int", result.overlap.stack_overflows),
+        ("rbcd.unmatched_backfaces", "int", result.overlap.unmatched_backfaces),
+        ("rbcd.pair_records_written", "int", result.overlap.pair_records),
+    ):
+        registry.counter(name, kind=kind)
+        registry.set(name, value)
+    registry.counter("rbcd.insertion_cycles", kind="float", unit="cycles")
+    registry.set("rbcd.insertion_cycles", result.insertion_cycles)
+    registry.counter("rbcd.overlap_cycles", kind="float", unit="cycles")
+    registry.set("rbcd.overlap_cycles", result.overlap_cycles)
+    return registry

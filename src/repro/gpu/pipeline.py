@@ -52,6 +52,7 @@ from repro.gpu.raster import FragmentSoup, rasterize
 from repro.gpu.shading import shade_draws, vertex_stage_cycles
 from repro.gpu.stats import GPUStats
 from repro.gpu.tiling import bin_triangles, fetch_tile_lists
+from repro.observability.tracer import ensure_tracer
 from repro.rbcd.pairs import CollisionReport
 from repro.rbcd.unit import RBCDUnit
 
@@ -165,6 +166,7 @@ class GPU:
         rbcd_enabled: bool = True,
         rendering_mode: str = "tbr",
         executor: TileExecutor | None = None,
+        tracer=None,
     ) -> None:
         """``rendering_mode``:
 
@@ -182,6 +184,12 @@ class GPU:
         the config's ``executor_*`` fields (and owned — closed — by
         this GPU).  Parallel execution changes nothing observable:
         results merge deterministically in tile-schedule order.
+
+        ``tracer`` accepts a :class:`repro.observability.Tracer`; every
+        frame then records stage spans (frame → geometry/raster/rbcd →
+        per-tile) carrying host wall time and simulated cycles.  Tracing
+        is purely observational — it changes no result and no cycle
+        count — and defaults to the zero-overhead null tracer.
         """
         if rendering_mode not in ("tbr", "tbdr", "imr"):
             raise ValueError('rendering_mode must be "tbr", "tbdr" or "imr"')
@@ -193,6 +201,7 @@ class GPU:
         self.config = config if config is not None else GPUConfig()
         self.rbcd_enabled = rbcd_enabled
         self.rendering_mode = rendering_mode
+        self.tracer = ensure_tracer(tracer)
         self._executor = executor
         self._owns_executor = executor is None
 
@@ -224,29 +233,45 @@ class GPU:
         """Render one frame; returns image, stats and collisions."""
         if self.rendering_mode == "imr":
             return self._render_frame_imr(frame)
+        tracer = self.tracer
         config = self.config
         stats = GPUStats(frames=1)
         vertex_cache = Cache(config.vertex_cache)
         tile_cache = Cache(config.tile_cache)
 
-        # -- geometry pipeline --------------------------------------------
-        shaded = shade_draws(frame, config, stats, vertex_cache)
-        soup = assemble(shaded, config, stats, deferred_culling=self.rbcd_enabled)
-        binning = bin_triangles(soup, config, stats, tile_cache)
+        frame_span = tracer.start("frame", category="frame", draws=len(frame.draws))
 
-        vertex_cycles = vertex_stage_cycles(stats, config)
-        assembly_cycles = (
-            stats.triangles_assembled / config.primitive_assembly_tris_per_cycle
-        )
-        binning_cycles = (
-            stats.prim_tile_pairs * config.binning_cycles_per_prim_tile
-            + stats.tile_cache_store_misses * config.l2_cache.latency_cycles
-        )
-        stats.geometry_cycles = max(vertex_cycles, assembly_cycles, binning_cycles)
+        # -- geometry pipeline --------------------------------------------
+        with tracer.span("geometry") as geometry_span:
+            with tracer.span("geometry.shade") as shade_span:
+                shaded = shade_draws(frame, config, stats, vertex_cache)
+            with tracer.span("geometry.assemble") as assemble_span:
+                soup = assemble(
+                    shaded, config, stats, deferred_culling=self.rbcd_enabled
+                )
+            with tracer.span("geometry.bin") as bin_span:
+                binning = bin_triangles(soup, config, stats, tile_cache)
+
+            vertex_cycles = vertex_stage_cycles(stats, config)
+            assembly_cycles = (
+                stats.triangles_assembled / config.primitive_assembly_tris_per_cycle
+            )
+            binning_cycles = (
+                stats.prim_tile_pairs * config.binning_cycles_per_prim_tile
+                + stats.tile_cache_store_misses * config.l2_cache.latency_cycles
+            )
+            stats.geometry_cycles = max(vertex_cycles, assembly_cycles, binning_cycles)
+            shade_span.cycles = vertex_cycles
+            assemble_span.cycles = assembly_cycles
+            bin_span.cycles = binning_cycles
+            geometry_span.cycles = stats.geometry_cycles
 
         # -- raster pipeline: functional pass ------------------------------
-        tile_load_misses = fetch_tile_lists(binning, config, stats, tile_cache)
-        frags = rasterize(soup, config, stats)
+        raster_span = tracer.start("raster")
+        with tracer.span("raster.fetch"):
+            tile_load_misses = fetch_tile_lists(binning, config, stats, tile_cache)
+        with tracer.span("raster.rasterize"):
+            frags = rasterize(soup, config, stats)
 
         if frame.raster_only:
             depth = DepthTestResult(
@@ -262,11 +287,14 @@ class GPU:
                 shader_cycles_total=0.0,
             )
         else:
-            depth = depth_test(frags, config, stats)
-            shading = shade_fragments(
-                frame, frags, depth, config, stats,
-                deferred_shading=self.rendering_mode == "tbdr",
-            )
+            with tracer.span("raster.early-z"):
+                depth = depth_test(frags, config, stats)
+            with tracer.span("raster.shade"):
+                shading = shade_fragments(
+                    frame, frags, depth, config, stats,
+                    deferred_shading=self.rendering_mode == "tbdr",
+                )
+        tracer.end(raster_span)
 
         # -- RBCD unit -----------------------------------------------------------
         report: CollisionReport | None = None
@@ -274,57 +302,68 @@ class GPU:
         insertion_limit = np.zeros(config.tile_count)
         cpu_fallback = False
         if self.rbcd_enabled:
-            unit = RBCDUnit(config)
-            report = self._run_rbcd(unit, frags, stats, overlap_cycles, insertion_limit)
-            cpu_fallback = unit.wants_cpu_fallback()
-            if cpu_fallback:
-                stats.cpu_fallback_frames += 1
+            with tracer.span("rbcd") as rbcd_span:
+                unit = RBCDUnit(config)
+                report = self._run_rbcd(
+                    unit, frags, stats, overlap_cycles, insertion_limit
+                )
+                cpu_fallback = unit.wants_cpu_fallback()
+                if cpu_fallback:
+                    stats.cpu_fallback_frames += 1
+                rbcd_span.cycles = float(overlap_cycles.sum())
+                rbcd_span.annotate(
+                    pairs=report.pair_records_written,
+                    cpu_fallback=cpu_fallback,
+                )
 
         # -- raster pipeline: timing --------------------------------------------
-        tile_idx = frags.tile_index(config)
-        frags_per_tile = np.bincount(tile_idx, minlength=config.tile_count)
+        with tracer.span("schedule") as schedule_span:
+            tile_idx = frags.tile_index(config)
+            frags_per_tile = np.bincount(tile_idx, minlength=config.tile_count)
 
-        shader_cycles_tile = np.zeros(config.tile_count)
-        if frags.count and not frame.raster_only:
-            per_draw = fragment_shader_cycles_per_draw(frame, config)
-            shaded_idx = np.flatnonzero(shading.shaded_mask)
-            np.add.at(
-                shader_cycles_tile,
-                tile_idx[shaded_idx],
-                per_draw[frags.draw_index[shaded_idx]],
+            shader_cycles_tile = np.zeros(config.tile_count)
+            if frags.count and not frame.raster_only:
+                per_draw = fragment_shader_cycles_per_draw(frame, config)
+                shaded_idx = np.flatnonzero(shading.shaded_mask)
+                np.add.at(
+                    shader_cycles_tile,
+                    tile_idx[shaded_idx],
+                    per_draw[frags.draw_index[shaded_idx]],
+                )
+
+            prims_per_tile = np.diff(binning.tile_offsets).astype(np.float64)
+            raster_busy_cycles = (
+                prims_per_tile * config.raster_setup_cycles_per_tri
+                + frags_per_tile / config.rasterizer_frags_per_cycle
+                + tile_load_misses * config.l2_cache.latency_cycles
+            )
+            # The insertion-sort unit accepts one fragment per cycle; a tile
+            # whose collisionable fragments outnumber raster slots *blocks*
+            # the Rasterizer.  The delay enters the schedule, but it is not
+            # Rasterizer busy work (the Figure 11 activity factor counts
+            # busy cycles only).
+            raster_effective = np.maximum(raster_busy_cycles, insertion_limit)
+            fragment_cycles = shader_cycles_tile / config.num_fragment_processors
+
+            active = (prims_per_tile > 0) | (frags_per_tile > 0)
+            timing = _tile_schedule(
+                raster_effective[active],
+                fragment_cycles[active],
+                overlap_cycles[active],
+                config.rbcd.zeb_count if self.rbcd_enabled else 1,
             )
 
-        prims_per_tile = np.diff(binning.tile_offsets).astype(np.float64)
-        raster_busy_cycles = (
-            prims_per_tile * config.raster_setup_cycles_per_tri
-            + frags_per_tile / config.rasterizer_frags_per_cycle
-            + tile_load_misses * config.l2_cache.latency_cycles
-        )
-        # The insertion-sort unit accepts one fragment per cycle; a tile
-        # whose collisionable fragments outnumber raster slots *blocks*
-        # the Rasterizer.  The delay enters the schedule, but it is not
-        # Rasterizer busy work (the Figure 11 activity factor counts
-        # busy cycles only).
-        raster_effective = np.maximum(raster_busy_cycles, insertion_limit)
-        fragment_cycles = shader_cycles_tile / config.num_fragment_processors
-
-        active = (prims_per_tile > 0) | (frags_per_tile > 0)
-        timing = _tile_schedule(
-            raster_effective[active],
-            fragment_cycles[active],
-            overlap_cycles[active],
-            config.rbcd.zeb_count if self.rbcd_enabled else 1,
-        )
-
-        stats.tiles_processed = int(active.sum())
-        stats.raster_cycles = float(raster_busy_cycles[active].sum())
-        stats.rbcd_cycles = float(overlap_cycles.sum())
-        stats.raster_stall_cycles = timing.stall_cycles
-        stats.raster_pipeline_cycles = timing.total_cycles
-        stats.fragment_idle_cycles = timing.total_cycles - float(
-            fragment_cycles[active].sum()
-        )
-        stats.gpu_cycles = stats.geometry_cycles + stats.raster_pipeline_cycles
+            stats.tiles_processed = int(active.sum())
+            stats.raster_cycles = float(raster_busy_cycles[active].sum())
+            stats.rbcd_cycles = float(overlap_cycles.sum())
+            stats.raster_stall_cycles = timing.stall_cycles
+            stats.raster_pipeline_cycles = timing.total_cycles
+            stats.fragment_idle_cycles = timing.total_cycles - float(
+                fragment_cycles[active].sum()
+            )
+            stats.gpu_cycles = stats.geometry_cycles + stats.raster_pipeline_cycles
+            schedule_span.cycles = timing.stall_cycles
+        raster_span.cycles = stats.raster_pipeline_cycles
 
         # Off-chip traffic (TBR: polygon lists both ways, vertex fetch
         # misses, one color write per covered pixel at tile flush).
@@ -335,6 +374,10 @@ class GPU:
         stats.dram_bytes_written = float(
             stats.tile_cache_store_misses * line + stats.color_writes * 4
         )
+
+        frame_span.cycles = stats.gpu_cycles
+        frame_span.annotate(fragments=stats.fragments_produced)
+        tracer.end(frame_span)
 
         return FrameResult(
             color=shading.color,
@@ -355,24 +398,36 @@ class GPU:
         traffic TBR avoids), while the polygon-list traffic of the
         tiling engine disappears entirely.
         """
+        tracer = self.tracer
         config = self.config
         stats = GPUStats(frames=1)
         vertex_cache = Cache(config.vertex_cache)
 
-        shaded = shade_draws(frame, config, stats, vertex_cache)
-        soup = assemble(shaded, config, stats, deferred_culling=False)
-        stats.triangles_binned = soup.count  # pass-through, no binning
+        frame_span = tracer.start("frame", category="frame", draws=len(frame.draws))
 
-        vertex_cycles = vertex_stage_cycles(stats, config)
-        assembly_cycles = (
-            stats.triangles_assembled / config.primitive_assembly_tris_per_cycle
-        )
-        stats.geometry_cycles = max(vertex_cycles, assembly_cycles)
+        with tracer.span("geometry") as geometry_span:
+            with tracer.span("geometry.shade"):
+                shaded = shade_draws(frame, config, stats, vertex_cache)
+            with tracer.span("geometry.assemble"):
+                soup = assemble(shaded, config, stats, deferred_culling=False)
+            stats.triangles_binned = soup.count  # pass-through, no binning
 
-        frags = rasterize(soup, config, stats)
+            vertex_cycles = vertex_stage_cycles(stats, config)
+            assembly_cycles = (
+                stats.triangles_assembled / config.primitive_assembly_tris_per_cycle
+            )
+            stats.geometry_cycles = max(vertex_cycles, assembly_cycles)
+            geometry_span.cycles = stats.geometry_cycles
+
+        raster_span = tracer.start("raster")
+        with tracer.span("raster.rasterize"):
+            frags = rasterize(soup, config, stats)
         stats.prims_rasterized = soup.count
-        depth = depth_test(frags, config, stats)
-        shading = shade_fragments(frame, frags, depth, config, stats)
+        with tracer.span("raster.early-z"):
+            depth = depth_test(frags, config, stats)
+        with tracer.span("raster.shade"):
+            shading = shade_fragments(frame, frags, depth, config, stats)
+        tracer.end(raster_span)
 
         # Streaming pipeline: raster and shading overlap; the longer
         # stage sets the pace.
@@ -394,6 +449,11 @@ class GPU:
             + stats.early_z_tests * 4
         )
         stats.dram_bytes_written = float(stats.early_z_passes * 8)
+
+        raster_span.cycles = stats.raster_pipeline_cycles
+        frame_span.cycles = stats.gpu_cycles
+        frame_span.annotate(fragments=stats.fragments_produced)
+        tracer.end(frame_span)
 
         return FrameResult(
             color=shading.color,
@@ -417,11 +477,30 @@ class GPU:
         absorbed back in tile-schedule order, so the report, counters,
         and cycle arrays are identical whatever the backend or worker
         count.
+
+        Per-tile spans are recorded at absorb time (the merge is where
+        the main process first sees a tile), carrying the simulated
+        insertion/overlap cycles the worker computed; their wall time is
+        the host-side merge cost, not the worker compute time.
         """
+        tracer = self.tracer
         tasks = gather_tile_tasks(frags, self.config)
         stats.rbcd_fragments_in += sum(t.fragment_count for t in tasks)
         for result in self.executor.run(self.config, tasks):
-            unit.absorb(result)
+            with tracer.span(
+                "rbcd.tile", category="tile", tile=result.tile_index
+            ) as tile_span:
+                with tracer.span("rbcd.zeb-insert") as insert_span:
+                    insert_span.cycles = result.insertion_cycles
+                    insert_span.annotate(insertions=result.zeb.insertions)
+                with tracer.span("rbcd.z-overlap") as overlap_span:
+                    overlap_span.cycles = result.overlap_cycles
+                    overlap_span.annotate(
+                        lists=result.analyzed_lists,
+                        elements=result.analyzed_elements,
+                    )
+                unit.absorb(result)
+                tile_span.cycles = result.insertion_cycles + result.overlap_cycles
             overlap_cycles[result.tile_index] = result.overlap_cycles
             insertion_limit[result.tile_index] = result.insertion_cycles
 

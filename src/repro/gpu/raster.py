@@ -21,6 +21,22 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.stats import GPUStats
 
 
+# The dtype contract for every FragmentSoup field: both construction
+# paths (empty frame and rasterized frame) coerce to these, so a frame
+# with zero fragments concatenates/pickles identically to a populated
+# one whatever dtypes the upstream TriangleSoup carried.
+FRAGMENT_DTYPES: dict[str, np.dtype] = {
+    "x": np.dtype(np.int32),
+    "y": np.dtype(np.int32),
+    "z": np.dtype(np.float64),
+    "object_id": np.dtype(np.int64),
+    "front": np.dtype(np.bool_),
+    "tagged": np.dtype(np.bool_),
+    "draw_index": np.dtype(np.int64),
+    "tri_index": np.dtype(np.int64),
+}
+
+
 @dataclass
 class FragmentSoup:
     """All fragments of a frame, in generation (arrival) order."""
@@ -47,17 +63,10 @@ class FragmentSoup:
 
     @staticmethod
     def empty() -> "FragmentSoup":
-        z64 = np.empty(0, dtype=np.int64)
-        return FragmentSoup(
-            x=np.empty(0, dtype=np.int32),
-            y=np.empty(0, dtype=np.int32),
-            z=np.empty(0, dtype=np.float64),
-            object_id=z64,
-            front=np.empty(0, dtype=bool),
-            tagged=np.empty(0, dtype=bool),
-            draw_index=z64.copy(),
-            tri_index=z64.copy(),
-        )
+        return FragmentSoup(**{
+            name: np.empty(0, dtype=dtype)
+            for name, dtype in FRAGMENT_DTYPES.items()
+        })
 
 
 def _rasterize_triangle(xy: np.ndarray, z: np.ndarray, width: int, height: int):
@@ -152,15 +161,16 @@ def rasterize(
     z = np.concatenate(zs)
     tri = np.concatenate(tri_ids)
 
+    d = FRAGMENT_DTYPES
     frags = FragmentSoup(
-        x=x,
-        y=y,
-        z=np.clip(z, 0.0, 1.0),
-        object_id=soup.object_id[tri],
-        front=soup.front[tri],
-        tagged=soup.tagged[tri],
-        draw_index=soup.draw_index[tri],
-        tri_index=tri,
+        x=x.astype(d["x"], copy=False),
+        y=y.astype(d["y"], copy=False),
+        z=np.clip(z, 0.0, 1.0).astype(d["z"], copy=False),
+        object_id=soup.object_id[tri].astype(d["object_id"], copy=False),
+        front=soup.front[tri].astype(d["front"], copy=False),
+        tagged=soup.tagged[tri].astype(d["tagged"], copy=False),
+        draw_index=soup.draw_index[tri].astype(d["draw_index"], copy=False),
+        tri_index=tri.astype(d["tri_index"], copy=False),
     )
     stats.fragments_produced += frags.count
     stats.fragments_tagged_culled += int(frags.tagged.sum())

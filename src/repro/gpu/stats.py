@@ -5,15 +5,62 @@ cache loads/stores and misses, primitives before/after deferred culling,
 fragments produced, raster/fragment/geometry cycles, and the RBCD
 unit's own activity.  ``GPUStats`` instances add together so multi-frame
 runs can accumulate.
+
+The merge algebra (``a + b``, ``sum``-compatibility, ``Cls.sum``) comes
+from :class:`repro.observability.counters.CounterAlgebra` — the one
+shared implementation the parallel executor's deterministic reduction
+relies on — and :meth:`GPUStats.registry` exposes the same numbers as a
+named :class:`~repro.observability.counters.CounterRegistry`
+(``gpu.geometry.*`` / ``gpu.raster.*`` / ``gpu.rbcd.*`` / ``gpu.mem.*``)
+for exporters and the bench harness.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
 
+from repro.observability.counters import (
+    CounterAlgebra,
+    CounterRegistry,
+    registry_from_counters,
+)
+
+# Field -> namespace for the registry view.  Fields not listed fall in
+# the "gpu" root namespace (currently only ``frames`` and the whole-GPU
+# cycle totals).
+_GPU_NAMESPACES = {
+    "gpu.geometry": (
+        "vertices_fetched", "vertices_shaded", "vertex_cache_accesses",
+        "vertex_cache_misses", "triangles_assembled", "triangles_clipped",
+        "triangles_frustum_culled", "triangles_face_culled",
+        "triangles_tagged_to_be_culled", "triangles_degenerate",
+        "triangles_binned", "prim_tile_pairs", "tile_cache_stores",
+        "tile_cache_store_misses", "geometry_cycles",
+    ),
+    "gpu.raster": (
+        "tiles_processed", "prims_rasterized", "tile_cache_loads",
+        "tile_cache_load_misses", "fragments_produced",
+        "fragments_tagged_culled", "early_z_tests", "early_z_passes",
+        "fragments_shaded", "texture_accesses", "color_writes",
+        "raster_cycles", "fragment_cycles", "fragment_idle_cycles",
+        "raster_pipeline_cycles", "raster_stall_cycles",
+    ),
+    "gpu.rbcd": (
+        "rbcd_fragments_in", "zeb_insertions", "zeb_overflow_events",
+        "zeb_spare_allocations", "zeb_lists_analyzed",
+        "overlap_elements_read", "collision_pairs_emitted", "rbcd_cycles",
+        "cpu_fallback_frames",
+    ),
+    "gpu.mem": ("dram_bytes_read", "dram_bytes_written"),
+}
+
+_FIELD_PREFIX = {
+    name: prefix for prefix, names in _GPU_NAMESPACES.items() for name in names
+}
+
 
 @dataclass
-class GPUStats:
+class GPUStats(CounterAlgebra):
     """Counters for one rendered frame (or an accumulation of frames)."""
 
     frames: int = 0
@@ -71,32 +118,23 @@ class GPUStats:
     # -- whole GPU -----------------------------------------------------------------
     gpu_cycles: float = 0.0             # geometry + raster wall clock
 
-    def __add__(self, other: "GPUStats") -> "GPUStats":
-        if not isinstance(other, GPUStats):
-            return NotImplemented
-        out = GPUStats()
+    # Merge algebra (``+``, ``__radd__``, ``sum``, ``as_dict``) is
+    # inherited from CounterAlgebra: every field is a plain sum.
+
+    def registry(self) -> CounterRegistry:
+        """Named counter view (``gpu.<stage>.<field>`` namespacing)."""
+        out = CounterRegistry()
         for f in fields(self):
-            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
+            prefix = _FIELD_PREFIX.get(f.name, "gpu")
+            name = f"{prefix}.{f.name}"
+            value = getattr(self, f.name)
+            unit = "cycles" if "cycles" in f.name else (
+                "bytes" if "bytes" in f.name else ""
+            )
+            kind = "float" if isinstance(value, float) else "int"
+            out.counter(name, kind=kind, unit=unit)
+            out.set(name, value)
         return out
-
-    def __radd__(self, other):
-        # Support plain ``sum(stats_iterable)``: the implicit 0 start
-        # value (and any int-zero partial accumulator) folds away, so
-        # the parallel merge can ``sum()`` per-tile stats directly.
-        if isinstance(other, GPUStats):
-            return other.__add__(self)
-        if isinstance(other, (int, float)) and other == 0:
-            return self
-        return NotImplemented
-
-    @classmethod
-    def sum(cls, items: "list[GPUStats] | tuple[GPUStats, ...]") -> "GPUStats":
-        """Sum an iterable of stats; an empty iterable yields zeros
-        (plain ``sum([])`` would return the int 0)."""
-        total = cls()
-        for item in items:
-            total = total + item
-        return total
 
     # -- derived ratios (used by the figures) -----------------------------------
 
@@ -134,9 +172,6 @@ class GPUStats:
             return 0.0
         return self.dram_bytes_total / (self.gpu_cycles * bytes_per_cycle)
 
-    def as_dict(self) -> dict[str, float]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
-
     def summary(self) -> str:
         """Human-readable multi-line summary."""
         d = self.as_dict()
@@ -147,8 +182,15 @@ class GPUStats:
 
 
 @dataclass
-class TileStats:
-    """Per-tile activity used by the tile-pipeline timing model."""
+class TileStats(CounterAlgebra):
+    """Per-tile activity used by the tile-pipeline timing model.
+
+    Adding two tiles' stats aggregates their activity; ``tile_index``
+    becomes the earlier one's (an accumulation is no longer one tile),
+    declared as a ``min``-combined field in the shared merge algebra.
+    """
+
+    _MERGE_SPECIAL = {"tile_index": min}
 
     tile_index: int = 0
     prims: int = 0
@@ -161,21 +203,7 @@ class TileStats:
     tc_load_lines: int = 0
     tc_load_misses: int = 0
 
-    def __add__(self, other: "TileStats") -> "TileStats":
-        """Aggregate two tiles' activity (``tile_index`` becomes the
-        earlier one's — an accumulation is no longer a single tile)."""
-        if not isinstance(other, TileStats):
-            return NotImplemented
-        out = TileStats(tile_index=min(self.tile_index, other.tile_index))
-        for f in fields(self):
-            if f.name == "tile_index":
-                continue
-            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
-        return out
-
-    def __radd__(self, other):
-        if isinstance(other, TileStats):
-            return other.__add__(self)
-        if isinstance(other, (int, float)) and other == 0:
-            return self
-        return NotImplemented
+    def registry(self) -> CounterRegistry:
+        """Named counter view (``tile.<field>``; ``tile_index`` skipped —
+        an aggregated registry is not one tile)."""
+        return registry_from_counters(self, "tile", skip=("tile_index",))

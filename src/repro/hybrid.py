@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core import RBCDSystem
 from repro.geometry.aabb import AABB
+from repro.observability.tracer import ensure_tracer
 from repro.geometry.mesh import TriangleMesh
 from repro.geometry.vec import Mat4, transform_points_homogeneous
 from repro.physics.broadphase import aabb_bruteforce_pairs, world_aabbs
@@ -78,13 +79,18 @@ class HybridCDSystem:
         rbcd_system: RBCDSystem | None = None,
         raster_only: bool = True,
         workers: int = 1,
+        tracer=None,
     ) -> None:
         """``workers`` configures the RBCD side's parallel tile engine
-        (ignored when an explicit ``rbcd_system`` is injected)."""
+        (ignored when an explicit ``rbcd_system`` is injected).
+        ``tracer`` records hybrid-level spans (classify / software pass)
+        and, when this object builds its own RBCD system, the GPU-side
+        stage spans as well."""
+        self.tracer = ensure_tracer(tracer)
         self.rbcd = (
             rbcd_system
             if rbcd_system is not None
-            else RBCDSystem(resolution, workers=workers)
+            else RBCDSystem(resolution, workers=workers, tracer=tracer)
         )
         self.raster_only = raster_only
 
@@ -107,18 +113,22 @@ class HybridCDSystem:
         if not objects:
             return HybridResult(set(), set(), set(), OpCounter())
 
-        aspect = self.rbcd.config.screen_width / self.rbcd.config.screen_height
-        view_projection = camera.projection(aspect) @ camera.view()
+        with self.tracer.span("hybrid.classify", objects=len(objects)) as span:
+            aspect = (
+                self.rbcd.config.screen_width / self.rbcd.config.screen_height
+            )
+            view_projection = camera.projection(aspect) @ camera.view()
 
-        boxes = {
-            object_id: mesh.aabb().transformed(model)
-            for object_id, mesh, model in objects
-        }
-        offscreen = {
-            object_id
-            for object_id, box in boxes.items()
-            if aabb_outside_frustum(box, view_projection)
-        }
+            boxes = {
+                object_id: mesh.aabb().transformed(model)
+                for object_id, mesh, model in objects
+            }
+            offscreen = {
+                object_id
+                for object_id, box in boxes.items()
+                if aabb_outside_frustum(box, view_projection)
+            }
+            span.annotate(offscreen=len(offscreen))
 
         onscreen_objects = [
             entry for entry in objects if entry[0] not in offscreen
@@ -130,7 +140,8 @@ class HybridCDSystem:
             )
             rbcd_pairs = result.pairs
 
-        software_pairs, ops = self._software_pass(objects, boxes, offscreen)
+        with self.tracer.span("hybrid.software", offscreen=len(offscreen)):
+            software_pairs, ops = self._software_pass(objects, boxes, offscreen)
         return HybridResult(
             rbcd_pairs=rbcd_pairs,
             software_pairs=software_pairs,

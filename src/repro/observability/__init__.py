@@ -1,0 +1,47 @@
+"""Observability: stage tracing, typed counters, trace exporters.
+
+The measurement substrate under the simulator: :class:`Tracer` spans
+record where wall time and simulated cycles go (frame → tile → stage),
+:class:`CounterRegistry` gives every subsystem's counters one named,
+mergeable namespace, and the exporters turn a trace into ndjson or a
+``chrome://tracing`` file.  ``python -m repro.experiments.bench`` sits
+on top and writes ``BENCH_rbcd.json``.
+"""
+
+from repro.observability.counters import (
+    CounterAlgebra,
+    CounterRegistry,
+    CounterSpec,
+    registry_from_counters,
+)
+from repro.observability.export import (
+    span_record,
+    to_chrome_trace,
+    to_ndjson,
+    write_chrome_trace,
+    write_ndjson,
+)
+from repro.observability.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    ensure_tracer,
+)
+
+__all__ = [
+    "CounterAlgebra",
+    "CounterRegistry",
+    "CounterSpec",
+    "registry_from_counters",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "ensure_tracer",
+    "span_record",
+    "to_ndjson",
+    "write_ndjson",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

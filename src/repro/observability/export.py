@@ -1,0 +1,76 @@
+"""Trace exporters: ndjson span logs and Chrome trace format.
+
+* :func:`to_ndjson` / :func:`write_ndjson` — one JSON object per span,
+  in start order; greppable, diffable, stream-appendable.
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Trace
+  Event Format consumed by ``chrome://tracing`` and Perfetto: complete
+  ("X") events with microsecond timestamps; simulated cycles ride in
+  ``args`` so both clocks are visible in the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.observability.tracer import Span, Tracer
+
+
+def span_record(span: Span) -> dict:
+    """JSON-compatible dict for one span (the ndjson line schema)."""
+    return {
+        "name": span.name,
+        "cat": span.category,
+        "index": span.index,
+        "parent": span.parent,
+        "depth": span.depth,
+        "t_start_s": span.t_start,
+        "wall_s": span.wall_s,
+        "cycles": span.cycles,
+        "attrs": dict(span.attrs),
+    }
+
+
+def to_ndjson(tracer: Tracer) -> str:
+    """All spans as newline-delimited JSON (trailing newline included)."""
+    lines = [json.dumps(span_record(s), sort_keys=True) for s in tracer.spans]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_ndjson(tracer: Tracer, path) -> Path:
+    path = Path(path)
+    path.write_text(to_ndjson(tracer))
+    return path
+
+
+def to_chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
+    """Trace Event Format document (load via chrome://tracing)."""
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in tracer.spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.t_start * 1e6,     # microseconds
+                "dur": span.wall_s * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": {"cycles": span.cycles, **span.attrs},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path, process_name: str = "repro") -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(tracer, process_name)))
+    return path

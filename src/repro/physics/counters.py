@@ -23,12 +23,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.observability.counters import (
+    CounterAlgebra,
+    CounterRegistry,
+    registry_from_counters,
+)
+
 OP_KINDS = ("flop", "cmp", "mem", "branch")
 
 
 @dataclass
-class OpCounter:
-    """A tally of dynamic operations by class."""
+class OpCounter(CounterAlgebra):
+    """A tally of dynamic operations by class.
+
+    Merging (``a + b``, ``sum``) comes from the shared
+    :class:`~repro.observability.counters.CounterAlgebra`;
+    :meth:`registry` exposes the tally under ``cpu.ops.*`` names.
+    """
 
     flop: float = 0.0
     cmp: float = 0.0
@@ -51,21 +62,6 @@ class OpCounter:
     def total(self) -> float:
         return self.flop + self.cmp + self.mem + self.branch
 
-    def __add__(self, other: "OpCounter") -> "OpCounter":
-        if not isinstance(other, OpCounter):
-            return NotImplemented
-        return OpCounter(
-            flop=self.flop + other.flop,
-            cmp=self.cmp + other.cmp,
-            mem=self.mem + other.mem,
-            branch=self.branch + other.branch,
-        )
-
-    def __radd__(self, other):
-        if other == 0:
-            return self
-        return self.__add__(other)
-
     def scaled(self, factor: float) -> "OpCounter":
         return OpCounter(
             flop=self.flop * factor,
@@ -74,8 +70,11 @@ class OpCounter:
             branch=self.branch * factor,
         )
 
-    def as_dict(self) -> dict[str, float]:
-        return {k: getattr(self, k) for k in OP_KINDS}
+    def registry(self) -> CounterRegistry:
+        """Named counter view: ``cpu.ops.flop`` etc., all "ops"-unit."""
+        return registry_from_counters(
+            self, "cpu.ops", units={k: "ops" for k in OP_KINDS}
+        )
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{k}={getattr(self, k):,.0f}" for k in OP_KINDS)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.gpu.config import GPUConfig, RBCDConfig
+from repro.observability.counters import CounterRegistry
 from repro.rbcd.element import dequantize_depth, max_object_id
 from repro.rbcd.overlap import OverlapResult, analyze_tile
 from repro.rbcd.pairs import CollisionReport, ContactPoint
@@ -214,6 +215,29 @@ class RBCDUnit:
                 int(overlap.pair_id_b[k]),
                 ContactPoint(int(px[k]), int(py[k]), float(zf[k]), float(zb[k])),
             )
+
+    def counters(self) -> CounterRegistry:
+        """Named counter view of the unit's per-frame tallies.
+
+        Per-tile results absorbed in any grouping produce the same
+        registry (each counter is a plain sum), so a registry merged
+        from parallel shards equals the serial one — the property
+        ``tests/gpu/test_parallel.py`` asserts over randomized shards.
+        """
+        registry = CounterRegistry()
+        for name, value in (
+            ("rbcd.zeb_insertions", self.insertions),
+            ("rbcd.zeb_overflow_events", self.overflow_events),
+            ("rbcd.zeb_spare_allocations", self.spare_allocations),
+            ("rbcd.overlap_lists_analyzed", self.lists_analyzed),
+            ("rbcd.overlap_elements_read", self.elements_read),
+            ("rbcd.ff_stack_overflows", self.stack_overflows),
+            ("rbcd.unmatched_backfaces", self.unmatched_backfaces),
+            ("rbcd.pair_records_written", self.report.pair_records_written),
+        ):
+            registry.counter(name)
+            registry.set(name, value)
+        return registry
 
     @property
     def overflow_rate(self) -> float:

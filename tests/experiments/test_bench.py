@@ -1,0 +1,180 @@
+"""Bench harness tests: document generation, schema validation, CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import (
+    REQUIRED_STAGES,
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    main,
+    run_bench,
+    stage_summary,
+    validate_bench_document,
+)
+from repro.observability.tracer import Tracer
+
+from tests.observability.test_tracer import FakeClock
+
+
+@pytest.fixture(scope="module")
+def tiny_doc(tmp_path_factory):
+    """One cheap traced run shared by every assertion in this module."""
+    trace_dir = tmp_path_factory.mktemp("traces")
+    return run_bench(
+        ["crazy"], width=64, height=32, frames=1, detail=1,
+        quick=True, trace_dir=trace_dir,
+    ), trace_dir
+
+
+class TestStageSummary:
+    def test_medians_totals_cycles(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        for wall, cycles in ((1.0, 10.0), (3.0, 20.0), (2.0, 30.0)):
+            with tracer.span("stage") as span:
+                clock.tick(wall)
+            span.cycles = cycles
+        summary = stage_summary(tracer)
+        assert summary == {
+            "stage": {
+                "count": 3,
+                "wall_ms_median": 2000.0,
+                "wall_ms_total": 6000.0,
+                "cycles": 60.0,
+            }
+        }
+
+
+class TestRunBench:
+    def test_document_is_schema_valid(self, tiny_doc):
+        doc, _ = tiny_doc
+        validate_bench_document(doc)  # must not raise
+        assert doc["schema"] == SCHEMA_NAME
+        assert doc["version"] == SCHEMA_VERSION
+        assert set(doc["scenes"]) == {"crazy"}
+
+    def test_scene_entry_contents(self, tiny_doc):
+        doc, _ = tiny_doc
+        entry = doc["scenes"]["crazy"]
+        for stage in REQUIRED_STAGES:
+            assert stage in entry["stages"]
+        assert entry["stages"]["frame"]["count"] == 1
+        assert entry["totals"]["fragments_produced"] > 0
+        assert entry["totals"]["gpu_cycles"] > 0
+        assert entry["throughput"]["wall_s"] > 0
+        assert entry["throughput"]["fragments_per_s"] > 0
+        # Counters carry the merged registry namespaces.
+        assert entry["counters"]["gpu.frames"] == 1
+        assert any(name.startswith("gpu.rbcd.") for name in entry["counters"])
+
+    def test_trace_files_written(self, tiny_doc):
+        _, trace_dir = tiny_doc
+        ndjson = trace_dir / "trace_crazy.ndjson"
+        chrome = trace_dir / "trace_crazy.json"
+        assert ndjson.exists() and chrome.exists()
+        first = json.loads(ndjson.read_text().splitlines()[0])
+        assert first["name"] == "frame"
+        chrome_doc = json.loads(chrome.read_text())
+        assert chrome_doc["traceEvents"][0]["ph"] == "M"
+
+    def test_document_round_trips_through_json(self, tiny_doc):
+        doc, _ = tiny_doc
+        validate_bench_document(json.loads(json.dumps(doc)))
+
+
+class TestValidator:
+    @staticmethod
+    def valid_doc():
+        return {
+            "schema": SCHEMA_NAME,
+            "version": SCHEMA_VERSION,
+            "config": {"width": 64, "height": 32, "frames": 1,
+                       "detail": 1, "quick": True},
+            "scenes": {
+                "crazy": {
+                    "frames": 1,
+                    "stages": {
+                        stage: {"count": 1, "wall_ms_median": 1.0,
+                                "wall_ms_total": 1.0, "cycles": 10.0}
+                        for stage in REQUIRED_STAGES
+                    },
+                    "totals": {"fragments_produced": 5,
+                               "pair_records_written": 1,
+                               "gpu_cycles": 100.0, "colliding_pairs": 1},
+                    "throughput": {"wall_s": 0.1, "fragments_per_s": 50.0,
+                                   "pairs_per_s": 10.0},
+                    "counters": {"gpu.frames": 1},
+                }
+            },
+        }
+
+    def test_accepts_valid(self):
+        validate_bench_document(self.valid_doc())
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_bench_document([1, 2])
+
+    @pytest.mark.parametrize("mutate,needle", [
+        (lambda d: d.update(schema="other"), "schema"),
+        (lambda d: d.update(version=99), "version"),
+        (lambda d: d.pop("config"), "config"),
+        (lambda d: d["config"].update(width=0), "config.width"),
+        (lambda d: d["config"].update(quick="yes"), "config.quick"),
+        (lambda d: d.update(scenes={}), "scenes"),
+        (lambda d: d["scenes"]["crazy"]["stages"].pop("rbcd"), "rbcd"),
+        (lambda d: d["scenes"]["crazy"]["stages"]["frame"].update(count=0),
+         "count"),
+        (lambda d: d["scenes"]["crazy"]["stages"]["frame"].update(
+            wall_ms_median=-1.0), "wall_ms_median"),
+        (lambda d: d["scenes"]["crazy"]["totals"].update(
+            fragments_produced=1.5), "fragments_produced"),
+        (lambda d: d["scenes"]["crazy"].pop("throughput"), "throughput"),
+        (lambda d: d["scenes"]["crazy"].update(counters={}), "counters"),
+        (lambda d: d["scenes"]["crazy"]["counters"].update(bad="x"),
+         "counters.bad"),
+    ])
+    def test_rejects_each_mutation(self, mutate, needle):
+        doc = self.valid_doc()
+        mutate(doc)
+        with pytest.raises(ValueError, match=needle):
+            validate_bench_document(doc)
+
+    def test_error_lists_all_problems(self):
+        doc = self.valid_doc()
+        doc["config"]["width"] = 0
+        doc["scenes"]["crazy"]["frames"] = 0
+        with pytest.raises(ValueError) as excinfo:
+            validate_bench_document(doc)
+        message = str(excinfo.value)
+        assert "config.width" in message and "frames" in message
+
+
+class TestCli:
+    def test_check_mode_accepts_valid_file(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(TestValidator.valid_doc()))
+        assert main(["--check", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_mode_rejects_invalid_file(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"schema": "wrong"}))
+        assert main(["--check", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_check_mode_rejects_missing_file(self, tmp_path):
+        assert main(["--check", str(tmp_path / "absent.json")]) == 1
+
+    def test_end_to_end_writes_valid_document(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_rbcd.json"
+        code = main([
+            "--scenes", "crazy", "--width", "64", "--height", "32",
+            "--frames", "1", "--detail", "1", "--output", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        validate_bench_document(doc)
+        assert main(["--check", str(out)]) == 0

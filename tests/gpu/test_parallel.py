@@ -19,9 +19,12 @@ from repro.gpu.parallel import (
     chunk_tasks,
     gather_tile_tasks,
     make_executor,
+    tile_registry_of,
     tile_stats_of,
 )
 from repro.gpu.pipeline import GPU
+from repro.observability.counters import CounterRegistry
+from repro.rbcd.unit import RBCDUnit
 from repro.gpu.stats import GPUStats, TileStats
 from tests.conftest import sphere_pair_frame, two_boxes_frame
 
@@ -213,3 +216,99 @@ class TestExecutorMachinery:
         assert total.collisionable_fragments == sum(
             t.fragment_count for t in tasks
         )
+
+
+class TestShardedMergeAlgebra:
+    """Counter merges must be associative and commutative over any
+    randomized sharding of the per-tile results — the property that
+    lets the parallel executor group tiles arbitrarily and still merge
+    to the serial totals."""
+
+    @staticmethod
+    def random_tile_stats(rng):
+        stats = TileStats(tile_index=rng.randrange(0, 64))
+        for f in TileStats.__dataclass_fields__:
+            if f == "tile_index":
+                continue
+            value = rng.randrange(0, 500)
+            current = getattr(stats, f)
+            setattr(stats, f, float(value) if isinstance(current, float) else value)
+        return stats
+
+    @staticmethod
+    def shard(items, rng, num_shards):
+        shards = [[] for _ in range(num_shards)]
+        for item in items:
+            shards[rng.randrange(num_shards)].append(item)
+        return [s for s in shards if s]
+
+    def test_gpu_stats_sharded_merge_matches_flat_sum(self):
+        rng = random.Random(11)
+        parts = [TestStatsMergeAlgebra.random_stats(rng) for _ in range(24)]
+        reference = GPUStats.sum(parts).as_dict()
+        for seed in range(6):
+            shard_rng = random.Random(seed)
+            shards = self.shard(parts, shard_rng, shard_rng.randrange(2, 7))
+            shard_rng.shuffle(shards)
+            merged = GPUStats.sum(GPUStats.sum(s) for s in shards)
+            assert merged.as_dict() == reference
+
+    def test_tile_stats_sharded_merge_matches_flat_sum(self):
+        rng = random.Random(12)
+        parts = [self.random_tile_stats(rng) for _ in range(24)]
+        reference = TileStats.sum(parts).as_dict()
+        for seed in range(6):
+            shard_rng = random.Random(seed)
+            shards = self.shard(parts, shard_rng, shard_rng.randrange(2, 7))
+            shard_rng.shuffle(shards)
+            merged = TileStats.sum(TileStats.sum(s) for s in shards)
+            assert merged.as_dict() == reference
+        a, b, c = parts[:3]
+        assert (a + b).as_dict() == (b + a).as_dict()
+        assert ((a + b) + c).as_dict() == (a + (b + c)).as_dict()
+
+    def test_tile_registries_shard_merge_matches_unit_counters(self):
+        # Real per-tile results from a rendered frame: merging their
+        # registry views in any sharding equals the owning RBCD unit's
+        # counters after the serial absorb loop.
+        config = GPUConfig().with_screen(160, 96)
+        gpu = GPU(config, rbcd_enabled=True)
+        result = gpu.render_frame(
+            two_boxes_frame(config, 0.8), keep_fragments=True
+        )
+        tasks = gather_tile_tasks(result.fragments, config)
+        tiles = SerialTileExecutor().run(config, tasks)
+        assert len(tiles) >= 2, "scene too small to exercise sharding"
+
+        unit = RBCDUnit(config)
+        for tile in tiles:
+            unit.absorb(tile)
+        expected = unit.counters().as_dict()
+
+        registries = [tile_registry_of(t) for t in tiles]
+        pair_names = [n for n in expected]
+        for seed in range(5):
+            shard_rng = random.Random(seed)
+            shards = self.shard(registries, shard_rng, shard_rng.randrange(2, 5))
+            shard_rng.shuffle(shards)
+            merged = sum((sum(s) for s in shards), 0)
+            merged_dict = merged.as_dict()
+            assert {n: merged_dict[n] for n in pair_names} == expected
+
+    def test_registry_add_commutative_and_associative(self):
+        rng = random.Random(13)
+
+        def random_registry():
+            registry = CounterRegistry()
+            for name in ("a.x", "a.y", "b.z"):
+                registry.counter(name)
+                registry.set(name, rng.randrange(0, 100))
+            registry.counter("b.cycles", kind="float", unit="cycles")
+            registry.set("b.cycles", float(rng.randrange(0, 100)))
+            return registry
+
+        a, b, c = (random_registry() for _ in range(3))
+        assert (a + b).as_dict() == (b + a).as_dict()
+        assert ((a + b) + c).as_dict() == (a + (b + c)).as_dict()
+        assert (0 + a).as_dict() == a.as_dict()
+        assert CounterRegistry.sum([a, b, c]).as_dict() == ((a + b) + c).as_dict()

@@ -5,7 +5,12 @@ import pytest
 
 from repro.gpu.assembly import TriangleSoup
 from repro.gpu.config import GPUConfig
-from repro.gpu.raster import FragmentSoup, _rasterize_triangle, rasterize
+from repro.gpu.raster import (
+    FRAGMENT_DTYPES,
+    FragmentSoup,
+    _rasterize_triangle,
+    rasterize,
+)
 from repro.gpu.stats import GPUStats
 
 CFG = GPUConfig().with_screen(64, 64)
@@ -151,3 +156,54 @@ class TestWatertightness:
         assert len(pixels) == len(set(pixels)), "fan overlap"
         expected = {(x, y) for x in range(4, 28) for y in range(4, 28)}
         assert set(pixels) == expected, "fan seam"
+
+
+class TestFragmentDtypeContract:
+    """Both FragmentSoup construction paths honour FRAGMENT_DTYPES.
+
+    The populated path gathers fields from the TriangleSoup, so without
+    explicit coercion its dtypes would drift with whatever the caller
+    built the soup from (e.g. int32 object ids from a default
+    ``np.array`` on Windows) — and then differ from ``empty()``,
+    breaking concatenation and pickling invariants.
+    """
+
+    TRI = [[8.0, 8.0], [16.0, 8.0], [8.0, 16.0]]
+
+    def test_empty_matches_contract(self):
+        empty = FragmentSoup.empty()
+        for name, dtype in FRAGMENT_DTYPES.items():
+            assert getattr(empty, name).dtype == dtype, name
+
+    def test_populated_matches_contract(self):
+        frags = rasterize(
+            soup_from([self.TRI], [[0.5] * 3], object_ids=[3]), CFG, GPUStats()
+        )
+        assert frags.count > 0
+        for name, dtype in FRAGMENT_DTYPES.items():
+            assert getattr(frags, name).dtype == dtype, name
+
+    def test_populated_matches_contract_with_drifted_inputs(self):
+        # A soup built with narrow/odd dtypes must still come out on
+        # contract: rasterize() owns the coercion.
+        soup = TriangleSoup(
+            xy=np.array([self.TRI], dtype=np.float64),
+            z=np.array([[0.5] * 3], dtype=np.float64),
+            object_id=np.array([3], dtype=np.int16),
+            front=np.array([1], dtype=np.uint8),
+            tagged=np.array([0], dtype=np.int32),
+            draw_index=np.zeros(1, dtype=np.int32),
+        )
+        frags = rasterize(soup, CFG, GPUStats())
+        assert frags.count > 0
+        for name, dtype in FRAGMENT_DTYPES.items():
+            assert getattr(frags, name).dtype == dtype, name
+
+    def test_empty_and_populated_concatenate(self):
+        empty = FragmentSoup.empty()
+        frags = rasterize(soup_from([self.TRI], [[0.5] * 3]), CFG, GPUStats())
+        for name in FRAGMENT_DTYPES:
+            merged = np.concatenate(
+                [getattr(empty, name), getattr(frags, name)]
+            )
+            assert merged.dtype == FRAGMENT_DTYPES[name], name

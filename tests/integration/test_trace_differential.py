@@ -1,0 +1,89 @@
+"""Tracing is purely observational: enabling it changes nothing.
+
+The acceptance bar for the observability layer — with a tracer attached
+(vs the default ``NULL_TRACER``), every frame must produce identical
+collision pairs, contact records, counters, and simulated cycles, at
+any worker count.  Spans read the pipeline's numbers; they never feed
+back into them.
+"""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU
+from repro.hybrid import HybridCDSystem
+from repro.observability.tracer import Tracer
+from repro.scenes.benchmarks import workload_by_alias
+from tests.conftest import sphere_pair_frame, two_boxes_frame
+from tests.gpu.test_parallel import frame_fingerprint
+
+
+def render_fingerprint(config: GPUConfig, frame, tracer=None):
+    gpu = GPU(config, rbcd_enabled=True, tracer=tracer)
+    try:
+        return frame_fingerprint(gpu.render_frame(frame))
+    finally:
+        gpu.close()
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_tracing_changes_nothing(workers):
+    config = GPUConfig().with_screen(160, 96)
+    if workers != 1:
+        config = config.with_executor(workers=workers, backend="thread")
+    for separation in (0.8, 1.4):
+        frame = two_boxes_frame(config, separation)
+        untraced = render_fingerprint(config, frame)
+        traced = render_fingerprint(config, frame, tracer=Tracer())
+        assert traced == untraced
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_tracing_changes_nothing_on_benchmark_scene(workers):
+    config = GPUConfig().with_screen(160, 96)
+    if workers != 1:
+        config = config.with_executor(workers=workers, backend="thread")
+    workload = workload_by_alias("crazy", detail=1)
+    frame = workload.scene.frame_at(1.0, config)
+    untraced = render_fingerprint(config, frame)
+    traced = render_fingerprint(config, frame, tracer=Tracer())
+    assert traced == untraced
+
+
+def test_traced_spans_report_the_untraced_cycles():
+    # The tracer's numbers come *from* the pipeline: the frame span's
+    # cycles equal the untraced run's gpu_cycles exactly.
+    config = GPUConfig().with_screen(160, 96)
+    frame = sphere_pair_frame(config, 0.7)
+    untraced = render_fingerprint(config, frame)
+    tracer = Tracer()
+    traced = render_fingerprint(config, frame, tracer=tracer)
+    assert traced == untraced
+    (frame_span,) = tracer.by_name("frame")
+    assert frame_span.cycles == untraced["gpu_cycles"]
+    (geometry_span,) = tracer.by_name("geometry")
+    assert geometry_span.cycles == untraced["stats"]["geometry_cycles"]
+    (raster_span,) = tracer.by_name("raster")
+    assert raster_span.cycles == untraced["stats"]["raster_pipeline_cycles"]
+
+
+def test_hybrid_tracing_changes_nothing():
+    workload = workload_by_alias("cap", detail=1)
+    scene = workload.scene
+    objects = [
+        (scene.object_id(obj.name), obj.mesh, obj.animator.transform(1.0))
+        for obj in scene.objects
+        if obj.collisionable
+    ]
+    camera = workload.scene.camera_at(1.0)
+    with HybridCDSystem(resolution=(160, 96)) as plain:
+        baseline = plain.detect(objects, camera)
+    tracer = Tracer()
+    with HybridCDSystem(resolution=(160, 96), tracer=tracer) as traced_sys:
+        traced = traced_sys.detect(objects, camera)
+    assert traced.pairs == baseline.pairs
+    assert traced.rbcd_pairs == baseline.rbcd_pairs
+    assert traced.software_pairs == baseline.software_pairs
+    assert traced.offscreen_ids == baseline.offscreen_ids
+    assert tracer.by_name("hybrid.classify")
+    assert tracer.by_name("hybrid.software")

@@ -1,0 +1,92 @@
+"""Exporter tests: ndjson line schema and Chrome trace format."""
+
+import json
+
+import pytest
+
+from repro.observability.export import (
+    span_record,
+    to_chrome_trace,
+    to_ndjson,
+    write_chrome_trace,
+    write_ndjson,
+)
+from repro.observability.tracer import Tracer
+
+from tests.observability.test_tracer import FakeClock
+
+
+@pytest.fixture
+def traced():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("frame", category="frame", draws=2) as frame:
+        clock.tick(0.5)
+        with tracer.span("geometry") as geometry:
+            clock.tick(1.0)
+        geometry.cycles = 40.0
+    frame.cycles = 100.0
+    return tracer
+
+
+class TestNdjson:
+    def test_one_line_per_span_in_start_order(self, traced):
+        text = to_ndjson(traced)
+        assert text.endswith("\n")
+        records = [json.loads(line) for line in text.splitlines()]
+        assert [r["name"] for r in records] == ["frame", "geometry"]
+
+    def test_record_schema(self, traced):
+        record = span_record(traced.spans[0])
+        assert record == {
+            "name": "frame",
+            "cat": "frame",
+            "index": 0,
+            "parent": -1,
+            "depth": 0,
+            "t_start_s": 0.0,
+            "wall_s": 1.5,
+            "cycles": 100.0,
+            "attrs": {"draws": 2},
+        }
+        child = span_record(traced.spans[1])
+        assert child["parent"] == 0
+        assert child["depth"] == 1
+        assert child["wall_s"] == 1.0
+        assert child["cycles"] == 40.0
+
+    def test_empty_tracer_yields_empty_string(self):
+        assert to_ndjson(Tracer()) == ""
+
+    def test_write_roundtrip(self, traced, tmp_path):
+        path = write_ndjson(traced, tmp_path / "trace.ndjson")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["name"] == "geometry"
+
+
+class TestChromeTrace:
+    def test_document_structure(self, traced):
+        doc = to_chrome_trace(traced, process_name="bench")
+        assert doc["displayTimeUnit"] == "ms"
+        meta, *events = doc["traceEvents"]
+        assert meta["ph"] == "M"
+        assert meta["args"] == {"name": "bench"}
+        assert [e["name"] for e in events] == ["frame", "geometry"]
+        for e in events:
+            assert e["ph"] == "X"
+
+    def test_microsecond_timestamps_and_cycle_args(self, traced):
+        doc = to_chrome_trace(traced)
+        frame, geometry = doc["traceEvents"][1:]
+        assert frame["ts"] == 0.0
+        assert frame["dur"] == pytest.approx(1.5e6)
+        assert geometry["ts"] == pytest.approx(0.5e6)
+        assert geometry["dur"] == pytest.approx(1.0e6)
+        assert frame["args"] == {"cycles": 100.0, "draws": 2}
+        assert geometry["args"] == {"cycles": 40.0}
+
+    def test_write_is_valid_json(self, traced, tmp_path):
+        path = write_chrome_trace(traced, tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 3

@@ -1,0 +1,149 @@
+"""Tracer unit tests: nesting, clocks, the null tracer's contract."""
+
+import pytest
+
+from repro.observability.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    ensure_tracer,
+)
+
+
+class FakeClock:
+    """Deterministic clock: advances only when told to."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def tick(self, dt=1.0):
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+class TestSpanTree:
+    def test_nesting_records_parent_and_depth(self, tracer):
+        with tracer.span("frame") as frame:
+            with tracer.span("geometry") as geometry:
+                with tracer.span("geometry.shade") as shade:
+                    pass
+            with tracer.span("raster"):
+                pass
+        assert [s.name for s in tracer.spans] == [
+            "frame", "geometry", "geometry.shade", "raster",
+        ]
+        assert frame.parent == -1 and frame.depth == 0
+        assert geometry.parent == frame.index and geometry.depth == 1
+        assert shade.parent == geometry.index and shade.depth == 2
+        assert [s.name for s in tracer.children(frame)] == ["geometry", "raster"]
+        assert tracer.roots() == [frame]
+
+    def test_wall_time_from_clock(self, tracer, clock):
+        with tracer.span("outer") as outer:
+            clock.tick(2.0)
+            with tracer.span("inner") as inner:
+                clock.tick(3.0)
+        assert inner.wall_s == pytest.approx(3.0)
+        assert outer.wall_s == pytest.approx(5.0)
+        assert outer.t_start == pytest.approx(0.0)
+        assert inner.t_start == pytest.approx(2.0)
+
+    def test_open_span_reads_zero_wall(self, tracer, clock):
+        sp = tracer.start("open")
+        clock.tick(4.0)
+        assert not sp.closed
+        assert sp.wall_s == 0.0
+        tracer.end(sp)
+        assert sp.closed and sp.wall_s == pytest.approx(4.0)
+
+    def test_out_of_order_close_raises(self, tracer):
+        outer = tracer.start("outer")
+        tracer.start("inner")
+        with pytest.raises(RuntimeError, match="out of order"):
+            tracer.end(outer)
+
+    def test_cycles_attribution(self, tracer):
+        with tracer.span("stage") as span:
+            span.add_cycles(10)
+            tracer.add_cycles(5)       # lands on the innermost open span
+        span.cycles = 99.0             # post-close assignment is allowed
+        assert span.cycles == 99.0
+        assert tracer.total_cycles("stage") == 99.0
+
+    def test_annotate_and_start_attrs(self, tracer):
+        with tracer.span("stage", tile=7) as span:
+            span.annotate(fragments=100)
+        assert span.attrs == {"tile": 7, "fragments": 100}
+
+    def test_reset_requires_closed_stack(self, tracer, clock):
+        tracer.start("open")
+        with pytest.raises(RuntimeError, match="open spans"):
+            tracer.reset()
+
+    def test_reset_rezeros_epoch(self, tracer, clock):
+        with tracer.span("a"):
+            clock.tick(5.0)
+        tracer.reset()
+        assert tracer.spans == []
+        with tracer.span("b") as b:
+            pass
+        assert b.t_start == pytest.approx(0.0)
+
+    def test_queries(self, tracer):
+        with tracer.span("frame"):
+            with tracer.span("tile", category="tile"):
+                pass
+            with tracer.span("tile", category="tile"):
+                pass
+        assert len(tracer.by_name("tile")) == 2
+        assert tracer.by_name("nothing") == []
+        assert tracer.current is None
+
+
+class TestNullTracer:
+    def test_ensure_tracer_defaults_to_null(self):
+        assert ensure_tracer(None) is NULL_TRACER
+        real = Tracer()
+        assert ensure_tracer(real) is real
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_absorbs_all_mutation(self):
+        with NULL_TRACER.span("anything", tile=3) as span:
+            span.cycles = 123.0      # must not stick
+            span.add_cycles(5)
+            span.annotate(x=1)
+        assert span.cycles == 0.0
+        assert span.attrs == {}
+        assert NULL_TRACER.spans == []
+
+    def test_null_tracer_structural_compat(self):
+        sp = NULL_TRACER.start("x")
+        NULL_TRACER.end(sp)
+        NULL_TRACER.add_cycles(3)
+        NULL_TRACER.reset()
+        assert NULL_TRACER.current is None
+        assert NULL_TRACER.by_name("x") == []
+        assert NULL_TRACER.roots() == []
+        assert NULL_TRACER.total_wall_s("x") == 0.0
+        assert NULL_TRACER.total_cycles("x") == 0.0
+
+    def test_real_span_dataclass_defaults(self):
+        sp = Span(name="s")
+        assert not sp.closed
+        assert sp.wall_s == 0.0
+        sp.add_cycles(2.5)
+        assert sp.cycles == 2.5
