@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.energy.report import FrameEnergyReport
 from repro.geometry.mesh import TriangleMesh
 from repro.geometry.vec import Mat4
 from repro.gpu.commands import DrawCommand, Frame
@@ -47,6 +48,7 @@ class RBCDFrameResult:
     cpu_fallback: bool
     view_projection: Mat4
     screen_size: tuple[int, int]
+    energy: FrameEnergyReport | None = None  # modelled joules + EDP
 
     @property
     def pairs(self) -> set[tuple[int, int]]:
@@ -160,6 +162,7 @@ class RBCDSystem:
             cpu_fallback=result.cpu_fallback,
             view_projection=frame.view_projection(),
             screen_size=(self.config.screen_width, self.config.screen_height),
+            energy=result.energy,
         )
 
     def detect(

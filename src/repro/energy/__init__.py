@@ -1,12 +1,28 @@
-"""Energy models (McPAT substitute) for the GPU and the RBCD unit."""
+"""Energy models (McPAT substitute) for the GPU and the RBCD unit.
+
+:class:`EnergyAccount` is the front door: it prices a frame's
+:class:`~repro.gpu.stats.GPUStats` into a :class:`FrameEnergyReport`
+(per-component joules, total, energy-delay product) that the GPU
+pipeline attaches to every :class:`~repro.gpu.pipeline.FrameResult`
+and the bench harness rolls into ``BENCH_rbcd.json``.
+"""
 
 from repro.energy.components import ComponentEnergies
-from repro.energy.gpu_power import GPUEnergyModel, GPUEnergyBreakdown
-from repro.energy.rbcd_power import RBCDEnergyModel
+from repro.energy.gpu_power import (
+    GPUEnergyBreakdown,
+    GPUEnergyModel,
+    GPUEnergyParams,
+)
+from repro.energy.rbcd_power import RBCDEnergyBreakdown, RBCDEnergyModel
+from repro.energy.report import EnergyAccount, FrameEnergyReport
 
 __all__ = [
     "ComponentEnergies",
+    "EnergyAccount",
+    "FrameEnergyReport",
     "GPUEnergyBreakdown",
     "GPUEnergyModel",
+    "GPUEnergyParams",
+    "RBCDEnergyBreakdown",
     "RBCDEnergyModel",
 ]

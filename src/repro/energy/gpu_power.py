@@ -12,10 +12,11 @@ The RBCD unit's energy is priced separately in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.gpu.config import GPUConfig
 from repro.gpu.stats import GPUStats
+from repro.observability.counters import CounterAlgebra, CounterRegistry
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,8 +37,15 @@ class GPUEnergyParams:
 
 
 @dataclass
-class GPUEnergyBreakdown:
-    """Per-category energy of one frame (or an accumulation)."""
+class GPUEnergyBreakdown(CounterAlgebra):
+    """Per-category energy of one frame (or an accumulation).
+
+    The merge algebra (``a + b``, ``sum``-compatible ``__radd__``,
+    ``Cls.sum``) comes from
+    :class:`~repro.observability.counters.CounterAlgebra`: every field
+    is a plain sum, so per-frame (or per-shard) breakdowns accumulate
+    exactly like the counters they are priced from.
+    """
 
     geometry_j: float = 0.0
     raster_j: float = 0.0
@@ -55,21 +63,16 @@ class GPUEnergyBreakdown:
             + self.static_j
         )
 
-    def __add__(self, other: "GPUEnergyBreakdown") -> "GPUEnergyBreakdown":
-        if not isinstance(other, GPUEnergyBreakdown):
-            return NotImplemented
-        return GPUEnergyBreakdown(
-            geometry_j=self.geometry_j + other.geometry_j,
-            raster_j=self.raster_j + other.raster_j,
-            fragment_j=self.fragment_j + other.fragment_j,
-            memory_j=self.memory_j + other.memory_j,
-            static_j=self.static_j + other.static_j,
-        )
-
-    def __radd__(self, other):
-        if other == 0:
-            return self
-        return self.__add__(other)
+    def registry(self) -> CounterRegistry:
+        """Named counter view (``energy.gpu.*``, joules)."""
+        out = CounterRegistry()
+        for f in fields(self):
+            name = f"energy.gpu.{f.name}"
+            out.counter(name, kind="float", unit="J")
+            out.set(name, getattr(self, f.name))
+        out.counter("energy.gpu.total_j", kind="float", unit="J")
+        out.set("energy.gpu.total_j", self.total_j)
+        return out
 
 
 class GPUEnergyModel:

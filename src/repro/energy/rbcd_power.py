@@ -14,15 +14,20 @@ Per Section 3.4-3.5 the unit's work decomposes into:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.energy.components import ComponentEnergies
 from repro.gpu.config import GPUConfig
 from repro.gpu.stats import GPUStats
+from repro.observability.counters import CounterAlgebra, CounterRegistry
 
 
 @dataclass
-class RBCDEnergyBreakdown:
+class RBCDEnergyBreakdown(CounterAlgebra):
+    """Per-component energy of the RBCD unit (one frame, one tile, or
+    any accumulation — every field merges by plain sum via
+    :class:`~repro.observability.counters.CounterAlgebra`)."""
+
     insertion_j: float = 0.0
     overlap_j: float = 0.0
     output_j: float = 0.0
@@ -31,6 +36,17 @@ class RBCDEnergyBreakdown:
     @property
     def total_j(self) -> float:
         return self.insertion_j + self.overlap_j + self.output_j + self.static_j
+
+    def registry(self) -> CounterRegistry:
+        """Named counter view (``energy.rbcd.*``, joules)."""
+        out = CounterRegistry()
+        for f in fields(self):
+            name = f"energy.rbcd.{f.name}"
+            out.counter(name, kind="float", unit="J")
+            out.set(name, getattr(self, f.name))
+        out.counter("energy.rbcd.total_j", kind="float", unit="J")
+        out.set("energy.rbcd.total_j", self.total_j)
+        return out
 
 
 class RBCDEnergyModel:
@@ -80,6 +96,25 @@ class RBCDEnergyModel:
         zeb_kb = cfg.rbcd.zeb_size_bytes(cfg.tile_pixels) / 1024.0
         fraction = cfg.rbcd.zeb_count * zeb_kb * self.components.static_fraction_per_kb
         return fraction * self.gpu_static_power_w
+
+    def tile_breakdown(self, result) -> RBCDEnergyBreakdown:
+        """Dynamic energy of one computed tile
+        (:class:`~repro.rbcd.unit.RBCDTileResult`).
+
+        Static leakage is excluded — it accrues with *frame* time, not
+        per tile — so summing tile breakdowns over any shard grouping
+        reproduces the frame's dynamic energy exactly
+        (``breakdown(stats)`` minus its ``static_j``), which is what
+        lets energy survive the parallel executor's merge.
+        """
+        return RBCDEnergyBreakdown(
+            insertion_j=result.zeb.insertions
+            * self.insertion_energy_per_fragment_j(),
+            overlap_j=result.analyzed_elements
+            * self.overlap_energy_per_element_j(),
+            output_j=result.overlap.pair_records
+            * self.components.pair_record_write_j,
+        )
 
     def breakdown(self, stats: GPUStats) -> RBCDEnergyBreakdown:
         c = self.components

@@ -1,10 +1,27 @@
-"""Benchmark harness: traced runs over the paper's four scenes.
+"""Benchmark harness: traced, repeated, energy-priced runs + gating.
 
 ``python -m repro.experiments.bench`` renders each benchmark workload
 through a traced :class:`~repro.core.RBCDSystem` and writes
-``BENCH_rbcd.json`` — per-stage wall-time medians (from the
-observability tracer's span stream), simulated cycle totals, and
-throughput figures (fragments/sec, pairs/sec).
+``BENCH_rbcd.json``.  Since schema v2 the harness is a regression
+instrument, not just a reporter:
+
+* ``--runs N`` repeats every scene N times and records per-stage
+  min/median/max wall time with a bootstrap confidence interval (and
+  the raw per-run samples, so a later gate can re-test significance);
+* every scene carries a modelled **energy** section — the
+  Figure-10/11-style per-component joules from
+  :class:`~repro.energy.report.EnergyAccount` plus the energy-delay
+  product — and the merged counters include the ``energy.*`` namespace;
+* ``--baseline FILE`` compares the fresh document against a stored
+  baseline (``benchmarks/baselines/*.json``) with
+  :func:`repro.observability.regress.compare_documents`; ``--gate``
+  turns statistically significant wall regressions or *any*
+  deterministic regression (cycles, DRAM bytes, joules, EDP) into a
+  non-zero exit;
+* ``--profile`` swaps in a
+  :class:`~repro.observability.profile.ProfilingTracer` so exported
+  traces carry per-stage cProfile hotspots (such documents are marked
+  and refused as gate baselines).
 
 The document layout (checked by :func:`validate_bench_document`):
 
@@ -12,21 +29,31 @@ The document layout (checked by :func:`validate_bench_document`):
 
     {
       "schema": "rbcd-bench",          # fixed discriminator
-      "version": 1,
-      "config": {width, height, frames, detail, quick},
+      "version": 2,
+      "config": {width, height, frames, detail, quick, runs, profile},
+      "stats": {bootstrap_resamples, confidence},
       "scenes": {
         "<alias>": {
-          "frames": N,
+          "frames": N, "runs": R,
           "stages": {                  # one entry per span name
-            "<stage>": {count, wall_ms_median, wall_ms_total, cycles}
+            "<stage>": {count, cycles, wall_ms_median, wall_ms_total,
+                        wall_ms_min, wall_ms_max, wall_ms_ci95,
+                        wall_ms_runs}
           },
           "totals": {fragments_produced, pair_records_written,
                      gpu_cycles, colliding_pairs},
           "throughput": {wall_s, fragments_per_s, pairs_per_s},
-          "counters": {"<name>": value}   # merged CounterRegistry
+          "counters": {"<name>": value},  # merged CounterRegistry
+          "energy": {gpu: {...}, rbcd: {...},   # joules per component
+                     total_j, delay_s, edp_js}
         }
       }
     }
+
+Wall-time semantics: a stage's sample is its summed wall time within
+one run; ``wall_ms_median``/``min``/``max`` and the CI are over those
+per-run samples, ``wall_ms_total`` sums them across runs.  Everything
+except wall time is deterministic and asserted identical across runs.
 
 ``--quick`` shrinks the run (160x96, 2 frames, detail 1) for CI smoke
 jobs; ``--check FILE`` validates an existing document and exits, so CI
@@ -44,9 +71,13 @@ from statistics import median
 from typing import Any, Mapping, Sequence
 
 from repro.core import RBCDSystem
+from repro.energy.report import FrameEnergyReport
 from repro.gpu.config import GPUConfig
 from repro.observability.counters import CounterRegistry
 from repro.observability.export import write_chrome_trace, write_ndjson
+from repro.observability.profile import ProfilingTracer
+from repro.observability.regress import GatePolicy, GateReport, compare_documents
+from repro.observability.stats import bootstrap_ci
 from repro.observability.tracer import Tracer
 from repro.scenes.benchmarks import BENCHMARKS, workload_by_alias
 
@@ -54,23 +85,44 @@ __all__ = [
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
     "REQUIRED_STAGES",
+    "BOOTSTRAP_RESAMPLES",
+    "CONFIDENCE",
     "run_bench",
     "run_scene",
     "stage_summary",
+    "aggregate_stage_runs",
+    "gate_against_baseline",
     "validate_bench_document",
     "main",
 ]
 
 SCHEMA_NAME = "rbcd-bench"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 # Stage spans every traced frame is guaranteed to emit; their absence
 # in a bench document means the run (or the tracer wiring) is broken.
 REQUIRED_STAGES = ("frame", "geometry", "raster", "rbcd", "schedule")
 
+# Bootstrap parameters recorded in the document's ``stats`` block: the
+# stored CI bounds are reproducible from the stored samples.
+BOOTSTRAP_RESAMPLES = 2000
+CONFIDENCE = 0.95
+
+# Per-scene energy keys the validator requires (mirrors
+# FrameEnergyReport.as_dict()).
+_ENERGY_GPU_KEYS = (
+    "geometry_j", "raster_j", "fragment_j", "memory_j", "static_j", "total_j",
+)
+_ENERGY_RBCD_KEYS = ("insertion_j", "overlap_j", "output_j", "static_j", "total_j")
+_ENERGY_TOP_KEYS = ("total_j", "delay_s", "edp_js")
+
+# Default gate thresholds (GatePolicy is a slots dataclass, so its
+# defaults are not reachable as class attributes).
+_DEFAULT_POLICY = GatePolicy()
+
 
 def stage_summary(tracer: Tracer) -> dict[str, dict[str, float]]:
-    """Aggregate a tracer's spans by name: medians, totals, cycles."""
+    """Aggregate one run's spans by name: count, wall total, cycles."""
     wall_ms: dict[str, list[float]] = {}
     cycles: dict[str, float] = {}
     for span in tracer.spans:
@@ -79,7 +131,6 @@ def stage_summary(tracer: Tracer) -> dict[str, dict[str, float]]:
     return {
         name: {
             "count": len(samples),
-            "wall_ms_median": median(samples),
             "wall_ms_total": sum(samples),
             "cycles": cycles[name],
         }
@@ -87,35 +138,135 @@ def stage_summary(tracer: Tracer) -> dict[str, dict[str, float]]:
     }
 
 
+def aggregate_stage_runs(
+    run_summaries: Sequence[Mapping[str, Mapping[str, float]]]
+) -> dict[str, dict[str, Any]]:
+    """Merge per-run stage summaries into the schema-v2 stage records.
+
+    Span counts and simulated cycles are deterministic; a mismatch
+    across runs means nondeterminism leaked into the model and is an
+    error, not a statistic.
+    """
+    if not run_summaries:
+        raise ValueError("need at least one run")
+    first = run_summaries[0]
+    stages: dict[str, dict[str, Any]] = {}
+    for name, record in first.items():
+        samples = []
+        for i, summary in enumerate(run_summaries):
+            other = summary.get(name)
+            if other is None:
+                raise RuntimeError(
+                    f"stage {name!r} missing from run {i}: span structure "
+                    f"is nondeterministic"
+                )
+            for key in ("count", "cycles"):
+                if other[key] != record[key]:
+                    raise RuntimeError(
+                        f"stage {name!r} {key} differs across runs "
+                        f"({record[key]} vs run {i}: {other[key]}): "
+                        f"the simulation is nondeterministic"
+                    )
+            samples.append(float(other["wall_ms_total"]))
+        lo, hi = bootstrap_ci(
+            samples, confidence=CONFIDENCE, n_resamples=BOOTSTRAP_RESAMPLES
+        )
+        stages[name] = {
+            "count": int(record["count"]),
+            "cycles": float(record["cycles"]),
+            "wall_ms_median": float(median(samples)),
+            "wall_ms_total": float(sum(samples)),
+            "wall_ms_min": float(min(samples)),
+            "wall_ms_max": float(max(samples)),
+            "wall_ms_ci95": [lo, hi],
+            "wall_ms_runs": samples,
+        }
+    extra = {
+        name for summary in run_summaries for name in summary
+    } - set(first)
+    if extra:
+        raise RuntimeError(
+            f"stages {sorted(extra)} appear in some runs only: span "
+            f"structure is nondeterministic"
+        )
+    return stages
+
+
+def _make_tracer(profile: bool) -> Tracer:
+    return ProfilingTracer() if profile else Tracer()
+
+
 def run_scene(
     alias: str,
     config: GPUConfig,
     frames: int,
     detail: int,
+    runs: int = 1,
     trace_dir: Path | None = None,
+    profile: bool = False,
 ) -> dict[str, Any]:
-    """Render one workload through a traced system; return its entry."""
+    """Render one workload ``runs`` times through a traced system."""
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
     workload = workload_by_alias(alias, detail=detail)
-    tracer = Tracer()
-    fragments = 0
-    pair_records = 0
-    gpu_cycles = 0.0
-    pairs: set[tuple[int, int]] = set()
-    counters: CounterRegistry | int = 0
-    with RBCDSystem(config=config, tracer=tracer) as system:
-        for t in workload.times(frames):
-            frame = workload.scene.frame_at(float(t), config)
-            result = system.detect_frame(frame)
-            fragments += result.stats.fragments_produced
-            pair_records += result.report.pair_records_written
-            gpu_cycles += result.stats.gpu_cycles
-            pairs |= result.pairs
-            counters = counters + result.stats.registry()
+    tracer = _make_tracer(profile)
+    run_summaries: list[dict] = []
+    frame_wall_s_runs: list[float] = []
+    first_totals: dict[str, Any] | None = None
+    first_counters: dict[str, Any] | None = None
+    energy: FrameEnergyReport | None = None
 
-    frame_wall_s = sum(
-        span.wall_s for span in tracer.by_name("frame") if span.closed
-    )
+    with RBCDSystem(config=config, tracer=tracer) as system:
+        for run in range(runs):
+            tracer.reset()
+            fragments = 0
+            pair_records = 0
+            gpu_cycles = 0.0
+            pairs: set[tuple[int, int]] = set()
+            counters: CounterRegistry | int = 0
+            run_energy = FrameEnergyReport()
+            for t in workload.times(frames):
+                frame = workload.scene.frame_at(float(t), config)
+                result = system.detect_frame(frame)
+                fragments += result.stats.fragments_produced
+                pair_records += result.report.pair_records_written
+                gpu_cycles += result.stats.gpu_cycles
+                pairs |= result.pairs
+                counters = counters + result.stats.registry()
+                assert result.energy is not None
+                run_energy = run_energy + result.energy
+            assert isinstance(counters, CounterRegistry)
+            counters = counters + run_energy.registry()
+
+            run_summaries.append(stage_summary(tracer))
+            frame_wall_s_runs.append(
+                sum(s.wall_s for s in tracer.by_name("frame") if s.closed)
+            )
+            totals = {
+                "fragments_produced": fragments,
+                "pair_records_written": pair_records,
+                "gpu_cycles": gpu_cycles,
+                "colliding_pairs": len(pairs),
+            }
+            if first_totals is None:
+                first_totals = totals
+                first_counters = counters.as_dict()
+                energy = run_energy
+            else:
+                # Everything but wall time is a pure function of the
+                # scene; catching drift here is a free differential test
+                # every multi-run bench performs.
+                if totals != first_totals or counters.as_dict() != first_counters:
+                    raise RuntimeError(
+                        f"scene {alias!r} run {run} produced different "
+                        f"counters than run 0: the simulation is "
+                        f"nondeterministic"
+                    )
+
+    assert first_totals is not None and first_counters is not None
+    assert energy is not None
     if trace_dir is not None:
+        # Traces from the last run (the tracer holds one run at a time).
         trace_dir.mkdir(parents=True, exist_ok=True)
         write_ndjson(tracer, trace_dir / f"trace_{alias}.ndjson")
         write_chrome_trace(
@@ -123,22 +274,21 @@ def run_scene(
             trace_dir / f"trace_{alias}.json",
             process_name=f"repro bench:{alias}",
         )
-    assert isinstance(counters, CounterRegistry)
+    wall_s = float(median(frame_wall_s_runs))
     return {
         "frames": frames,
-        "stages": stage_summary(tracer),
-        "totals": {
-            "fragments_produced": fragments,
-            "pair_records_written": pair_records,
-            "gpu_cycles": gpu_cycles,
-            "colliding_pairs": len(pairs),
-        },
+        "runs": runs,
+        "stages": aggregate_stage_runs(run_summaries),
+        "totals": first_totals,
         "throughput": {
-            "wall_s": frame_wall_s,
-            "fragments_per_s": fragments / frame_wall_s if frame_wall_s else 0.0,
-            "pairs_per_s": pair_records / frame_wall_s if frame_wall_s else 0.0,
+            "wall_s": wall_s,
+            "fragments_per_s":
+                first_totals["fragments_produced"] / wall_s if wall_s else 0.0,
+            "pairs_per_s":
+                first_totals["pair_records_written"] / wall_s if wall_s else 0.0,
         },
-        "counters": counters.as_dict(),
+        "counters": first_counters,
+        "energy": energy.as_dict(),
     }
 
 
@@ -149,7 +299,9 @@ def run_bench(
     frames: int,
     detail: int,
     quick: bool = False,
+    runs: int = 1,
     trace_dir: Path | None = None,
+    profile: bool = False,
     progress=None,
 ) -> dict[str, Any]:
     """Run the bench over ``scenes`` and assemble the full document."""
@@ -163,6 +315,12 @@ def run_bench(
             "frames": frames,
             "detail": detail,
             "quick": quick,
+            "runs": runs,
+            "profile": profile,
+        },
+        "stats": {
+            "bootstrap_resamples": BOOTSTRAP_RESAMPLES,
+            "confidence": CONFIDENCE,
         },
         "scenes": {},
     }
@@ -170,7 +328,8 @@ def run_bench(
         if progress is not None:
             progress(alias)
         doc["scenes"][alias] = run_scene(
-            alias, config, frames, detail, trace_dir=trace_dir
+            alias, config, frames, detail,
+            runs=runs, trace_dir=trace_dir, profile=profile,
         )
     return doc
 
@@ -193,9 +352,50 @@ def _check_int(errors, path, value, minimum=0) -> None:
         _fail(errors, path, f"expected >= {minimum}, got {value}")
 
 
+def _check_stage_record(errors, spath, record, runs) -> None:
+    _check_int(errors, f"{spath}.count", record.get("count"), minimum=1)
+    for key in ("wall_ms_median", "wall_ms_total", "wall_ms_min",
+                "wall_ms_max", "cycles"):
+        _check_number(errors, f"{spath}.{key}", record.get(key))
+    ci = record.get("wall_ms_ci95")
+    if (
+        not isinstance(ci, list) or len(ci) != 2
+        or any(isinstance(v, bool) or not isinstance(v, (int, float)) for v in ci)
+    ):
+        _fail(errors, f"{spath}.wall_ms_ci95", "expected [lo, hi] numbers")
+    elif ci[0] > ci[1]:
+        _fail(errors, f"{spath}.wall_ms_ci95", f"lo > hi ({ci[0]} > {ci[1]})")
+    samples = record.get("wall_ms_runs")
+    if not isinstance(samples, list) or not samples:
+        _fail(errors, f"{spath}.wall_ms_runs", "expected a non-empty list")
+    else:
+        for i, value in enumerate(samples):
+            _check_number(errors, f"{spath}.wall_ms_runs[{i}]", value)
+        if isinstance(runs, int) and 0 < runs != len(samples):
+            _fail(
+                errors, f"{spath}.wall_ms_runs",
+                f"expected {runs} samples (config.runs), got {len(samples)}",
+            )
+
+
+def _check_energy(errors, base, energy) -> None:
+    if not isinstance(energy, Mapping):
+        _fail(errors, f"{base}.energy", "missing or not an object")
+        return
+    for block, keys in (("gpu", _ENERGY_GPU_KEYS), ("rbcd", _ENERGY_RBCD_KEYS)):
+        entry = energy.get(block)
+        if not isinstance(entry, Mapping):
+            _fail(errors, f"{base}.energy.{block}", "missing or not an object")
+            continue
+        for key in keys:
+            _check_number(errors, f"{base}.energy.{block}.{key}", entry.get(key))
+    for key in _ENERGY_TOP_KEYS:
+        _check_number(errors, f"{base}.energy.{key}", energy.get(key))
+
+
 def validate_bench_document(doc: Any) -> None:
     """Raise ``ValueError`` (listing every problem) if ``doc`` is not a
-    well-formed rbcd-bench document."""
+    well-formed rbcd-bench v2 document."""
     errors: list[str] = []
     if not isinstance(doc, Mapping):
         raise ValueError("bench document must be a JSON object")
@@ -205,13 +405,29 @@ def validate_bench_document(doc: Any) -> None:
         _fail(errors, "version", f"expected {SCHEMA_VERSION}, got {doc.get('version')!r}")
 
     config = doc.get("config")
+    runs = None
     if not isinstance(config, Mapping):
         _fail(errors, "config", "missing or not an object")
     else:
-        for key in ("width", "height", "frames", "detail"):
+        for key in ("width", "height", "frames", "detail", "runs"):
             _check_int(errors, f"config.{key}", config.get(key), minimum=1)
-        if not isinstance(config.get("quick"), bool):
-            _fail(errors, "config.quick", "expected a bool")
+        for key in ("quick", "profile"):
+            if not isinstance(config.get(key), bool):
+                _fail(errors, f"config.{key}", "expected a bool")
+        runs = config.get("runs")
+
+    stats = doc.get("stats")
+    if not isinstance(stats, Mapping):
+        _fail(errors, "stats", "missing or not an object")
+    else:
+        _check_int(errors, "stats.bootstrap_resamples",
+                   stats.get("bootstrap_resamples"), minimum=1)
+        confidence = stats.get("confidence")
+        _check_number(errors, "stats.confidence", confidence)
+        if isinstance(confidence, (int, float)) and not isinstance(confidence, bool):
+            if not 0.0 < confidence < 1.0:
+                _fail(errors, "stats.confidence",
+                      f"expected a value in (0, 1), got {confidence}")
 
     scenes = doc.get("scenes")
     if not isinstance(scenes, Mapping) or not scenes:
@@ -223,6 +439,7 @@ def validate_bench_document(doc: Any) -> None:
             _fail(errors, base, "not an object")
             continue
         _check_int(errors, f"{base}.frames", entry.get("frames"), minimum=1)
+        _check_int(errors, f"{base}.runs", entry.get("runs"), minimum=1)
 
         stages = entry.get("stages")
         if not isinstance(stages, Mapping) or not stages:
@@ -236,9 +453,7 @@ def validate_bench_document(doc: Any) -> None:
             if not isinstance(record, Mapping):
                 _fail(errors, spath, "not an object")
                 continue
-            _check_int(errors, f"{spath}.count", record.get("count"), minimum=1)
-            for key in ("wall_ms_median", "wall_ms_total", "cycles"):
-                _check_number(errors, f"{spath}.{key}", record.get(key))
+            _check_stage_record(errors, spath, record, runs)
 
         totals = entry.get("totals")
         if not isinstance(totals, Mapping):
@@ -266,6 +481,11 @@ def validate_bench_document(doc: Any) -> None:
                 if isinstance(value, bool) or not isinstance(value, (int, float)):
                     _fail(errors, f"{base}.counters.{name}",
                           f"expected a number, got {type(value).__name__}")
+            if "energy.total_j" not in counters:
+                _fail(errors, f"{base}.counters",
+                      "missing the energy.* namespace (energy.total_j)")
+
+        _check_energy(errors, base, entry.get("energy"))
 
     if errors:
         raise ValueError(
@@ -273,10 +493,39 @@ def validate_bench_document(doc: Any) -> None:
         )
 
 
+def gate_against_baseline(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    policy: GatePolicy | None = None,
+) -> GateReport:
+    """Compare a fresh document against a baseline document.
+
+    Both documents are schema-validated first, and profiled documents
+    are refused on either side — cProfile overhead poisons every wall
+    number.
+    """
+    report = GateReport()
+    for label, doc in (("baseline", baseline), ("current", current)):
+        try:
+            validate_bench_document(doc)
+        except ValueError as exc:
+            report.errors.append(f"{label} document invalid: {exc}")
+            continue
+        if doc["config"].get("profile"):
+            report.errors.append(
+                f"{label} document was produced under --profile; "
+                f"profiled wall times cannot gate"
+            )
+    if report.errors:
+        return report
+    return compare_documents(baseline, current, policy)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.bench",
-        description="Traced benchmark runs over the paper's four scenes.",
+        description="Traced benchmark runs over the paper's four scenes, "
+                    "with energy accounting and baseline regression gating.",
     )
     parser.add_argument(
         "--scenes", nargs="+", choices=BENCHMARKS, default=list(BENCHMARKS),
@@ -293,8 +542,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="mesh tessellation detail (default: 2)",
     )
     parser.add_argument(
+        "--runs", type=int, default=1,
+        help="repetitions per scene for wall-time statistics (default: 1)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="CI smoke preset: 160x96, 2 frames, detail 1",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="attach cProfile to stage spans; hotspots land in the "
+             "exported traces (document is marked and cannot gate)",
     )
     parser.add_argument(
         "--output", type=Path, default=Path("BENCH_rbcd.json"),
@@ -305,6 +563,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write per-scene ndjson + Chrome traces here",
     )
     parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="compare the fresh document against this stored baseline",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit non-zero when the baseline comparison finds a "
+             "regression (requires --baseline)",
+    )
+    parser.add_argument(
+        "--wall-tol", type=float, default=_DEFAULT_POLICY.wall_tol,
+        help="relative wall-time slack before a significant slowdown "
+             f"counts as a regression (default: {_DEFAULT_POLICY.wall_tol})",
+    )
+    parser.add_argument(
+        "--metric-tol", type=float, default=_DEFAULT_POLICY.metric_tol,
+        help="relative slack for deterministic metrics "
+             f"(default: {_DEFAULT_POLICY.metric_tol})",
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=_DEFAULT_POLICY.alpha,
+        help=f"significance level for wall-time tests (default: {_DEFAULT_POLICY.alpha})",
+    )
+    parser.add_argument(
         "--check", type=Path, default=None, metavar="FILE",
         help="validate an existing bench document and exit",
     )
@@ -312,7 +593,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
 
     if args.check is not None:
         try:
@@ -325,13 +607,17 @@ def main(argv: Sequence[str] | None = None) -> int:
               f"({len(doc['scenes'])} scenes)")
         return 0
 
+    if args.gate and args.baseline is None:
+        parser.error("--gate requires --baseline")
+
     if args.quick:
         args.width, args.height = 160, 96
         args.frames, args.detail = 2, 1
 
     doc = run_bench(
         args.scenes, args.width, args.height, args.frames, args.detail,
-        quick=args.quick, trace_dir=args.trace_dir,
+        quick=args.quick, runs=args.runs, trace_dir=args.trace_dir,
+        profile=args.profile,
         progress=lambda alias: print(f"bench: {alias} ...", flush=True),
     )
     validate_bench_document(doc)
@@ -340,12 +626,36 @@ def main(argv: Sequence[str] | None = None) -> int:
     for alias, entry in doc["scenes"].items():
         totals = entry["totals"]
         throughput = entry["throughput"]
+        energy = entry["energy"]
         print(
             f"  {alias}: {totals['fragments_produced']} fragments, "
             f"{totals['pair_records_written']} pair records, "
             f"{throughput['fragments_per_s']:.0f} frag/s, "
-            f"{throughput['pairs_per_s']:.1f} pairs/s"
+            f"{energy['total_j'] * 1e3:.3f} mJ, "
+            f"EDP {energy['edp_js'] * 1e6:.3f} uJs"
         )
+
+    if args.baseline is not None:
+        try:
+            baseline = json.loads(args.baseline.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL {args.baseline}: {exc}", file=sys.stderr)
+            return 1
+        policy = GatePolicy(
+            wall_tol=args.wall_tol, metric_tol=args.metric_tol,
+            alpha=args.alpha,
+        )
+        report = gate_against_baseline(doc, baseline, policy)
+        print(f"baseline: {args.baseline}")
+        print(report.render())
+        if not report.ok:
+            if args.gate:
+                print("gate: FAILED", file=sys.stderr)
+                return 1
+            print("gate: regressions found (informational; pass --gate "
+                  "to enforce)")
+        else:
+            print("gate: ok")
     return 0
 
 

@@ -65,6 +65,7 @@ __all__ = [
     "merge_tile_results",
     "tile_stats_of",
     "tile_registry_of",
+    "tile_energy_registry",
 ]
 
 
@@ -302,3 +303,17 @@ def tile_registry_of(result: RBCDTileResult) -> CounterRegistry:
     registry.counter("rbcd.overlap_cycles", kind="float", unit="cycles")
     registry.set("rbcd.overlap_cycles", result.overlap_cycles)
     return registry
+
+
+def tile_energy_registry(result: RBCDTileResult, model) -> CounterRegistry:
+    """Named-counter view of one tile's *dynamic* RBCD energy.
+
+    ``model`` is a :class:`~repro.energy.rbcd_power.RBCDEnergyModel`
+    (duck-typed to avoid a gpu→energy→gpu import cycle at module
+    level).  Every energy term is linear in the tile counters it is
+    priced from, so these registries merge across any shard grouping
+    to exactly the frame's dynamic RBCD energy — static leakage is
+    frame-time-based and excluded, see
+    :meth:`~repro.energy.rbcd_power.RBCDEnergyModel.tile_breakdown`.
+    """
+    return model.tile_breakdown(result).registry()

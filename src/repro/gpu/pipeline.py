@@ -35,6 +35,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.gpu.assembly import TriangleSoup, assemble
@@ -55,6 +57,9 @@ from repro.gpu.tiling import bin_triangles, fetch_tile_lists
 from repro.observability.tracer import ensure_tracer
 from repro.rbcd.pairs import CollisionReport
 from repro.rbcd.unit import RBCDUnit
+
+if TYPE_CHECKING:  # repro.energy imports repro.gpu; break the cycle here
+    from repro.energy.report import EnergyAccount, FrameEnergyReport
 
 
 @dataclass
@@ -83,6 +88,7 @@ class FrameResult:
     cpu_fallback: bool = False     # Section 5.3 overflow fallback fired
     tile_timing: TileTiming | None = None
     fragments: FragmentSoup | None = None  # kept on request (M sweeps)
+    energy: FrameEnergyReport | None = None  # modelled joules + EDP
 
     @property
     def gpu_cycles(self) -> float:
@@ -204,6 +210,16 @@ class GPU:
         self.tracer = ensure_tracer(tracer)
         self._executor = executor
         self._owns_executor = executor is None
+        self._energy_account: EnergyAccount | None = None
+
+    @property
+    def energy_account(self) -> "EnergyAccount":
+        """The energy pricing models for this GPU's configuration."""
+        if self._energy_account is None:
+            from repro.energy.report import EnergyAccount
+
+            self._energy_account = EnergyAccount(self.config)
+        return self._energy_account
 
     @property
     def executor(self) -> TileExecutor:
@@ -375,8 +391,11 @@ class GPU:
             stats.tile_cache_store_misses * line + stats.color_writes * 4
         )
 
+        energy = self.energy_account.frame_report(stats)
         frame_span.cycles = stats.gpu_cycles
-        frame_span.annotate(fragments=stats.fragments_produced)
+        frame_span.annotate(
+            fragments=stats.fragments_produced, energy_j=energy.total_j
+        )
         tracer.end(frame_span)
 
         return FrameResult(
@@ -387,6 +406,7 @@ class GPU:
             cpu_fallback=cpu_fallback,
             tile_timing=timing if keep_tile_timing else None,
             fragments=frags if keep_fragments else None,
+            energy=energy,
         )
 
     def _render_frame_imr(self, frame: Frame) -> FrameResult:
@@ -450,9 +470,12 @@ class GPU:
         )
         stats.dram_bytes_written = float(stats.early_z_passes * 8)
 
+        energy = self.energy_account.frame_report(stats)
         raster_span.cycles = stats.raster_pipeline_cycles
         frame_span.cycles = stats.gpu_cycles
-        frame_span.annotate(fragments=stats.fragments_produced)
+        frame_span.annotate(
+            fragments=stats.fragments_produced, energy_j=energy.total_j
+        )
         tracer.end(frame_span)
 
         return FrameResult(
@@ -460,6 +483,7 @@ class GPU:
             z_buffer=depth.z_buffer,
             stats=stats,
             collisions=None,
+            energy=energy,
         )
 
     def _run_rbcd(

@@ -21,6 +21,20 @@ from repro.observability.export import (
     write_chrome_trace,
     write_ndjson,
 )
+from repro.observability.profile import ProfilingTracer
+from repro.observability.regress import (
+    GatePolicy,
+    GateReport,
+    MetricComparison,
+    compare_documents,
+)
+from repro.observability.stats import (
+    MannWhitneyResult,
+    SampleSummary,
+    bootstrap_ci,
+    mann_whitney_u,
+    summarize,
+)
 from repro.observability.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -39,9 +53,19 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "ensure_tracer",
+    "ProfilingTracer",
     "span_record",
     "to_ndjson",
     "write_ndjson",
     "to_chrome_trace",
     "write_chrome_trace",
+    "SampleSummary",
+    "summarize",
+    "bootstrap_ci",
+    "mann_whitney_u",
+    "MannWhitneyResult",
+    "GatePolicy",
+    "GateReport",
+    "MetricComparison",
+    "compare_documents",
 ]

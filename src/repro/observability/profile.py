@@ -1,0 +1,153 @@
+"""Opt-in per-span profiling: cProfile attached to tracer spans.
+
+:class:`ProfilingTracer` is a drop-in :class:`~repro.observability.tracer.Tracer`
+that additionally runs a ``cProfile.Profile`` across selected spans and
+attaches the top-N hotspots to each profiled span's ``attrs`` under
+``"hotspots"``.  Because exporters already serialize ``attrs``, the
+attribution rides into the ndjson and Chrome-trace output for free —
+open the trace in Perfetto and every profiled slice carries its Python
+hotspots in ``args``.
+
+CPython allows one active profiler per thread (a second
+``Profile.enable()`` raises on 3.12+ and silently breaks the first on
+older versions), so only one span profiles at a time: a span starts a
+profile iff its name is in ``span_names`` *and* no enclosing span is
+already being profiled.  The default set — the top-level pipeline
+stages ``geometry`` / ``raster`` / ``rbcd`` / ``schedule`` — consists
+of sibling spans, so every one of them gets its own profile; pass
+``span_names={"frame"}`` instead for whole-frame attribution.
+
+Profiling is observational for *results* (collision pairs, counters and
+simulated cycles are unchanged — asserted by the test suite) but not
+for *wall time*: the instrumentation slows the host down.  Bench
+documents produced under ``--profile`` are therefore marked and must
+not be used as regression baselines.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import time
+from typing import Collection
+
+from repro.observability.tracer import Span, Tracer
+
+__all__ = [
+    "DEFAULT_PROFILED_SPANS",
+    "Hotspot",
+    "ProfilingTracer",
+    "hotspots_from_profile",
+]
+
+DEFAULT_PROFILED_SPANS = frozenset({"geometry", "raster", "rbcd", "schedule"})
+
+
+def Hotspot(
+    func: str, file: str, line: int, ncalls: int,
+    tottime_s: float, cumtime_s: float,
+) -> dict:
+    """One attributed hotspot, as the JSON-ready dict exporters expect."""
+    return {
+        "func": func,
+        "file": file,
+        "line": line,
+        "ncalls": ncalls,
+        "tottime_s": tottime_s,
+        "cumtime_s": cumtime_s,
+    }
+
+
+def hotspots_from_profile(profile: cProfile.Profile, top_n: int) -> list[dict]:
+    """Top ``top_n`` entries of a (disabled) profile, by own-time.
+
+    Own-time (``tottime``) rather than cumulative time ranks the
+    functions actually burning CPU instead of their callers.
+    """
+    entries = profile.getstats()
+    entries.sort(key=lambda e: e.inlinetime, reverse=True)
+    hotspots = []
+    for entry in entries[:top_n]:
+        code = entry.code
+        if isinstance(code, str):            # built-in / C function
+            func, file, line = code, "~", 0
+        else:
+            func, file, line = code.co_name, code.co_filename, code.co_firstlineno
+        hotspots.append(
+            Hotspot(
+                func=func,
+                file=file,
+                line=line,
+                ncalls=int(entry.callcount),
+                tottime_s=float(entry.inlinetime),
+                cumtime_s=float(entry.totaltime),
+            )
+        )
+    return hotspots
+
+
+class ProfilingTracer(Tracer):
+    """A tracer whose selected spans carry cProfile hotspot attribution.
+
+    Parameters
+    ----------
+    span_names:
+        Names of spans to profile.  Only the outermost matching span
+        profiles at any moment (one profiler per thread); the default
+        set contains only sibling stages, so in practice each named
+        span is profiled.
+    top_n:
+        Hotspots kept per span (descending own-time).
+    min_wall_s:
+        Spans shorter than this discard their profile instead of
+        attaching noise (0.0 keeps everything).
+    """
+
+    def __init__(
+        self,
+        clock=time.perf_counter,
+        span_names: Collection[str] = DEFAULT_PROFILED_SPANS,
+        top_n: int = 10,
+        min_wall_s: float = 0.0,
+    ) -> None:
+        super().__init__(clock=clock)
+        if top_n < 1:
+            raise ValueError("top_n must be >= 1")
+        self.span_names = frozenset(span_names)
+        self.top_n = top_n
+        self.min_wall_s = min_wall_s
+        self._profile: cProfile.Profile | None = None
+        self._profiled_span: Span | None = None
+
+    def start(self, name: str, category: str = "stage", **attrs) -> Span:
+        sp = super().start(name, category, **attrs)
+        if name in self.span_names and self._profile is None:
+            self._profile = cProfile.Profile()
+            self._profiled_span = sp
+            self._profile.enable()
+        return sp
+
+    def end(self, sp: Span) -> None:
+        if sp is self._profiled_span:
+            profile = self._profile
+            assert profile is not None
+            profile.disable()
+            self._profile = None
+            self._profiled_span = None
+            super().end(sp)
+            if sp.wall_s >= self.min_wall_s:
+                sp.annotate(hotspots=hotspots_from_profile(profile, self.top_n))
+            return
+        super().end(sp)
+
+    def reset(self) -> None:
+        if self._profile is not None:
+            # An open profiled span would be caught by Tracer.reset's
+            # open-span check below; this is belt and braces.
+            self._profile.disable()
+            self._profile = None
+            self._profiled_span = None
+        super().reset()
+
+    def profiled_spans(self) -> list[Span]:
+        """Closed spans that carry hotspot attribution."""
+        return [s for s in self.spans if "hotspots" in s.attrs]

@@ -1,0 +1,199 @@
+"""Small-sample statistics for the bench harness and regression gate.
+
+Bench runs are repeated a handful of times (``--runs 3`` in CI), so the
+toolkit here is built for tiny samples and zero third-party deps:
+
+* :func:`summarize` — min/median/mean/max of a sample;
+* :func:`bootstrap_ci` — percentile bootstrap confidence interval of a
+  statistic (median by default), deterministic via a fixed numpy seed
+  so two validations of the same document agree bit-for-bit;
+* :func:`mann_whitney_u` — two-sided Mann-Whitney U test.  For the
+  sample sizes the bench produces (``n + m <= _EXACT_LIMIT``) the
+  p-value is computed *exactly* by enumerating every assignment of the
+  pooled ranks, so there is no normal-approximation error where it
+  matters; larger samples fall back to the tie-corrected normal
+  approximation.
+
+The regression gate (:mod:`repro.observability.regress`) combines the
+last two: a wall-time regression must be both *large* (median ratio
+beyond a tolerance) and *statistically significant* (disjoint bootstrap
+CIs, or a Mann-Whitney p-value under alpha) before it fails a build.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from statistics import mean, median
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SampleSummary",
+    "summarize",
+    "bootstrap_ci",
+    "mann_whitney_u",
+    "MannWhitneyResult",
+]
+
+# Exact Mann-Whitney enumeration is C(n+m, n) evaluations; 12 pooled
+# samples is at most 924 — instant, and far beyond any bench run count.
+_EXACT_LIMIT = 12
+
+# One fixed seed for every bootstrap: resampling is part of the bench
+# *document* (the CI bounds are stored in BENCH_rbcd.json), so it must
+# be reproducible across processes and machines.
+_BOOTSTRAP_SEED = 0x5EED
+
+
+@dataclass(frozen=True, slots=True)
+class SampleSummary:
+    """Order statistics of one metric's sample."""
+
+    n: int
+    minimum: float
+    median: float
+    mean: float
+    maximum: float
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "min": self.minimum,
+            "median": self.median,
+            "mean": self.mean,
+            "max": self.maximum,
+        }
+
+
+def summarize(samples: Sequence[float]) -> SampleSummary:
+    if not samples:
+        raise ValueError("cannot summarize an empty sample")
+    values = [float(v) for v in samples]
+    return SampleSummary(
+        n=len(values),
+        minimum=min(values),
+        median=float(median(values)),
+        mean=float(mean(values)),
+        maximum=max(values),
+    )
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic: Callable[[np.ndarray], float] | None = None,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = _BOOTSTRAP_SEED,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI of ``statistic`` (default: median).
+
+    A single-element sample degenerates to ``(x, x)`` — the bench still
+    writes CI bounds at ``--runs 1`` so the schema is uniform, they are
+    just uninformative there.
+    """
+    if not samples:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be >= 1")
+    values = np.asarray(samples, dtype=np.float64)
+    if values.shape[0] == 1:
+        v = float(values[0])
+        return (v, v)
+    if statistic is None:
+        statistic = np.median
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, values.shape[0], size=(n_resamples, values.shape[0]))
+    stats = np.apply_along_axis(statistic, 1, values[idx])
+    tail = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(stats, [tail, 1.0 - tail])
+    return (float(lo), float(hi))
+
+
+@dataclass(frozen=True, slots=True)
+class MannWhitneyResult:
+    """Two-sided Mann-Whitney U test outcome."""
+
+    u: float            # U statistic of the first sample
+    p_value: float      # two-sided
+    method: str         # "exact" | "normal"
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def _rank(pooled: Sequence[float]) -> list[float]:
+    """Midranks (ties share the average of their rank block)."""
+    order = sorted(range(len(pooled)), key=lambda i: pooled[i])
+    ranks = [0.0] * len(pooled)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and pooled[order[j + 1]] == pooled[order[i]]:
+            j += 1
+        avg = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg
+        i = j + 1
+    return ranks
+
+
+def _u_from_ranks(ranks: Sequence[float], n1: int) -> float:
+    r1 = sum(ranks[:n1])
+    return r1 - n1 * (n1 + 1) / 2.0
+
+
+def mann_whitney_u(
+    a: Sequence[float], b: Sequence[float]
+) -> MannWhitneyResult:
+    """Two-sided Mann-Whitney U test of samples ``a`` vs ``b``.
+
+    Exact when the pooled sample is small (every ``C(n+m, n)`` rank
+    assignment enumerated, ties handled via midranks); otherwise the
+    tie-corrected normal approximation with continuity correction.
+    """
+    if not a or not b:
+        raise ValueError("both samples must be non-empty")
+    n1, n2 = len(a), len(b)
+    pooled = [float(v) for v in a] + [float(v) for v in b]
+    ranks = _rank(pooled)
+    u1 = _u_from_ranks(ranks, n1)
+    mu = n1 * n2 / 2.0
+
+    if n1 + n2 <= _EXACT_LIMIT:
+        # Null distribution: which of the pooled ranks belong to sample
+        # one is an arbitrary n1-subset; count assignments at least as
+        # extreme (two-sided, by distance from the mean U).
+        observed = abs(u1 - mu)
+        extreme = total = 0
+        for subset in combinations(range(n1 + n2), n1):
+            u = _u_from_ranks([ranks[i] for i in subset], n1)
+            total += 1
+            # Tolerance guards midrank float arithmetic at ties.
+            if abs(u - mu) >= observed - 1e-12:
+                extreme += 1
+        return MannWhitneyResult(u=u1, p_value=extreme / total, method="exact")
+
+    # Normal approximation with tie correction.
+    tie_term = 0.0
+    seen: dict[float, int] = {}
+    for v in pooled:
+        seen[v] = seen.get(v, 0) + 1
+    for count in seen.values():
+        tie_term += count**3 - count
+    n = n1 + n2
+    sigma_sq = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    if sigma_sq <= 0.0:
+        # All values identical: no evidence of difference.
+        return MannWhitneyResult(u=u1, p_value=1.0, method="normal")
+    z = (abs(u1 - mu) - 0.5) / math.sqrt(sigma_sq)
+    p = 2.0 * (1.0 - _normal_cdf(max(z, 0.0)))
+    return MannWhitneyResult(u=u1, p_value=min(p, 1.0), method="normal")
+
+
+def _normal_cdf(x: float) -> float:
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))

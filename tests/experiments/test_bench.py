@@ -8,6 +8,7 @@ from repro.experiments.bench import (
     REQUIRED_STAGES,
     SCHEMA_NAME,
     SCHEMA_VERSION,
+    aggregate_stage_runs,
     main,
     run_bench,
     stage_summary,
@@ -20,16 +21,16 @@ from tests.observability.test_tracer import FakeClock
 
 @pytest.fixture(scope="module")
 def tiny_doc(tmp_path_factory):
-    """One cheap traced run shared by every assertion in this module."""
+    """One cheap traced 2-run bench shared by every assertion here."""
     trace_dir = tmp_path_factory.mktemp("traces")
     return run_bench(
         ["crazy"], width=64, height=32, frames=1, detail=1,
-        quick=True, trace_dir=trace_dir,
+        quick=True, runs=2, trace_dir=trace_dir,
     ), trace_dir
 
 
 class TestStageSummary:
-    def test_medians_totals_cycles(self):
+    def test_counts_totals_cycles(self):
         clock = FakeClock()
         tracer = Tracer(clock=clock)
         for wall, cycles in ((1.0, 10.0), (3.0, 20.0), (2.0, 30.0)):
@@ -40,11 +41,53 @@ class TestStageSummary:
         assert summary == {
             "stage": {
                 "count": 3,
-                "wall_ms_median": 2000.0,
                 "wall_ms_total": 6000.0,
                 "cycles": 60.0,
             }
         }
+
+
+class TestAggregateStageRuns:
+    @staticmethod
+    def run_record(wall, count=2, cycles=50.0):
+        return {"stage": {"count": count, "cycles": cycles,
+                          "wall_ms_total": wall}}
+
+    def test_aggregates_samples_across_runs(self):
+        runs = [self.run_record(w) for w in (3.0, 1.0, 2.0)]
+        stages = aggregate_stage_runs(runs)
+        record = stages["stage"]
+        assert record["wall_ms_runs"] == [3.0, 1.0, 2.0]
+        assert record["wall_ms_median"] == 2.0
+        assert record["wall_ms_min"] == 1.0
+        assert record["wall_ms_max"] == 3.0
+        assert record["wall_ms_total"] == 6.0
+        lo, hi = record["wall_ms_ci95"]
+        assert 1.0 <= lo <= hi <= 3.0
+        assert record["count"] == 2
+        assert record["cycles"] == 50.0
+
+    def test_rejects_cycle_drift_across_runs(self):
+        runs = [self.run_record(1.0), self.run_record(1.0, cycles=51.0)]
+        with pytest.raises(RuntimeError, match="nondeterministic"):
+            aggregate_stage_runs(runs)
+
+    def test_rejects_count_drift_across_runs(self):
+        runs = [self.run_record(1.0), self.run_record(1.0, count=3)]
+        with pytest.raises(RuntimeError, match="nondeterministic"):
+            aggregate_stage_runs(runs)
+
+    def test_rejects_missing_and_extra_stages(self):
+        with pytest.raises(RuntimeError, match="missing"):
+            aggregate_stage_runs([self.run_record(1.0), {}])
+        extra = self.run_record(1.0)
+        extra["ghost"] = {"count": 1, "cycles": 0.0, "wall_ms_total": 1.0}
+        with pytest.raises(RuntimeError, match="ghost"):
+            aggregate_stage_runs([self.run_record(1.0), extra])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_stage_runs([])
 
 
 class TestRunBench:
@@ -54,13 +97,20 @@ class TestRunBench:
         assert doc["schema"] == SCHEMA_NAME
         assert doc["version"] == SCHEMA_VERSION
         assert set(doc["scenes"]) == {"crazy"}
+        assert doc["config"]["runs"] == 2
+        assert doc["config"]["profile"] is False
 
     def test_scene_entry_contents(self, tiny_doc):
         doc, _ = tiny_doc
         entry = doc["scenes"]["crazy"]
         for stage in REQUIRED_STAGES:
             assert stage in entry["stages"]
-        assert entry["stages"]["frame"]["count"] == 1
+        frame = entry["stages"]["frame"]
+        assert frame["count"] == 1
+        assert len(frame["wall_ms_runs"]) == 2
+        assert frame["wall_ms_min"] <= frame["wall_ms_median"] <= frame["wall_ms_max"]
+        lo, hi = frame["wall_ms_ci95"]
+        assert lo <= hi
         assert entry["totals"]["fragments_produced"] > 0
         assert entry["totals"]["gpu_cycles"] > 0
         assert entry["throughput"]["wall_s"] > 0
@@ -68,6 +118,27 @@ class TestRunBench:
         # Counters carry the merged registry namespaces.
         assert entry["counters"]["gpu.frames"] == 1
         assert any(name.startswith("gpu.rbcd.") for name in entry["counters"])
+
+    def test_energy_section(self, tiny_doc):
+        doc, _ = tiny_doc
+        entry = doc["scenes"]["crazy"]
+        energy = entry["energy"]
+        assert energy["total_j"] > 0
+        assert energy["gpu"]["total_j"] > 0
+        assert energy["rbcd"]["total_j"] > 0
+        assert energy["edp_js"] == pytest.approx(
+            energy["total_j"] * energy["delay_s"]
+        )
+        assert energy["total_j"] == pytest.approx(
+            energy["gpu"]["total_j"] + energy["rbcd"]["total_j"]
+        )
+        # The merged counters expose the same numbers by name.
+        assert entry["counters"]["energy.total_j"] == pytest.approx(
+            energy["total_j"]
+        )
+        assert entry["counters"]["energy.gpu.fragment_j"] == pytest.approx(
+            energy["gpu"]["fragment_j"]
+        )
 
     def test_trace_files_written(self, tiny_doc):
         _, trace_dir = tiny_doc
@@ -84,34 +155,51 @@ class TestRunBench:
         validate_bench_document(json.loads(json.dumps(doc)))
 
 
-class TestValidator:
-    @staticmethod
-    def valid_doc():
-        return {
-            "schema": SCHEMA_NAME,
-            "version": SCHEMA_VERSION,
-            "config": {"width": 64, "height": 32, "frames": 1,
-                       "detail": 1, "quick": True},
-            "scenes": {
-                "crazy": {
-                    "frames": 1,
-                    "stages": {
-                        stage: {"count": 1, "wall_ms_median": 1.0,
-                                "wall_ms_total": 1.0, "cycles": 10.0}
-                        for stage in REQUIRED_STAGES
-                    },
-                    "totals": {"fragments_produced": 5,
-                               "pair_records_written": 1,
-                               "gpu_cycles": 100.0, "colliding_pairs": 1},
-                    "throughput": {"wall_s": 0.1, "fragments_per_s": 50.0,
-                                   "pairs_per_s": 10.0},
-                    "counters": {"gpu.frames": 1},
-                }
-            },
-        }
+def valid_doc():
+    """A minimal schema-valid v2 document for validator tests."""
+    return {
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "config": {"width": 64, "height": 32, "frames": 1,
+                   "detail": 1, "quick": True, "runs": 2, "profile": False},
+        "stats": {"bootstrap_resamples": 100, "confidence": 0.95},
+        "scenes": {
+            "crazy": {
+                "frames": 1,
+                "runs": 2,
+                "stages": {
+                    stage: {"count": 1, "cycles": 10.0,
+                            "wall_ms_median": 1.0, "wall_ms_total": 2.0,
+                            "wall_ms_min": 0.9, "wall_ms_max": 1.1,
+                            "wall_ms_ci95": [0.9, 1.1],
+                            "wall_ms_runs": [0.9, 1.1]}
+                    for stage in REQUIRED_STAGES
+                },
+                "totals": {"fragments_produced": 5,
+                           "pair_records_written": 1,
+                           "gpu_cycles": 100.0, "colliding_pairs": 1},
+                "throughput": {"wall_s": 0.1, "fragments_per_s": 50.0,
+                               "pairs_per_s": 10.0},
+                "counters": {"gpu.frames": 1, "energy.total_j": 1e-3},
+                "energy": {
+                    "gpu": {"geometry_j": 1e-4, "raster_j": 1e-4,
+                            "fragment_j": 5e-4, "memory_j": 1e-4,
+                            "static_j": 1e-4, "total_j": 9e-4},
+                    "rbcd": {"insertion_j": 4e-5, "overlap_j": 4e-5,
+                             "output_j": 1e-5, "static_j": 1e-5,
+                             "total_j": 1e-4},
+                    "total_j": 1e-3,
+                    "delay_s": 1e-3,
+                    "edp_js": 1e-6,
+                },
+            }
+        },
+    }
 
+
+class TestValidator:
     def test_accepts_valid(self):
-        validate_bench_document(self.valid_doc())
+        validate_bench_document(valid_doc())
 
     def test_rejects_non_object(self):
         with pytest.raises(ValueError):
@@ -119,31 +207,54 @@ class TestValidator:
 
     @pytest.mark.parametrize("mutate,needle", [
         (lambda d: d.update(schema="other"), "schema"),
-        (lambda d: d.update(version=99), "version"),
+        (lambda d: d.update(version=1), "version"),
         (lambda d: d.pop("config"), "config"),
         (lambda d: d["config"].update(width=0), "config.width"),
         (lambda d: d["config"].update(quick="yes"), "config.quick"),
+        (lambda d: d["config"].update(runs=0), "config.runs"),
+        (lambda d: d["config"].pop("profile"), "config.profile"),
+        (lambda d: d.pop("stats"), "stats"),
+        (lambda d: d["stats"].update(bootstrap_resamples=0),
+         "bootstrap_resamples"),
+        (lambda d: d["stats"].update(confidence=1.5), "confidence"),
         (lambda d: d.update(scenes={}), "scenes"),
+        (lambda d: d["scenes"]["crazy"].pop("runs"), "runs"),
         (lambda d: d["scenes"]["crazy"]["stages"].pop("rbcd"), "rbcd"),
         (lambda d: d["scenes"]["crazy"]["stages"]["frame"].update(count=0),
          "count"),
         (lambda d: d["scenes"]["crazy"]["stages"]["frame"].update(
             wall_ms_median=-1.0), "wall_ms_median"),
+        (lambda d: d["scenes"]["crazy"]["stages"]["frame"].update(
+            wall_ms_ci95=[2.0, 1.0]), "wall_ms_ci95"),
+        (lambda d: d["scenes"]["crazy"]["stages"]["frame"].update(
+            wall_ms_ci95=[1.0]), "wall_ms_ci95"),
+        (lambda d: d["scenes"]["crazy"]["stages"]["frame"].update(
+            wall_ms_runs=[]), "wall_ms_runs"),
+        (lambda d: d["scenes"]["crazy"]["stages"]["frame"].update(
+            wall_ms_runs=[1.0]), "wall_ms_runs"),
         (lambda d: d["scenes"]["crazy"]["totals"].update(
             fragments_produced=1.5), "fragments_produced"),
         (lambda d: d["scenes"]["crazy"].pop("throughput"), "throughput"),
         (lambda d: d["scenes"]["crazy"].update(counters={}), "counters"),
         (lambda d: d["scenes"]["crazy"]["counters"].update(bad="x"),
          "counters.bad"),
+        (lambda d: d["scenes"]["crazy"]["counters"].pop("energy.total_j"),
+         "energy"),
+        (lambda d: d["scenes"]["crazy"].pop("energy"), "energy"),
+        (lambda d: d["scenes"]["crazy"]["energy"].pop("edp_js"), "edp_js"),
+        (lambda d: d["scenes"]["crazy"]["energy"]["gpu"].pop("fragment_j"),
+         "fragment_j"),
+        (lambda d: d["scenes"]["crazy"]["energy"]["rbcd"].update(
+            insertion_j="lots"), "insertion_j"),
     ])
     def test_rejects_each_mutation(self, mutate, needle):
-        doc = self.valid_doc()
+        doc = valid_doc()
         mutate(doc)
         with pytest.raises(ValueError, match=needle):
             validate_bench_document(doc)
 
     def test_error_lists_all_problems(self):
-        doc = self.valid_doc()
+        doc = valid_doc()
         doc["config"]["width"] = 0
         doc["scenes"]["crazy"]["frames"] = 0
         with pytest.raises(ValueError) as excinfo:
@@ -155,7 +266,7 @@ class TestValidator:
 class TestCli:
     def test_check_mode_accepts_valid_file(self, tmp_path, capsys):
         path = tmp_path / "bench.json"
-        path.write_text(json.dumps(TestValidator.valid_doc()))
+        path.write_text(json.dumps(valid_doc()))
         assert main(["--check", str(path)]) == 0
         assert "OK" in capsys.readouterr().out
 
@@ -168,11 +279,24 @@ class TestCli:
     def test_check_mode_rejects_missing_file(self, tmp_path):
         assert main(["--check", str(tmp_path / "absent.json")]) == 1
 
+    def test_check_mode_rejects_v1_document(self, tmp_path):
+        doc = valid_doc()
+        doc["version"] = 1
+        path = tmp_path / "bench_v1.json"
+        path.write_text(json.dumps(doc))
+        assert main(["--check", str(path)]) == 1
+
+    def test_gate_requires_baseline(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--gate"])
+        assert "--baseline" in capsys.readouterr().err
+
     def test_end_to_end_writes_valid_document(self, tmp_path, capsys):
         out = tmp_path / "BENCH_rbcd.json"
         code = main([
             "--scenes", "crazy", "--width", "64", "--height", "32",
-            "--frames", "1", "--detail", "1", "--output", str(out),
+            "--frames", "1", "--detail", "1", "--runs", "2",
+            "--output", str(out),
         ])
         assert code == 0
         doc = json.loads(out.read_text())

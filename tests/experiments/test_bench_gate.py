@@ -1,0 +1,147 @@
+"""End-to-end regression gating through the bench CLI.
+
+The acceptance contract of the gate: a fresh run against a baseline of
+the *same tree* exits 0, and a run against a baseline that the current
+tree would "regress" (simulated by perturbing the stored baseline —
+injecting a slowdown is equivalent to shrinking the baseline's numbers)
+exits non-zero.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.experiments.bench import gate_against_baseline, main, run_bench
+
+
+@pytest.fixture(scope="module")
+def bench_doc():
+    """One real 2-run tiny document, shared by every gate test."""
+    return run_bench(["crazy"], width=64, height=32, frames=1, detail=1,
+                     quick=False, runs=2)
+
+
+@pytest.fixture()
+def baseline_file(tmp_path, bench_doc):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(bench_doc))
+    return path
+
+
+def run_gate(tmp_path, baseline_path, *extra):
+    return main([
+        "--scenes", "crazy", "--width", "64", "--height", "32",
+        "--frames", "1", "--detail", "1", "--runs", "2",
+        "--output", str(tmp_path / "fresh.json"),
+        "--baseline", str(baseline_path), "--gate",
+        # Wall time on a loaded test machine jitters: gate it leniently
+        # here, the deterministic metrics are the point of this test.
+        "--wall-tol", "1000.0",
+        *extra,
+    ])
+
+
+class TestGateAgainstBaseline:
+    def test_document_gates_clean_against_itself(self, bench_doc):
+        report = gate_against_baseline(bench_doc, copy.deepcopy(bench_doc))
+        assert report.ok, report.render()
+        assert len(report.comparisons) > 5
+
+    def test_profiled_documents_are_refused(self, bench_doc):
+        profiled = copy.deepcopy(bench_doc)
+        profiled["config"]["profile"] = True
+        report = gate_against_baseline(profiled, bench_doc)
+        assert not report.ok
+        assert any("--profile" in e for e in report.errors)
+
+    def test_invalid_baseline_is_refused(self, bench_doc):
+        report = gate_against_baseline(bench_doc, {"schema": "junk"})
+        assert not report.ok
+        assert any("baseline document invalid" in e for e in report.errors)
+
+
+class TestGateCli:
+    def test_unchanged_tree_exits_zero(self, tmp_path, baseline_file, capsys):
+        assert run_gate(tmp_path, baseline_file) == 0
+        out = capsys.readouterr().out
+        assert "gate: ok" in out
+
+    def test_injected_energy_bloat_exits_nonzero(self, tmp_path, bench_doc,
+                                                 capsys):
+        # A baseline with *less* energy than the tree produces is what a
+        # real energy regression looks like to the gate.
+        cheap = copy.deepcopy(bench_doc)
+        scene = cheap["scenes"]["crazy"]
+        for block in (scene["energy"], scene["energy"]["gpu"],
+                      scene["energy"]["rbcd"]):
+            for key, value in block.items():
+                if isinstance(value, float):
+                    block[key] = value * 0.5
+        scene["counters"]["energy.total_j"] *= 0.5
+        path = tmp_path / "cheap.json"
+        path.write_text(json.dumps(cheap))
+
+        assert run_gate(tmp_path, path) == 1
+        captured = capsys.readouterr()
+        assert "gate: FAILED" in captured.err
+        assert "REGRESSION" in captured.out
+        assert "energy.total_j" in captured.out
+
+    def test_injected_cycle_slowdown_exits_nonzero(self, tmp_path, bench_doc,
+                                                   capsys):
+        fast = copy.deepcopy(bench_doc)
+        scene = fast["scenes"]["crazy"]
+        scene["totals"]["gpu_cycles"] *= 0.9
+        for record in scene["stages"].values():
+            record["cycles"] *= 0.9
+        path = tmp_path / "fast.json"
+        path.write_text(json.dumps(fast))
+
+        assert run_gate(tmp_path, path) == 1
+        assert "totals.gpu_cycles" in capsys.readouterr().out
+
+    def test_without_gate_flag_regressions_are_informational(
+            self, tmp_path, bench_doc, capsys):
+        fast = copy.deepcopy(bench_doc)
+        fast["scenes"]["crazy"]["totals"]["gpu_cycles"] *= 0.9
+        path = tmp_path / "fast.json"
+        path.write_text(json.dumps(fast))
+        code = main([
+            "--scenes", "crazy", "--width", "64", "--height", "32",
+            "--frames", "1", "--detail", "1", "--runs", "2",
+            "--output", str(tmp_path / "fresh.json"),
+            "--baseline", str(path), "--wall-tol", "1000.0",
+        ])
+        assert code == 0
+        assert "informational" in capsys.readouterr().out
+
+    def test_config_mismatch_fails_gate(self, tmp_path, bench_doc, capsys):
+        other = copy.deepcopy(bench_doc)
+        other["config"]["width"] = 999
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps(other))
+        assert run_gate(tmp_path, path) == 1
+        assert "not comparable" in capsys.readouterr().out
+
+    def test_unreadable_baseline_fails(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert run_gate(tmp_path, path) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_committed_quick_baseline_gates_clean(self, tmp_path, capsys):
+        """The acceptance command of this subsystem: the committed
+        quick baseline must pass against the current tree."""
+        from pathlib import Path
+
+        baseline = (Path(__file__).resolve().parents[2]
+                    / "benchmarks" / "baselines" / "BENCH_quick.json")
+        assert baseline.exists(), "committed quick baseline missing"
+        code = main([
+            "--quick", "--runs", "3",
+            "--output", str(tmp_path / "fresh.json"),
+            "--baseline", str(baseline), "--gate",
+            "--wall-tol", "1000.0",
+        ])
+        assert code == 0, capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""Golden energy regression: modelled joules of two fixed frames.
+
+Renders one fixed frame of the ``cap`` and ``temple`` workloads (same
+frame as the golden-counter snapshots) and compares the full energy
+report — per-component GPU and RBCD joules, simulated delay, EDP —
+against committed JSON fixtures.  The energy model is a pure function
+of deterministic counters, so any drift here means either the pricing
+constants or the counters themselves changed.
+
+Regenerate the fixtures (after an *intentional* change) with:
+
+    PYTHONPATH=src python tests/integration/test_golden_energy.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU
+from repro.scenes.benchmarks import workload_by_alias
+
+FIXTURE_DIR = Path(__file__).resolve().parent.parent / "fixtures"
+SCENES = ("cap", "temple")
+WIDTH, HEIGHT = 160, 96
+DETAIL = 1
+FRAME_TIME = 1.0  # mid-run: objects are interacting in both scenes
+
+# Energies are priced from integer counters by float multiplies: exact
+# down to the last bit on one machine, but allow libm-level slack so
+# the fixtures survive platform differences in erf/pow-free paths.
+REL_TOL = 1e-12
+
+
+def fixture_path(alias: str) -> Path:
+    return FIXTURE_DIR / f"golden_energy_{alias}.json"
+
+
+def snapshot_scene(alias: str) -> dict:
+    """Render the golden frame and collect the full energy report."""
+    config = GPUConfig().with_screen(WIDTH, HEIGHT)
+    workload = workload_by_alias(alias, detail=DETAIL)
+    frame = workload.scene.frame_at(FRAME_TIME, config)
+
+    gpu = GPU(config, rbcd_enabled=True)
+    result = gpu.render_frame(frame)
+    assert result.energy is not None
+
+    return {
+        "scene": alias,
+        "width": WIDTH,
+        "height": HEIGHT,
+        "detail": DETAIL,
+        "frame_time": FRAME_TIME,
+        "energy": result.energy.as_dict(),
+        "counters": {
+            name: value
+            for name, value in result.energy.registry().as_dict().items()
+        },
+    }
+
+
+def assert_close_tree(actual, expected, path=""):
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict) and actual.keys() == expected.keys(), (
+            f"{path or 'root'}: keys drifted"
+        )
+        for key in expected:
+            assert_close_tree(actual[key], expected[key], f"{path}{key}.")
+    else:
+        assert actual == pytest.approx(expected, rel=REL_TOL), (
+            f"{path.rstrip('.')}: {expected} -> {actual}"
+        )
+
+
+@pytest.mark.parametrize("alias", SCENES)
+def test_golden_energy(alias):
+    path = fixture_path(alias)
+    assert path.exists(), (
+        f"missing fixture {path}; regenerate with "
+        f"PYTHONPATH=src python {__file__}"
+    )
+    expected = json.loads(path.read_text())
+    actual = snapshot_scene(alias)
+    assert_close_tree(actual["energy"], expected["energy"])
+    assert_close_tree(actual["counters"], expected["counters"])
+
+
+@pytest.mark.parametrize("alias", SCENES)
+def test_energy_internally_consistent(alias):
+    """The snapshot's roll-ups must agree with its own components."""
+    snap = snapshot_scene(alias)["energy"]
+    assert snap["total_j"] == pytest.approx(
+        snap["gpu"]["total_j"] + snap["rbcd"]["total_j"], rel=1e-12
+    )
+    assert snap["edp_js"] == pytest.approx(
+        snap["total_j"] * snap["delay_s"], rel=1e-12
+    )
+    # Fragment processing dominates GPU energy (paper Section 3.3) and
+    # the RBCD unit is a small fraction of the whole — the headline
+    # ultra-low-power claim in miniature.
+    assert snap["gpu"]["fragment_j"] > snap["gpu"]["geometry_j"]
+    assert snap["rbcd"]["total_j"] < 0.1 * snap["gpu"]["total_j"]
+
+
+@pytest.mark.parametrize("alias", SCENES)
+def test_fixture_metadata_matches_test_config(alias):
+    """Guard against editing the test constants without regenerating."""
+    path = fixture_path(alias)
+    assert path.exists()
+    fixture = json.loads(path.read_text())
+    assert fixture["scene"] == alias
+    assert (fixture["width"], fixture["height"]) == (WIDTH, HEIGHT)
+    assert fixture["detail"] == DETAIL
+    assert fixture["frame_time"] == FRAME_TIME
+
+
+if __name__ == "__main__":
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    for scene_alias in SCENES:
+        out = fixture_path(scene_alias)
+        out.write_text(
+            json.dumps(snapshot_scene(scene_alias), indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"wrote {out}")

@@ -1,0 +1,157 @@
+"""ProfilingTracer: hotspot attribution, nesting rules, invariance."""
+
+import json
+
+import pytest
+
+from repro.observability.export import to_ndjson
+from repro.observability.profile import (
+    DEFAULT_PROFILED_SPANS,
+    ProfilingTracer,
+    hotspots_from_profile,
+)
+
+
+def burn(n=2000):
+    """Something with a recognizable name for hotspot attribution."""
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+class TestHotspotsFromProfile:
+    def test_names_and_counts(self):
+        import cProfile
+
+        profile = cProfile.Profile()
+        profile.enable()
+        burn()
+        burn()
+        profile.disable()
+        hotspots = hotspots_from_profile(profile, top_n=50)
+        assert hotspots
+        by_name = {h["func"]: h for h in hotspots}
+        assert "burn" in by_name
+        entry = by_name["burn"]
+        assert entry["ncalls"] == 2
+        assert entry["tottime_s"] >= 0.0
+        assert entry["cumtime_s"] >= entry["tottime_s"]
+        assert entry["file"].endswith("test_profile.py")
+        assert entry["line"] > 0
+
+    def test_top_n_truncates(self):
+        import cProfile
+
+        profile = cProfile.Profile()
+        profile.enable()
+        burn()
+        profile.disable()
+        assert len(hotspots_from_profile(profile, top_n=1)) == 1
+
+    def test_ranked_by_own_time(self):
+        import cProfile
+
+        profile = cProfile.Profile()
+        profile.enable()
+        burn(20000)
+        profile.disable()
+        hotspots = hotspots_from_profile(profile, top_n=10)
+        times = [h["tottime_s"] for h in hotspots]
+        assert times == sorted(times, reverse=True)
+
+
+class TestProfilingTracer:
+    def test_profiled_span_gets_hotspots(self):
+        tracer = ProfilingTracer(span_names={"work"})
+        with tracer.span("work"):
+            burn()
+        (span,) = tracer.profiled_spans()
+        assert span.name == "work"
+        funcs = {h["func"] for h in span.attrs["hotspots"]}
+        assert "burn" in funcs
+
+    def test_unlisted_spans_not_profiled(self):
+        tracer = ProfilingTracer(span_names={"work"})
+        with tracer.span("other"):
+            burn()
+        assert tracer.profiled_spans() == []
+
+    def test_only_outermost_matching_span_profiles(self):
+        tracer = ProfilingTracer(span_names={"outer", "inner"})
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                burn()
+        profiled = tracer.profiled_spans()
+        assert [s.name for s in profiled] == ["outer"]
+
+    def test_sibling_spans_each_profile(self):
+        tracer = ProfilingTracer(span_names={"a", "b"})
+        with tracer.span("root"):
+            with tracer.span("a"):
+                burn()
+            with tracer.span("b"):
+                burn()
+        assert sorted(s.name for s in tracer.profiled_spans()) == ["a", "b"]
+
+    def test_min_wall_s_discards_fast_spans(self):
+        tracer = ProfilingTracer(span_names={"work"}, min_wall_s=3600.0)
+        with tracer.span("work"):
+            burn()
+        assert tracer.profiled_spans() == []
+
+    def test_top_n_limits_attached_hotspots(self):
+        tracer = ProfilingTracer(span_names={"work"}, top_n=2)
+        with tracer.span("work"):
+            burn()
+        (span,) = tracer.profiled_spans()
+        assert len(span.attrs["hotspots"]) <= 2
+
+    def test_rejects_bad_top_n(self):
+        with pytest.raises(ValueError):
+            ProfilingTracer(top_n=0)
+
+    def test_reset_clears_profiles(self):
+        tracer = ProfilingTracer(span_names={"work"})
+        with tracer.span("work"):
+            burn()
+        tracer.reset()
+        assert tracer.spans == []
+        with tracer.span("work"):
+            burn()
+        assert len(tracer.profiled_spans()) == 1
+
+    def test_default_span_set_is_pipeline_stages(self):
+        assert DEFAULT_PROFILED_SPANS == {"geometry", "raster", "rbcd",
+                                          "schedule"}
+
+    def test_hotspots_serialize_to_ndjson(self):
+        tracer = ProfilingTracer(span_names={"work"})
+        with tracer.span("work"):
+            burn()
+        lines = to_ndjson(tracer).splitlines()
+        records = [json.loads(line) for line in lines]
+        (work,) = [r for r in records if r["name"] == "work"]
+        assert isinstance(work["attrs"]["hotspots"], list)
+        assert work["attrs"]["hotspots"][0]["tottime_s"] >= 0.0
+
+
+class TestResultInvariance:
+    def test_profiling_does_not_change_detection(self):
+        from repro.core import RBCDSystem
+        from repro.gpu.config import GPUConfig
+        from repro.scenes.benchmarks import workload_by_alias
+
+        workload = workload_by_alias("crazy", detail=1)
+        config = GPUConfig().with_screen(64, 32)
+        frame = workload.scene.frame_at(0.0, config)
+        results = []
+        for tracer in (None, ProfilingTracer()):
+            with RBCDSystem(config=config, tracer=tracer) as system:
+                results.append(system.detect_frame(frame))
+        plain, profiled = results
+        assert plain.pairs == profiled.pairs
+        assert plain.stats.gpu_cycles == profiled.stats.gpu_cycles
+        assert plain.energy.total_j == profiled.energy.total_j
+        # The profiled run actually attributed hotspots somewhere.
+        assert isinstance(results[1], type(plain))

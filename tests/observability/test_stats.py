@@ -1,0 +1,153 @@
+"""Small-sample statistics: summaries, bootstrap CIs, Mann-Whitney."""
+
+import math
+
+import pytest
+
+from repro.observability.stats import (
+    MannWhitneyResult,
+    bootstrap_ci,
+    mann_whitney_u,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_order_statistics(self):
+        s = summarize([3.0, 1.0, 2.0, 10.0])
+        assert s.n == 4
+        assert s.minimum == 1.0
+        assert s.maximum == 10.0
+        assert s.median == 2.5
+        assert s.mean == 4.0
+
+    def test_single_element(self):
+        s = summarize([7.0])
+        assert (s.minimum, s.median, s.mean, s.maximum) == (7.0,) * 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict(self):
+        assert summarize([1.0, 3.0]).as_dict() == {
+            "n": 2, "min": 1.0, "median": 2.0, "mean": 2.0, "max": 3.0,
+        }
+
+
+class TestBootstrapCI:
+    def test_deterministic_across_calls(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_ci(samples) == bootstrap_ci(samples)
+
+    def test_bounds_bracket_the_median(self):
+        samples = [10.0, 11.0, 12.0, 13.0, 14.0]
+        lo, hi = bootstrap_ci(samples)
+        assert 10.0 <= lo <= 12.0 <= hi <= 14.0
+
+    def test_single_sample_degenerates(self):
+        assert bootstrap_ci([42.0]) == (42.0, 42.0)
+
+    def test_constant_sample_collapses(self):
+        assert bootstrap_ci([5.0] * 6) == (5.0, 5.0)
+
+    def test_wider_confidence_is_wider(self):
+        samples = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 4.0]
+        lo99, hi99 = bootstrap_ci(samples, confidence=0.99)
+        lo80, hi80 = bootstrap_ci(samples, confidence=0.80)
+        assert lo99 <= lo80 and hi80 <= hi99
+
+    def test_custom_statistic(self):
+        import numpy as np
+
+        samples = [1.0, 2.0, 3.0]
+        lo, hi = bootstrap_ci(samples, statistic=np.mean)
+        assert 1.0 <= lo <= hi <= 3.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"confidence": 0.0}, {"confidence": 1.0}, {"n_resamples": 0},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], **kwargs)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+
+class TestMannWhitney:
+    def test_identical_samples_not_significant(self):
+        result = mann_whitney_u([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert result.method == "exact"
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_fully_separated_small_samples(self):
+        # n=m=3 fully separated: best achievable two-sided exact p is
+        # 2/C(6,3) = 0.1 — never "significant" at alpha=0.05, by design.
+        result = mann_whitney_u([1.0, 2.0, 3.0], [10.0, 11.0, 12.0])
+        assert result.method == "exact"
+        assert result.u == 0.0
+        assert result.p_value == pytest.approx(2.0 / 20.0)
+
+    def test_fully_separated_larger_exact(self):
+        # n=m=5 fully separated: p = 2/C(10,5) ≈ 0.0079 — significant.
+        a = [1.0, 2.0, 3.0, 4.0, 5.0]
+        b = [10.0, 11.0, 12.0, 13.0, 14.0]
+        result = mann_whitney_u(a, b)
+        assert result.method == "exact"
+        assert result.p_value == pytest.approx(2.0 / math.comb(10, 5))
+        assert result.significant()
+
+    def test_symmetry(self):
+        a, b = [1.0, 5.0, 3.0], [2.0, 8.0, 9.0, 4.0]
+        assert mann_whitney_u(a, b).p_value == pytest.approx(
+            mann_whitney_u(b, a).p_value
+        )
+
+    def test_u_complement(self):
+        a, b = [1.0, 5.0, 3.0], [2.0, 8.0, 9.0, 4.0]
+        u_ab = mann_whitney_u(a, b).u
+        u_ba = mann_whitney_u(b, a).u
+        assert u_ab + u_ba == pytest.approx(len(a) * len(b))
+
+    def test_ties_use_midranks(self):
+        result = mann_whitney_u([1.0, 2.0, 2.0], [2.0, 3.0, 4.0])
+        assert result.method == "exact"
+        assert 0.0 < result.p_value <= 1.0
+
+    def test_normal_approximation_for_large_samples(self):
+        a = [float(i) for i in range(10)]
+        b = [float(i) + 20.0 for i in range(10)]
+        result = mann_whitney_u(a, b)
+        assert result.method == "normal"
+        assert result.significant(0.01)
+
+    def test_normal_all_identical(self):
+        result = mann_whitney_u([1.0] * 8, [1.0] * 8)
+        assert result.method == "normal"
+        assert result.p_value == 1.0
+
+    def test_exact_and_normal_agree_near_the_boundary(self):
+        # Same data evaluated exactly (n+m=12) and forced through the
+        # normal path (n+m=14) should give p-values in the same regime.
+        a6 = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        b6 = [4.5, 5.5, 6.5, 7.5, 8.5, 9.5]
+        exact = mann_whitney_u(a6, b6)
+        a7 = a6 + [3.5]
+        b7 = b6 + [7.0]
+        normal = mann_whitney_u(a7, b7)
+        assert exact.method == "exact" and normal.method == "normal"
+        assert abs(exact.p_value - normal.p_value) < 0.15
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+        with pytest.raises(ValueError):
+            mann_whitney_u([1.0], [])
+
+    def test_result_is_frozen(self):
+        result = MannWhitneyResult(u=1.0, p_value=0.5, method="exact")
+        with pytest.raises(AttributeError):
+            result.p_value = 0.01
