@@ -1,0 +1,55 @@
+"""Divergence forensics: why did RBCD miss (or invent) a pair?
+
+Runs render-based collision detection on the `cap` benchmark with a
+deliberately starved ZEB (M=2 elements per pixel, vs the paper's
+Table-2 default of 8) next to the exact triangle oracle, then lets the
+forensics engine explain every disagreement by replaying the recorded
+evidence — the Table-3 overflow effect, but per pair and with the
+witness pixels attached.
+
+Run:  python examples/collision_forensics.py
+"""
+
+from repro.experiments.explain import build_config
+from repro.observability.forensics import run_forensics
+from repro.scenes.benchmarks import make_cap
+
+STARVED_M = 2
+FRAMES = 4
+
+
+def main() -> None:
+    workload = make_cap(detail=1)
+    config = build_config(320, 192, zeb_elements=STARVED_M)
+    report = run_forensics(workload, config, frames=FRAMES)
+
+    print(
+        f"scene={report.alias} frames={report.frames} "
+        f"M={report.zeb_elements} (starved; Table 2 default is 8)"
+    )
+    print(
+        f"agreements={report.agreements} "
+        f"evidence records={report.recorder.pairs_recorded} "
+        f"case histogram={report.recorder.case_histogram()}"
+    )
+
+    if not report.divergences:
+        print("no divergences — try an even smaller M")
+        return
+
+    print(f"\n{len(report.divergences)} divergence(s), every one explained:")
+    for divergence in report.divergences:
+        print(f"  {divergence.describe()}")
+        for x, y in divergence.witness_pixels[:3]:
+            print(f"      witness pixel ({x}, {y})")
+
+    assert not report.unclassified, "forensics left a divergence unexplained"
+    print(
+        "\nEach miss above names its mechanism (ZEB overflow, FF-Stack"
+        "\ndepth, z precision, ...) — aggregate accuracy numbers like"
+        "\nFig. 2 fall out of summing these per-pair verdicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

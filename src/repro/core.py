@@ -113,6 +113,12 @@ class RBCDSystem:
         Optional :class:`repro.observability.Tracer`; frames rendered
         through this system then record stage spans (wall time +
         simulated cycles).  Tracing never changes detection results.
+    provenance:
+        Optional :class:`repro.observability.provenance.ProvenanceRecorder`;
+        frames then record per-pair evidence (witness pixel, ZEB
+        elements, FF-Stack depth, Figure-5 case).  Strictly
+        observational — results and counters are bit-identical with
+        the recorder on or off, at any worker count.
     """
 
     def __init__(
@@ -124,6 +130,7 @@ class RBCDSystem:
         executor_backend: str | None = None,
         config: GPUConfig | None = None,
         tracer=None,
+        provenance=None,
     ) -> None:
         if config is None:
             width, height = resolution
@@ -137,7 +144,9 @@ class RBCDSystem:
                 workers=workers, backend=executor_backend
             )
         self.config = config
-        self._gpu = GPU(config, rbcd_enabled=True, tracer=tracer)
+        self._gpu = GPU(
+            config, rbcd_enabled=True, tracer=tracer, provenance=provenance
+        )
 
     def close(self) -> None:
         """Shut down the tile-executor worker pool, if any."""

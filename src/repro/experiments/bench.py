@@ -45,7 +45,9 @@ The document layout (checked by :func:`validate_bench_document`):
           "throughput": {wall_s, fragments_per_s, pairs_per_s},
           "counters": {"<name>": value},  # merged CounterRegistry
           "energy": {gpu: {...}, rbcd: {...},   # joules per component
-                     total_j, delay_s, edp_js}
+                     total_j, delay_s, edp_js},
+          "cases": {disjoint, crossing, nested,     # Figure-5 histogram
+                    self_filtered, evidence_records}  # (schema v3)
         }
       }
     }
@@ -76,6 +78,7 @@ from repro.gpu.config import GPUConfig
 from repro.observability.counters import CounterRegistry
 from repro.observability.export import write_chrome_trace, write_ndjson
 from repro.observability.profile import ProfilingTracer
+from repro.observability.provenance import ProvenanceRecorder
 from repro.observability.regress import GatePolicy, GateReport, compare_documents
 from repro.observability.stats import bootstrap_ci
 from repro.observability.tracer import Tracer
@@ -97,7 +100,13 @@ __all__ = [
 ]
 
 SCHEMA_NAME = "rbcd-bench"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+# Per-scene "cases" keys (schema v3): the Figure-5 interference-case
+# histogram from the provenance recorder, deterministic per scene.
+_CASE_KEYS = (
+    "disjoint", "crossing", "nested", "self_filtered", "evidence_records",
+)
 
 # Stage spans every traced frame is guaranteed to emit; their absence
 # in a bench document means the run (or the tracer wiring) is broken.
@@ -210,15 +219,20 @@ def run_scene(
         raise ValueError("runs must be >= 1")
     workload = workload_by_alias(alias, detail=detail)
     tracer = _make_tracer(profile)
+    recorder = ProvenanceRecorder()
     run_summaries: list[dict] = []
     frame_wall_s_runs: list[float] = []
     first_totals: dict[str, Any] | None = None
     first_counters: dict[str, Any] | None = None
+    first_cases: dict[str, int] | None = None
     energy: FrameEnergyReport | None = None
 
-    with RBCDSystem(config=config, tracer=tracer) as system:
+    with RBCDSystem(
+        config=config, tracer=tracer, provenance=recorder
+    ) as system:
         for run in range(runs):
             tracer.reset()
+            recorder.reset()
             fragments = 0
             pair_records = 0
             gpu_cycles = 0.0
@@ -248,15 +262,23 @@ def run_scene(
                 "gpu_cycles": gpu_cycles,
                 "colliding_pairs": len(pairs),
             }
+            cases = dict(recorder.case_histogram())
+            cases["self_filtered"] = recorder.self_pairs_filtered
+            cases["evidence_records"] = recorder.pairs_recorded
             if first_totals is None:
                 first_totals = totals
                 first_counters = counters.as_dict()
+                first_cases = cases
                 energy = run_energy
             else:
                 # Everything but wall time is a pure function of the
                 # scene; catching drift here is a free differential test
                 # every multi-run bench performs.
-                if totals != first_totals or counters.as_dict() != first_counters:
+                if (
+                    totals != first_totals
+                    or counters.as_dict() != first_counters
+                    or cases != first_cases
+                ):
                     raise RuntimeError(
                         f"scene {alias!r} run {run} produced different "
                         f"counters than run 0: the simulation is "
@@ -264,6 +286,7 @@ def run_scene(
                     )
 
     assert first_totals is not None and first_counters is not None
+    assert first_cases is not None
     assert energy is not None
     if trace_dir is not None:
         # Traces from the last run (the tracer holds one run at a time).
@@ -289,6 +312,7 @@ def run_scene(
         },
         "counters": first_counters,
         "energy": energy.as_dict(),
+        "cases": first_cases,
     }
 
 
@@ -395,7 +419,7 @@ def _check_energy(errors, base, energy) -> None:
 
 def validate_bench_document(doc: Any) -> None:
     """Raise ``ValueError`` (listing every problem) if ``doc`` is not a
-    well-formed rbcd-bench v2 document."""
+    well-formed rbcd-bench v3 document."""
     errors: list[str] = []
     if not isinstance(doc, Mapping):
         raise ValueError("bench document must be a JSON object")
@@ -486,6 +510,13 @@ def validate_bench_document(doc: Any) -> None:
                       "missing the energy.* namespace (energy.total_j)")
 
         _check_energy(errors, base, entry.get("energy"))
+
+        cases = entry.get("cases")
+        if not isinstance(cases, Mapping):
+            _fail(errors, f"{base}.cases", "missing or not an object")
+        else:
+            for key in _CASE_KEYS:
+                _check_int(errors, f"{base}.cases.{key}", cases.get(key))
 
     if errors:
         raise ValueError(

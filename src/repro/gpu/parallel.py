@@ -305,6 +305,22 @@ def tile_registry_of(result: RBCDTileResult) -> CounterRegistry:
     return registry
 
 
+def tile_evidence_of(result: RBCDTileResult, config, frame: int = 0):
+    """Pair-evidence records for one tile's result (shard view).
+
+    ``config`` is the :class:`~repro.gpu.config.GPUConfig` the tile was
+    computed under.  Evidence records carry a total order
+    ``(frame, tile, record)``, so shards collected from any worker
+    interleaving sort to exactly the sequence a serial
+    :class:`~repro.observability.provenance.ProvenanceRecorder`
+    observes — the provenance analogue of the counter-merge property
+    above, asserted by ``tests/observability/test_provenance.py``.
+    """
+    from repro.observability.provenance import evidence_from_tile
+
+    return evidence_from_tile(result, config, frame=frame)
+
+
 def tile_energy_registry(result: RBCDTileResult, model) -> CounterRegistry:
     """Named-counter view of one tile's *dynamic* RBCD energy.
 

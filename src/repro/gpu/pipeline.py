@@ -173,6 +173,7 @@ class GPU:
         rendering_mode: str = "tbr",
         executor: TileExecutor | None = None,
         tracer=None,
+        provenance=None,
     ) -> None:
         """``rendering_mode``:
 
@@ -196,6 +197,12 @@ class GPU:
         per-tile) carrying host wall time and simulated cycles.  Tracing
         is purely observational — it changes no result and no cycle
         count — and defaults to the zero-overhead null tracer.
+
+        ``provenance`` accepts a
+        :class:`repro.observability.provenance.ProvenanceRecorder`;
+        every RBCD frame then records per-pair evidence (witness pixel,
+        ZEB elements, FF-Stack depth, Figure-5 case).  Like the tracer
+        it is strictly observational and off by default.
         """
         if rendering_mode not in ("tbr", "tbdr", "imr"):
             raise ValueError('rendering_mode must be "tbr", "tbdr" or "imr"')
@@ -208,6 +215,7 @@ class GPU:
         self.rbcd_enabled = rbcd_enabled
         self.rendering_mode = rendering_mode
         self.tracer = ensure_tracer(tracer)
+        self.provenance = provenance
         self._executor = executor
         self._owns_executor = executor is None
         self._energy_account: EnergyAccount | None = None
@@ -319,7 +327,9 @@ class GPU:
         cpu_fallback = False
         if self.rbcd_enabled:
             with tracer.span("rbcd") as rbcd_span:
-                unit = RBCDUnit(config)
+                if self.provenance is not None:
+                    self.provenance.begin_frame()
+                unit = RBCDUnit(config, provenance=self.provenance)
                 report = self._run_rbcd(
                     unit, frags, stats, overlap_cycles, insertion_limit
                 )

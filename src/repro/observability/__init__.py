@@ -15,13 +15,29 @@ from repro.observability.counters import (
     registry_from_counters,
 )
 from repro.observability.export import (
+    provenance_instant_events,
     span_record,
     to_chrome_trace,
     to_ndjson,
+    to_provenance_ndjson,
     write_chrome_trace,
     write_ndjson,
+    write_provenance_ndjson,
 )
 from repro.observability.profile import ProfilingTracer
+from repro.observability.provenance import (
+    PairEvidence,
+    ProvenanceRecorder,
+    evidence_from_tile,
+    validate_evidence_record,
+    validate_provenance_ndjson,
+)
+
+# repro.observability.forensics is NOT imported here: it sits on top of
+# the GPU pipeline (which itself imports this package), so it must be
+# imported as a module — ``from repro.observability import forensics``
+# triggers no cycle either, but a package-level ``from ... import``
+# at init time would.
 from repro.observability.regress import (
     GatePolicy,
     GateReport,
@@ -59,6 +75,14 @@ __all__ = [
     "write_ndjson",
     "to_chrome_trace",
     "write_chrome_trace",
+    "PairEvidence",
+    "ProvenanceRecorder",
+    "evidence_from_tile",
+    "validate_evidence_record",
+    "validate_provenance_ndjson",
+    "provenance_instant_events",
+    "to_provenance_ndjson",
+    "write_provenance_ndjson",
     "SampleSummary",
     "summarize",
     "bootstrap_ci",

@@ -36,13 +36,40 @@ import numpy as np
 from repro.gpu.config import RBCDConfig
 from repro.rbcd.zeb import ZEBTile
 
+# Figure-5 interference case ids, collapsed to what is observable at a
+# single pair emission.  The six pictured configurations of two depth
+# intervals A and B reduce to three outcomes per emitted (or absent)
+# pair:
+#
+# * cases 1/6 (disjoint intervals) never emit — they are visible only
+#   as a back-face *closure* that reports no pair (``disjoint_closures``
+#   also counts the inner closure of a nested configuration, which
+#   likewise emits nothing);
+# * cases 2/5 (partially crossing intervals) emit at the close of the
+#   interval that opened *first*, so the partner's front entry is still
+#   unmatched on the FF-Stack;
+# * cases 3/4 (one interval nested in the other) emit at the close of
+#   the *outer* interval, after the inner one already closed, so the
+#   partner's entry carries a set matched bit.
+CASE_DISJOINT = 1
+CASE_CROSSING = 2
+CASE_NESTED = 3
+CASE_NAMES = {
+    CASE_DISJOINT: "disjoint",
+    CASE_CROSSING: "crossing",
+    CASE_NESTED: "nested",
+}
+
 
 @dataclass
 class OverlapResult:
     """Pairs and activity from analyzing one pixel list or one tile.
 
     Pair arrays are parallel: ``pair_row[k]`` is the index of the list
-    (within the analyzed tile) that produced pair k.
+    (within the analyzed tile) that produced pair k.  ``pair_case`` and
+    ``pair_stack_depth`` are evidence for provenance recording; they are
+    always computed (cheaply) so that enabling a recorder can never
+    change detection behaviour.
     """
 
     pair_row: np.ndarray      # (K,) row index into the analyzed lists
@@ -50,15 +77,21 @@ class OverlapResult:
     pair_id_b: np.ndarray     # (K,) the current back-face object (Idcur)
     pair_z_front: np.ndarray  # (K,) z code where Idi's surface starts
     pair_z_back: np.ndarray   # (K,) z code of Ecur
+    pair_case: np.ndarray     # (K,) Figure-5 case id (CASE_*)
+    pair_stack_depth: np.ndarray  # (K,) FF-Stack occupancy at emission
     elements_read: int = 0
     pair_records: int = 0     # output-buffer writes (== K)
     stack_overflows: int = 0  # dropped pushes (FF-Stack full)
     unmatched_backfaces: int = 0
+    disjoint_closures: int = 0     # matched closures that emitted no pair
+    self_pairs_filtered: int = 0   # Idi == Idcur emissions suppressed
 
     @staticmethod
     def empty() -> "OverlapResult":
         z = np.empty(0, dtype=np.int64)
-        return OverlapResult(z, z.copy(), z.copy(), z.copy(), z.copy())
+        return OverlapResult(
+            z, z.copy(), z.copy(), z.copy(), z.copy(), z.copy(), z.copy()
+        )
 
 
 def analyze_pixel_list(
@@ -74,8 +107,12 @@ def analyze_pixel_list(
     t_max = config.ff_stack_entries
 
     rows, id_a, id_b, zf, zb = [], [], [], [], []
+    cases: list[int] = []
+    depths: list[int] = []
     overflows = 0
     unmatched = 0
+    disjoint = 0
+    self_filtered = 0
 
     n = len(z_codes)
     for k in range(n):
@@ -97,14 +134,22 @@ def analyze_pixel_list(
         if m < 0:
             unmatched += 1
             continue
+        emitted_before = len(id_a)
         for i in range(m + 1, len(stack_id)):
             if stack_id[i] == oid:
+                self_filtered += 1
                 continue  # self-pair filtered
             rows.append(0)
             id_a.append(stack_id[i])
             id_b.append(oid)
             zf.append(stack_z[i])
             zb.append(int(z_codes[k]))
+            cases.append(
+                CASE_NESTED if stack_matched[i] else CASE_CROSSING
+            )
+            depths.append(len(stack_id))
+        if len(id_a) == emitted_before:
+            disjoint += 1
         stack_matched[m] = True
 
     return OverlapResult(
@@ -113,10 +158,14 @@ def analyze_pixel_list(
         pair_id_b=np.array(id_b, dtype=np.int64),
         pair_z_front=np.array(zf, dtype=np.int64),
         pair_z_back=np.array(zb, dtype=np.int64),
+        pair_case=np.array(cases, dtype=np.int64),
+        pair_stack_depth=np.array(depths, dtype=np.int64),
         elements_read=n,
         pair_records=len(id_a),
         stack_overflows=overflows,
         unmatched_backfaces=unmatched,
+        disjoint_closures=disjoint,
+        self_pairs_filtered=self_filtered,
     )
 
 
@@ -146,8 +195,12 @@ def analyze_tile(zeb: ZEBTile, config: RBCDConfig) -> OverlapResult:
     out_b: list[np.ndarray] = []
     out_zf: list[np.ndarray] = []
     out_zb: list[np.ndarray] = []
+    out_case: list[np.ndarray] = []
+    out_depth: list[np.ndarray] = []
     overflows = 0
     unmatched = 0
+    disjoint = 0
+    self_filtered = 0
 
     for j in range(max_len):
         active = j < counts
@@ -183,16 +236,29 @@ def analyze_tile(zeb: ZEBTile, config: RBCDConfig) -> OverlapResult:
                 m = np.where(found, eq.argmax(axis=1), t_max)
                 hit = found[:, None] & (slot[None, :] > m[:, None]) & valid
                 hr, hs = np.nonzero(hit)
+                emitted = np.zeros(num_rows, dtype=np.int64)
                 if hr.size:
                     id_i = stack_id[hr, hs]
                     id_cur = ids[hr]
                     keep = id_i != id_cur
-                    out_row.append(hr[keep])
+                    self_filtered += int((~keep).sum())
+                    kr, ks = hr[keep], hs[keep]
+                    out_row.append(kr)
                     out_a.append(id_i[keep])
                     out_b.append(id_cur[keep])
-                    out_zf.append(stack_z[hr[keep], hs[keep]])
-                    out_zb.append(zj[hr[keep]])
+                    out_zf.append(stack_z[kr, ks])
+                    out_zb.append(zj[kr])
+                    # Evidence: matched bit of the partner entry must be
+                    # read before this closure tags its own entry below.
+                    out_case.append(
+                        np.where(
+                            stack_matched[kr, ks], CASE_NESTED, CASE_CROSSING
+                        )
+                    )
+                    out_depth.append(top[kr])
+                    emitted = np.bincount(kr, minlength=num_rows)
                 fr = np.nonzero(found)[0]
+                disjoint += int((emitted[fr] == 0).sum())
                 stack_matched[fr, m[fr]] = True
 
     if out_row:
@@ -201,12 +267,16 @@ def analyze_tile(zeb: ZEBTile, config: RBCDConfig) -> OverlapResult:
         pair_b = np.concatenate(out_b)
         pair_zf = np.concatenate(out_zf)
         pair_zb = np.concatenate(out_zb)
+        pair_case = np.concatenate(out_case).astype(np.int64)
+        pair_depth = np.concatenate(out_depth)
     else:
         pair_row = np.empty(0, dtype=np.int64)
         pair_a = pair_row.copy()
         pair_b = pair_row.copy()
         pair_zf = pair_row.copy()
         pair_zb = pair_row.copy()
+        pair_case = pair_row.copy()
+        pair_depth = pair_row.copy()
 
     return OverlapResult(
         pair_row=pair_row,
@@ -214,8 +284,12 @@ def analyze_tile(zeb: ZEBTile, config: RBCDConfig) -> OverlapResult:
         pair_id_b=pair_b,
         pair_z_front=pair_zf,
         pair_z_back=pair_zb,
+        pair_case=pair_case,
+        pair_stack_depth=pair_depth,
         elements_read=int(counts.sum()),
         pair_records=int(pair_row.shape[0]),
         stack_overflows=overflows,
         unmatched_backfaces=unmatched,
+        disjoint_closures=disjoint,
+        self_pairs_filtered=self_filtered,
     )

@@ -131,11 +131,19 @@ class RBCDUnit:
 
     The unit accumulates a per-frame :class:`CollisionReport`; call
     :meth:`reset` between frames (the pipeline does this).
+
+    ``provenance`` is an optional, strictly observational
+    :class:`repro.observability.provenance.ProvenanceRecorder` (duck
+    typed: anything with ``record_tile(result, gpu_config)``).  It is
+    notified after each tile is absorbed — in tile-schedule order, in
+    the owning process — so recordings are deterministic at any worker
+    count and can never feed back into detection.
     """
 
-    def __init__(self, gpu_config: GPUConfig) -> None:
+    def __init__(self, gpu_config: GPUConfig, provenance=None) -> None:
         self.gpu_config = gpu_config
         self.config: RBCDConfig = gpu_config.rbcd
+        self.provenance = provenance
         self.report = CollisionReport()
         self.insertions = 0
         self.overflow_events = 0
@@ -194,6 +202,8 @@ class RBCDUnit:
         self.stack_overflows += result.overlap.stack_overflows
         self.unmatched_backfaces += result.overlap.unmatched_backfaces
         self._record_pairs(result.tile_index, result.zeb, result.overlap)
+        if self.provenance is not None:
+            self.provenance.record_tile(result, self.gpu_config)
 
     def _record_pairs(
         self, tile_index: int, zeb: ZEBTile, overlap: OverlapResult

@@ -259,3 +259,43 @@ def build_zeb_tile(
         overflow_events=overflow_events,
         spare_allocations=spare_allocations,
     )
+
+
+def overflow_events_by_pixel(
+    pixel: np.ndarray, config: RBCDConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-pixel ZEB overflow events for one tile's arrival stream.
+
+    Mirrors :func:`build_zeb_tile`'s accounting — the k-th arrival at a
+    pixel overflows when ``k >= M`` and no spare entry is left (spares
+    go to the earliest overflow arrivals in arrival order) — but keeps
+    the *location* instead of summing.  Returns ``(pixels, events)``
+    arrays covering only pixels with at least one overflow event; used
+    by the forensics engine to test whether a divergence's witness
+    pixel ever dropped an element.
+    """
+    pixel = np.asarray(pixel, dtype=np.int64)
+    n = pixel.shape[0]
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0:
+        return empty, empty.copy()
+
+    arrival = np.arange(n, dtype=np.int64)
+    order_by_pixel = np.lexsort((arrival, pixel))
+    sorted_pixel = pixel[order_by_pixel]
+    new_seg = np.r_[True, sorted_pixel[1:] != sorted_pixel[:-1]]
+    starts = np.flatnonzero(new_seg)
+    seg_id = np.cumsum(new_seg) - 1
+    rank_sorted = np.arange(n) - starts[seg_id]
+    rank = np.empty(n, dtype=np.int64)
+    rank[order_by_pixel] = rank_sorted
+
+    overflow_attempts = rank >= config.list_length
+    spares = min(config.spare_entries_per_tile, int(overflow_attempts.sum()))
+    if spares > 0:
+        overflow_attempts[np.flatnonzero(overflow_attempts)[:spares]] = False
+    if not overflow_attempts.any():
+        return empty, empty.copy()
+    events = np.bincount(pixel[overflow_attempts])
+    pixels = np.flatnonzero(events)
+    return pixels.astype(np.int64), events[pixels].astype(np.int64)

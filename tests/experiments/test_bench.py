@@ -156,7 +156,7 @@ class TestRunBench:
 
 
 def valid_doc():
-    """A minimal schema-valid v2 document for validator tests."""
+    """A minimal schema-valid v3 document for validator tests."""
     return {
         "schema": SCHEMA_NAME,
         "version": SCHEMA_VERSION,
@@ -192,6 +192,8 @@ def valid_doc():
                     "delay_s": 1e-3,
                     "edp_js": 1e-6,
                 },
+                "cases": {"disjoint": 3, "crossing": 1, "nested": 0,
+                          "self_filtered": 0, "evidence_records": 1},
             }
         },
     }
@@ -241,6 +243,11 @@ class TestValidator:
         (lambda d: d["scenes"]["crazy"]["counters"].pop("energy.total_j"),
          "energy"),
         (lambda d: d["scenes"]["crazy"].pop("energy"), "energy"),
+        (lambda d: d["scenes"]["crazy"].pop("cases"), "cases"),
+        (lambda d: d["scenes"]["crazy"]["cases"].pop("crossing"),
+         "cases.crossing"),
+        (lambda d: d["scenes"]["crazy"]["cases"].update(nested=-1),
+         "cases.nested"),
         (lambda d: d["scenes"]["crazy"]["energy"].pop("edp_js"), "edp_js"),
         (lambda d: d["scenes"]["crazy"]["energy"]["gpu"].pop("fragment_j"),
          "fragment_j"),

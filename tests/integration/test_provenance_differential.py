@@ -1,0 +1,111 @@
+"""Provenance recording is purely observational: enabling it changes nothing.
+
+The acceptance bar for the provenance layer — with a
+:class:`ProvenanceRecorder` attached (vs the default ``None``), every
+frame must produce identical collision pairs, contact records, counters,
+energy reports, and simulated cycles, at any worker count.  Evidence
+fields are computed unconditionally inside the overlap kernels; the
+recorder merely collects them at absorb time, so it can never feed back
+into detection.
+"""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU
+from repro.observability.provenance import ProvenanceRecorder
+from repro.scenes.benchmarks import workload_by_alias
+from tests.conftest import sphere_pair_frame, two_boxes_frame
+from tests.gpu.test_parallel import frame_fingerprint
+
+
+def render_fingerprint(config: GPUConfig, frame, provenance=None):
+    gpu = GPU(config, rbcd_enabled=True, provenance=provenance)
+    try:
+        result = gpu.render_frame(frame)
+        fingerprint = frame_fingerprint(result)
+        if result.energy is not None:
+            fingerprint["energy"] = result.energy.as_dict()
+        return fingerprint
+    finally:
+        gpu.close()
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_recording_changes_nothing(workers):
+    config = GPUConfig().with_screen(160, 96)
+    if workers != 1:
+        config = config.with_executor(workers=workers, backend="thread")
+    for separation in (0.8, 1.4):
+        frame = two_boxes_frame(config, separation)
+        unrecorded = render_fingerprint(config, frame)
+        recorded = render_fingerprint(config, frame, ProvenanceRecorder())
+        assert recorded == unrecorded
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_recording_changes_nothing_on_benchmark_scene(workers):
+    config = GPUConfig().with_screen(160, 96)
+    if workers != 1:
+        config = config.with_executor(workers=workers, backend="thread")
+    workload = workload_by_alias("cap", detail=1)
+    frame = workload.scene.frame_at(1.0, config)
+    unrecorded = render_fingerprint(config, frame)
+    recorded = render_fingerprint(config, frame, ProvenanceRecorder())
+    assert recorded == unrecorded
+
+
+def test_worker_count_does_not_change_the_evidence():
+    """Workers 1 ≡ 4 bit-identical: records, case counts, counters."""
+    base = GPUConfig().with_screen(160, 96)
+    workload = workload_by_alias("cap", detail=1)
+    frame = workload.scene.frame_at(1.0, base)
+    recorders = {}
+    for workers in (1, 4):
+        config = base
+        if workers != 1:
+            config = config.with_executor(workers=workers, backend="thread")
+        recorder = ProvenanceRecorder()
+        render_fingerprint(config, frame, recorder)
+        recorders[workers] = recorder
+    serial, parallel = recorders[1], recorders[4]
+    assert parallel.records == serial.records
+    assert parallel.case_counts == serial.case_counts
+    assert parallel.self_pairs_filtered == serial.self_pairs_filtered
+    assert parallel.registry().as_dict() == serial.registry().as_dict()
+
+
+def test_evidence_matches_the_collision_report():
+    """Every emitted pair carries evidence: records correspond 1:1 to
+    the report's contact records, and the evidence pair set equals the
+    reported pair set."""
+    config = GPUConfig().with_screen(160, 96)
+    frame = sphere_pair_frame(config, 0.7)
+    recorder = ProvenanceRecorder()
+    gpu = GPU(config, rbcd_enabled=True, provenance=recorder)
+    try:
+        result = gpu.render_frame(frame)
+    finally:
+        gpu.close()
+    report = result.collisions
+    assert report.as_sorted_pairs()  # the scene does collide
+    assert recorder.pairs_recorded == report.pair_records_written
+    assert sorted({ev.pair for ev in recorder.records}) == (
+        report.as_sorted_pairs()
+    )
+    assert recorder.frames == 1
+
+
+def test_recorder_counters_stay_out_of_the_unit_registry():
+    """The recorder's counters live in their own registry; enabling it
+    must not add (or change) names in the frame's GPU registry."""
+    config = GPUConfig().with_screen(160, 96)
+    frame = two_boxes_frame(config, 0.8)
+    gpu = GPU(config, rbcd_enabled=True, provenance=ProvenanceRecorder())
+    try:
+        result = gpu.render_frame(frame)
+    finally:
+        gpu.close()
+    names = set(result.stats.registry().as_dict())
+    assert not any(n.startswith("rbcd.case.") for n in names)
+    assert not any(n.startswith("rbcd.evidence.") for n in names)
