@@ -26,7 +26,12 @@ The package provides:
     The harness that regenerates every figure and table of the paper's
     evaluation section.
 
-The top-level module re-exports the high-level API from ``repro.core``.
+``repro.observability``
+    Tracing, typed counters, provenance, statistics, and the live
+    telemetry service (OpenMetrics exposition + watchdog alerting).
+
+The top-level module re-exports the high-level API from ``repro.core``
+and makes ``repro.observability`` importable as an attribute.
 """
 
 from repro.core import (
@@ -36,6 +41,11 @@ from repro.core import (
     detect_collisions,
 )
 
+# Imported after repro.core: the core import fully initializes the
+# gpu/rbcd module chain that repro.observability.provenance reaches
+# into, so this order avoids a partial-initialization cycle.
+from repro import observability
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -43,5 +53,6 @@ __all__ = [
     "RBCDFrameResult",
     "RBCDSystem",
     "detect_collisions",
+    "observability",
     "__version__",
 ]

@@ -15,11 +15,13 @@ at small list lengths.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.energy.report import FrameEnergyReport
+from repro.observability.log import get_logger, log_event
 from repro.geometry.mesh import TriangleMesh
 from repro.geometry.vec import Mat4
 from repro.gpu.commands import DrawCommand, Frame
@@ -35,6 +37,8 @@ __all__ = [
     "RBCDSystem",
     "detect_collisions",
 ]
+
+_LOG = get_logger(__name__)
 
 
 @dataclass
@@ -119,6 +123,12 @@ class RBCDSystem:
         elements, FF-Stack depth, Figure-5 case).  Strictly
         observational — results and counters are bit-identical with
         the recorder on or off, at any worker count.
+    monitor:
+        Optional :class:`repro.observability.live.LiveMonitor`; every
+        detected frame then feeds the live telemetry stream (sliding
+        windows, latency quantiles, watchdog rules) without changing
+        any result — the same strictly-observational contract as the
+        tracer and the provenance recorder.
     """
 
     def __init__(
@@ -131,6 +141,7 @@ class RBCDSystem:
         config: GPUConfig | None = None,
         tracer=None,
         provenance=None,
+        monitor=None,
     ) -> None:
         if config is None:
             width, height = resolution
@@ -145,7 +156,15 @@ class RBCDSystem:
             )
         self.config = config
         self._gpu = GPU(
-            config, rbcd_enabled=True, tracer=tracer, provenance=provenance
+            config, rbcd_enabled=True, tracer=tracer, provenance=provenance,
+            monitor=monitor,
+        )
+        log_event(
+            _LOG, "rbcd.system.created", level=logging.DEBUG,
+            width=config.screen_width, height=config.screen_height,
+            workers=config.executor_workers,
+            backend=config.executor_backend,
+            monitored=monitor is not None,
         )
 
     def close(self) -> None:
@@ -163,6 +182,18 @@ class RBCDSystem:
         result: FrameResult = self._gpu.render_frame(frame)
         if result.collisions is None:
             raise RuntimeError("RBCD unit produced no report (disabled?)")
+        if result.cpu_fallback:
+            log_event(
+                _LOG, "rbcd.cpu_fallback", level=logging.WARNING,
+                overflow_rate=result.stats.zeb_overflow_rate,
+                insertions=result.stats.zeb_insertions,
+            )
+        log_event(
+            _LOG, "rbcd.frame.detected", level=logging.DEBUG,
+            pairs=result.collisions.pair_records_written,
+            fragments=result.stats.fragments_produced,
+            gpu_cycles=result.stats.gpu_cycles,
+        )
         return RBCDFrameResult(
             report=result.collisions,
             stats=result.stats,

@@ -42,6 +42,7 @@ Determinism argument (tested by ``tests/gpu/test_parallel.py`` and
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -51,6 +52,7 @@ import numpy as np
 from repro.gpu.config import GPUConfig
 from repro.gpu.stats import TileStats
 from repro.observability.counters import CounterRegistry
+from repro.observability.log import get_logger, log_event
 from repro.rbcd.unit import RBCDTileResult, RBCDUnit, compute_tile
 
 __all__ = [
@@ -67,6 +69,9 @@ __all__ = [
     "tile_registry_of",
     "tile_energy_registry",
 ]
+
+
+_LOG = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -215,12 +220,20 @@ class _PooledTileExecutor(TileExecutor):
     def _map_chunks(self, config, chunks):
         if self._pool is None:
             self._pool = self._make_pool()
+            log_event(
+                _LOG, "executor.pool.started", level=logging.DEBUG,
+                backend=self.backend, workers=self.workers,
+            )
         return self._pool.map(_run_chunk, [(config, chunk) for chunk in chunks])
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+            log_event(
+                _LOG, "executor.pool.closed", level=logging.DEBUG,
+                backend=self.backend, workers=self.workers,
+            )
 
 
 class ThreadPoolTileExecutor(_PooledTileExecutor):
@@ -246,10 +259,17 @@ class ProcessPoolTileExecutor(_PooledTileExecutor):
 def make_executor(config: GPUConfig) -> TileExecutor:
     """Build the executor a config asks for (see ``executor_backend``)."""
     if config.executor_backend == "serial" or config.executor_workers == 1:
-        return SerialTileExecutor()
-    if config.executor_backend == "thread":
-        return ThreadPoolTileExecutor(config.executor_workers)
-    return ProcessPoolTileExecutor(config.executor_workers)
+        executor: TileExecutor = SerialTileExecutor()
+    elif config.executor_backend == "thread":
+        executor = ThreadPoolTileExecutor(config.executor_workers)
+    else:
+        executor = ProcessPoolTileExecutor(config.executor_workers)
+    log_event(
+        _LOG, "executor.created", level=logging.DEBUG,
+        backend=executor.backend, workers=config.executor_workers,
+        chunk_tiles=config.executor_chunk_tiles,
+    )
+    return executor
 
 
 def merge_tile_results(

@@ -33,6 +33,7 @@ processors go idle when their queue drains during the block.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from typing import TYPE_CHECKING
@@ -174,6 +175,7 @@ class GPU:
         executor: TileExecutor | None = None,
         tracer=None,
         provenance=None,
+        monitor=None,
     ) -> None:
         """``rendering_mode``:
 
@@ -203,6 +205,14 @@ class GPU:
         every RBCD frame then records per-pair evidence (witness pixel,
         ZEB elements, FF-Stack depth, Figure-5 case).  Like the tracer
         it is strictly observational and off by default.
+
+        ``monitor`` accepts a
+        :class:`repro.observability.live.LiveMonitor`; every rendered
+        frame is then turned into a streaming
+        :class:`~repro.observability.live.MetricSnapshot` (counters,
+        energy, cycle and wall timings) feeding the live windows and
+        watchdogs.  Strictly observational, like the tracer and the
+        provenance recorder.
         """
         if rendering_mode not in ("tbr", "tbdr", "imr"):
             raise ValueError('rendering_mode must be "tbr", "tbdr" or "imr"')
@@ -216,6 +226,7 @@ class GPU:
         self.rendering_mode = rendering_mode
         self.tracer = ensure_tracer(tracer)
         self.provenance = provenance
+        self.monitor = monitor
         self._executor = executor
         self._owns_executor = executor is None
         self._energy_account: EnergyAccount | None = None
@@ -257,6 +268,7 @@ class GPU:
         """Render one frame; returns image, stats and collisions."""
         if self.rendering_mode == "imr":
             return self._render_frame_imr(frame)
+        wall_t0 = time.perf_counter()
         tracer = self.tracer
         config = self.config
         stats = GPUStats(frames=1)
@@ -408,7 +420,7 @@ class GPU:
         )
         tracer.end(frame_span)
 
-        return FrameResult(
+        result = FrameResult(
             color=shading.color,
             z_buffer=depth.z_buffer,
             stats=stats,
@@ -418,6 +430,9 @@ class GPU:
             fragments=frags if keep_fragments else None,
             energy=energy,
         )
+        if self.monitor is not None:
+            self.monitor.observe(result, wall_s=time.perf_counter() - wall_t0)
+        return result
 
     def _render_frame_imr(self, frame: Frame) -> FrameResult:
         """Immediate-mode baseline: no tiling, off-chip overdraw.
@@ -428,6 +443,7 @@ class GPU:
         traffic TBR avoids), while the polygon-list traffic of the
         tiling engine disappears entirely.
         """
+        wall_t0 = time.perf_counter()
         tracer = self.tracer
         config = self.config
         stats = GPUStats(frames=1)
@@ -488,13 +504,16 @@ class GPU:
         )
         tracer.end(frame_span)
 
-        return FrameResult(
+        result = FrameResult(
             color=shading.color,
             z_buffer=depth.z_buffer,
             stats=stats,
             collisions=None,
             energy=energy,
         )
+        if self.monitor is not None:
+            self.monitor.observe(result, wall_s=time.perf_counter() - wall_t0)
+        return result
 
     def _run_rbcd(
         self,
@@ -543,5 +562,7 @@ class GPU:
         stats.zeb_spare_allocations += unit.spare_allocations
         stats.zeb_lists_analyzed += unit.lists_analyzed
         stats.overlap_elements_read += unit.elements_read
+        stats.ff_stack_overflows += unit.stack_overflows
+        stats.unmatched_backfaces += unit.unmatched_backfaces
         stats.collision_pairs_emitted += unit.report.pair_records_written
         return unit.report

@@ -48,7 +48,8 @@ _GPU_NAMESPACES = {
     "gpu.rbcd": (
         "rbcd_fragments_in", "zeb_insertions", "zeb_overflow_events",
         "zeb_spare_allocations", "zeb_lists_analyzed",
-        "overlap_elements_read", "collision_pairs_emitted", "rbcd_cycles",
+        "overlap_elements_read", "ff_stack_overflows",
+        "unmatched_backfaces", "collision_pairs_emitted", "rbcd_cycles",
         "cpu_fallback_frames",
     ),
     "gpu.mem": ("dram_bytes_read", "dram_bytes_written"),
@@ -107,6 +108,8 @@ class GPUStats(CounterAlgebra):
     zeb_spare_allocations: int = 0
     zeb_lists_analyzed: int = 0         # non-empty lists scanned
     overlap_elements_read: int = 0
+    ff_stack_overflows: int = 0         # FF-Stack pushes past capacity
+    unmatched_backfaces: int = 0        # back faces with no open front
     collision_pairs_emitted: int = 0    # pair records written out
     rbcd_cycles: float = 0.0            # Z-overlap test busy cycles
     cpu_fallback_frames: int = 0        # frames punted to software CD
@@ -149,6 +152,13 @@ class GPUStats(CounterAlgebra):
         if self.zeb_insertions == 0:
             return 0.0
         return self.zeb_overflow_events / self.zeb_insertions
+
+    @property
+    def ff_stack_overflow_rate(self) -> float:
+        """FF-Stack overflow events per analyzed ZEB list."""
+        if self.zeb_lists_analyzed == 0:
+            return 0.0
+        return self.ff_stack_overflows / self.zeb_lists_analyzed
 
     @property
     def early_z_pass_rate(self) -> float:

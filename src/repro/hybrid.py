@@ -15,12 +15,14 @@ rendered slice.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core import RBCDSystem
 from repro.geometry.aabb import AABB
+from repro.observability.log import get_logger, log_event
 from repro.observability.tracer import ensure_tracer
 from repro.geometry.mesh import TriangleMesh
 from repro.geometry.vec import Mat4, transform_points_homogeneous
@@ -29,6 +31,8 @@ from repro.physics.counters import OpCounter
 from repro.physics.gjk import gjk_intersect
 from repro.physics.shapes import ConvexShape
 from repro.scenes.camera import Camera
+
+_LOG = get_logger(__name__)
 
 # Frustum planes in clip space (dot(plane, v) >= 0 keeps the vertex).
 _CLIP_PLANES = np.array(
@@ -81,6 +85,7 @@ class HybridCDSystem:
         workers: int = 1,
         tracer=None,
         provenance=None,
+        monitor=None,
     ) -> None:
         """``workers`` configures the RBCD side's parallel tile engine
         (ignored when an explicit ``rbcd_system`` is injected).
@@ -88,14 +93,16 @@ class HybridCDSystem:
         and, when this object builds its own RBCD system, the GPU-side
         stage spans as well.  ``provenance`` likewise threads a
         :class:`~repro.observability.provenance.ProvenanceRecorder` into
-        a self-built RBCD system (purely observational)."""
+        a self-built RBCD system, and ``monitor`` a
+        :class:`~repro.observability.live.LiveMonitor` (both purely
+        observational)."""
         self.tracer = ensure_tracer(tracer)
         self.rbcd = (
             rbcd_system
             if rbcd_system is not None
             else RBCDSystem(
                 resolution, workers=workers, tracer=tracer,
-                provenance=provenance,
+                provenance=provenance, monitor=monitor,
             )
         )
         self.raster_only = raster_only
@@ -148,6 +155,11 @@ class HybridCDSystem:
 
         with self.tracer.span("hybrid.software", offscreen=len(offscreen)):
             software_pairs, ops = self._software_pass(objects, boxes, offscreen)
+        log_event(
+            _LOG, "hybrid.frame.detected", level=logging.DEBUG,
+            objects=len(objects), offscreen=len(offscreen),
+            rbcd_pairs=len(rbcd_pairs), software_pairs=len(software_pairs),
+        )
         return HybridResult(
             rbcd_pairs=rbcd_pairs,
             software_pairs=software_pairs,

@@ -1,11 +1,14 @@
-"""Observability: stage tracing, typed counters, trace exporters.
+"""Observability: tracing, counters, exporters, live telemetry.
 
 The measurement substrate under the simulator: :class:`Tracer` spans
 record where wall time and simulated cycles go (frame → tile → stage),
 :class:`CounterRegistry` gives every subsystem's counters one named,
 mergeable namespace, and the exporters turn a trace into ndjson or a
 ``chrome://tracing`` file.  ``python -m repro.experiments.bench`` sits
-on top and writes ``BENCH_rbcd.json``.
+on top and writes ``BENCH_rbcd.json``; :class:`LiveMonitor` and
+:class:`MetricsServer` (``python -m repro.experiments.monitor``) turn
+a long-running frame stream into live OpenMetrics telemetry with
+watchdog alerting.
 """
 
 from repro.observability.counters import (
@@ -13,6 +16,34 @@ from repro.observability.counters import (
     CounterRegistry,
     CounterSpec,
     registry_from_counters,
+)
+from repro.observability.live import (
+    Alert,
+    LiveMonitor,
+    MetricSnapshot,
+    MetricsServer,
+    WatchdogRule,
+    default_rules,
+)
+from repro.observability.log import (
+    JsonFormatter,
+    configure_json_logging,
+    get_logger,
+    log_event,
+)
+from repro.observability.openmetrics import (
+    MetricFamily,
+    Sample,
+    metric_name_of,
+    parse_openmetrics,
+    render_families,
+    validate_openmetrics,
+)
+from repro.observability.window import (
+    Ewma,
+    QuantileSketch,
+    SlidingWindow,
+    WindowAggregate,
 )
 from repro.observability.export import (
     provenance_instant_events,
@@ -92,4 +123,28 @@ __all__ = [
     "GateReport",
     "MetricComparison",
     "compare_documents",
+    # live telemetry
+    "LiveMonitor",
+    "MetricSnapshot",
+    "MetricsServer",
+    "WatchdogRule",
+    "Alert",
+    "default_rules",
+    # streaming aggregation
+    "SlidingWindow",
+    "Ewma",
+    "WindowAggregate",
+    "QuantileSketch",
+    # OpenMetrics exposition
+    "MetricFamily",
+    "Sample",
+    "metric_name_of",
+    "render_families",
+    "parse_openmetrics",
+    "validate_openmetrics",
+    # structured logging
+    "JsonFormatter",
+    "get_logger",
+    "log_event",
+    "configure_json_logging",
 ]

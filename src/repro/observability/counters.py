@@ -28,6 +28,13 @@ import numbers
 from dataclasses import dataclass, fields
 from typing import Callable, ClassVar, Iterable, Mapping
 
+__all__ = [
+    "CounterAlgebra",
+    "CounterRegistry",
+    "CounterSpec",
+    "registry_from_counters",
+]
+
 
 class CounterAlgebra:
     """Field-wise merge algebra for counter dataclasses.

@@ -1,0 +1,668 @@
+"""Live telemetry: streaming per-frame metrics, health, and watchdogs.
+
+Everything observability built so far is post-hoc — traces, bench
+documents, provenance logs are read after the run ends.  This module
+closes the loop for long-running frame streams: every rendered frame
+becomes a :class:`MetricSnapshot`, sliding windows and a deterministic
+quantile sketch turn the snapshot stream into live rates
+(``rbcd.activity_ratio`` against the paper's ~1 % frame-time envelope,
+ZEB/FF-Stack overflow rates against Table 3, joules/frame against an
+energy budget, p50/p95/p99 frame latency), and a declarative
+:class:`WatchdogRule` engine raises structured :class:`Alert` records
+the moment the stream drifts out of its envelope.
+
+Three consumption paths:
+
+* :meth:`LiveMonitor.to_openmetrics` — OpenMetrics text for any
+  Prometheus-compatible scraper;
+* :class:`MetricsServer` — a stdlib ``http.server`` endpoint on a
+  background thread serving ``/metrics``, ``/healthz`` and
+  ``/snapshot.json`` (``python -m repro.experiments.monitor`` wires it
+  to an endless frame stream);
+* :attr:`LiveMonitor.alerts` / structured log events through
+  :mod:`repro.observability.log`.
+
+Determinism contract (the recorder/tracer contract, asserted by
+``tests/integration/test_live_differential.py``): monitoring is
+strictly observational.  Attaching a monitor changes no collision
+pair, counter, or simulated cycle; every deterministic snapshot field
+is a pure function of the frame stream, so workers 1 and 4 produce
+bit-identical snapshots (wall-clock fields excluded — they measure the
+host, not the model).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Iterable, Mapping
+
+from repro.observability.log import get_logger, log_event
+from repro.observability.openmetrics import (
+    MetricFamily,
+    metric_name_of,
+    render_families,
+)
+from repro.observability.window import Ewma, QuantileSketch, SlidingWindow
+
+__all__ = [
+    "MetricSnapshot",
+    "WatchdogRule",
+    "Alert",
+    "LiveMonitor",
+    "MetricsServer",
+    "default_rules",
+    "PAPER_ACTIVITY_ENVELOPE",
+]
+
+_LOG = get_logger(__name__)
+
+# The paper's headline envelope (Figure 9/11): RBCD activity stays
+# below ~1 % of frame time.  The default watchdog guards this bound.
+PAPER_ACTIVITY_ENVELOPE = 0.01
+
+# Content type for /metrics, per the OpenMetrics spec.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+_QUANTILES = (0.5, 0.95, 0.99)
+
+_OPS = {
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+}
+
+
+@dataclass(frozen=True)
+class MetricSnapshot:
+    """One rendered frame, flattened into comparable numbers.
+
+    ``counters`` holds every registry namespace the frame produced
+    (``gpu.*`` from :class:`~repro.gpu.stats.GPUStats` plus ``energy.*``
+    from :class:`~repro.energy.report.FrameEnergyReport`); ``derived``
+    holds the per-frame ratios the watchdogs consume.  All of those are
+    deterministic — bit-identical at any worker count, monitoring on or
+    off.  ``wall_s`` is host time and excluded from the
+    :meth:`deterministic_fingerprint`.
+    """
+
+    frame: int
+    gpu_cycles: float
+    sim_s: float                     # modelled frame latency (seconds)
+    wall_s: float                    # host render latency (seconds)
+    counters: dict[str, int | float]
+    derived: dict[str, float]
+
+    def deterministic_fingerprint(self) -> dict[str, Any]:
+        """Everything the determinism contract covers (no wall clock)."""
+        return {
+            "frame": self.frame,
+            "gpu_cycles": self.gpu_cycles,
+            "sim_s": self.sim_s,
+            "counters": dict(self.counters),
+            "derived": dict(self.derived),
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "frame": self.frame,
+            "gpu_cycles": self.gpu_cycles,
+            "sim_s": self.sim_s,
+            "wall_s": self.wall_s,
+            "counters": dict(self.counters),
+            "derived": dict(self.derived),
+        }
+
+
+@dataclass(frozen=True)
+class WatchdogRule:
+    """Declarative threshold over a window aggregate.
+
+    ``metric`` names a key of :meth:`LiveMonitor.window_values`;
+    the rule trips when ``op(value, threshold)`` holds and at least
+    ``min_frames`` frames are in the window (so a one-frame burst
+    cannot page anyone before the window is warm).
+    """
+
+    name: str
+    metric: str
+    op: str
+    threshold: float
+    min_frames: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(
+                f"rule {self.name!r}: op must be one of {sorted(_OPS)}"
+            )
+        if self.min_frames < 1:
+            raise ValueError(f"rule {self.name!r}: min_frames must be >= 1")
+
+    def breached(self, values: Mapping[str, float], frames: int) -> bool:
+        if frames < self.min_frames or self.metric not in values:
+            return False
+        return _OPS[self.op](values[self.metric], self.threshold)
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One watchdog firing (edge-triggered: raised on breach entry)."""
+
+    rule: str
+    metric: str
+    value: float
+    threshold: float
+    op: str
+    frame: int
+
+    @property
+    def message(self) -> str:
+        return (
+            f"watchdog {self.rule!r}: {self.metric} = {self.value:.6g} "
+            f"{self.op} {self.threshold:.6g} at frame {self.frame}"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "metric": self.metric,
+            "value": self.value,
+            "threshold": self.threshold,
+            "op": self.op,
+            "frame": self.frame,
+            "message": self.message,
+        }
+
+
+def default_rules(
+    max_activity_ratio: float | None = PAPER_ACTIVITY_ENVELOPE,
+    max_overflow_rate: float | None = 0.05,
+    max_ffstack_overflow_rate: float | None = 0.05,
+    max_joules_per_frame: float | None = 0.01,
+    max_frame_ms: float | None = None,
+    min_frames: int = 1,
+) -> list[WatchdogRule]:
+    """The stock rule set guarding the paper's operating envelope.
+
+    Pass ``None`` for any bound to drop that rule (``max_frame_ms``
+    defaults to off: host wall time is machine-dependent, so the
+    latency SLO is opt-in).
+    """
+    rules: list[WatchdogRule] = []
+    if max_activity_ratio is not None:
+        rules.append(WatchdogRule(
+            "rbcd-activity-envelope", "window.rbcd.activity_ratio",
+            "gt", max_activity_ratio, min_frames=min_frames,
+            description="RBCD cycles vs GPU cycles over the window "
+                        "(paper envelope: ~1% of frame time)",
+        ))
+    if max_overflow_rate is not None:
+        rules.append(WatchdogRule(
+            "zeb-overflow-rate", "window.zeb.overflow_rate",
+            "gt", max_overflow_rate, min_frames=min_frames,
+            description="ZEB insertion overflows per attempt over the window",
+        ))
+    if max_ffstack_overflow_rate is not None:
+        rules.append(WatchdogRule(
+            "ffstack-overflow-rate", "window.ffstack.overflow_rate",
+            "gt", max_ffstack_overflow_rate, min_frames=min_frames,
+            description="FF-Stack overflows per analyzed list over the window",
+        ))
+    if max_joules_per_frame is not None:
+        rules.append(WatchdogRule(
+            "energy-budget", "window.energy.joules_per_frame",
+            "gt", max_joules_per_frame, min_frames=min_frames,
+            description="modelled joules per frame over the window",
+        ))
+    if max_frame_ms is not None:
+        rules.append(WatchdogRule(
+            "frame-latency-slo", "quantile.frame.wall_ms.p95",
+            "gt", max_frame_ms, min_frames=min_frames,
+            description="host render latency p95 (milliseconds)",
+        ))
+    return rules
+
+
+class LiveMonitor:
+    """Streaming telemetry over a sequence of rendered frames.
+
+    Feed frames with :meth:`observe` (a
+    :class:`~repro.gpu.pipeline.FrameResult`) or :meth:`observe_frame`
+    (raw stats + energy).  Read back at any time — all public readers
+    and the writer are serialized by one lock, so a background
+    :class:`MetricsServer` can scrape mid-stream.
+    """
+
+    def __init__(
+        self,
+        window: int = 120,
+        rules: Iterable[WatchdogRule] | None = None,
+        sketch_accuracy: float = 0.01,
+        ewma_alpha: float = 0.2,
+        logger: logging.Logger | None = None,
+    ) -> None:
+        self.rules: list[WatchdogRule] = (
+            list(rules) if rules is not None else default_rules()
+        )
+        names = [r.name for r in self.rules]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate watchdog rule names in {names}")
+        self.window_size = window
+        self._log = logger if logger is not None else _LOG
+        self._lock = threading.Lock()
+        self.frames = 0
+        self.alerts: list[Alert] = []
+        self._active_rules: set[str] = set()
+        self._latest: MetricSnapshot | None = None
+        # Cumulative totals (deterministic).
+        self._total_counters: dict[str, int | float] = {}
+        self._counter_kinds: dict[str, str] = {}
+        self._total_wall_s = 0.0
+        self._total_sim_s = 0.0
+        # Per-frame series windows (raw numerators/denominators, so
+        # windowed rates are ratios of window sums).
+        self._windows: dict[str, SlidingWindow] = {
+            name: SlidingWindow(window)
+            for name in (
+                "rbcd_cycles", "gpu_cycles", "zeb_overflow_events",
+                "zeb_insertions", "ff_stack_overflows", "zeb_lists_analyzed",
+                "energy_j", "wall_ms", "sim_ms", "pairs",
+            )
+        }
+        self._ewma = {
+            "frame.wall_ms": Ewma(ewma_alpha),
+            "rbcd.activity_ratio": Ewma(ewma_alpha),
+        }
+        self._sketches = {
+            "frame.wall_ms": QuantileSketch(sketch_accuracy),
+            "frame.sim_ms": QuantileSketch(sketch_accuracy),
+            "rbcd.activity_ratio": QuantileSketch(sketch_accuracy),
+        }
+
+    # -- ingestion -----------------------------------------------------------
+
+    def observe(self, result, wall_s: float = 0.0) -> MetricSnapshot:
+        """Ingest one :class:`~repro.gpu.pipeline.FrameResult`."""
+        energy = result.energy
+        if energy is None:  # pragma: no cover - every GPU frame prices energy
+            from repro.energy.report import FrameEnergyReport
+
+            energy = FrameEnergyReport()
+        return self.observe_frame(result.stats, energy, wall_s=wall_s)
+
+    def observe_frame(self, stats, energy, wall_s: float = 0.0) -> MetricSnapshot:
+        """Ingest one frame's stats + energy report; returns its snapshot.
+
+        Strictly observational: ``stats`` and ``energy`` are read, never
+        mutated, and everything derived from them is deterministic.
+        """
+        registry = stats.registry() + energy.registry()
+        counters = registry.as_dict()
+        gpu_cycles = float(stats.gpu_cycles)
+        rbcd_cycles = float(stats.rbcd_cycles)
+        insertions = int(stats.zeb_insertions)
+        overflows = int(stats.zeb_overflow_events)
+        stack_overflows = int(stats.ff_stack_overflows)
+        lists_analyzed = int(stats.zeb_lists_analyzed)
+        energy_j = float(energy.total_j)
+        sim_s = float(energy.delay_s)
+        wall_s = float(wall_s)
+        derived = {
+            "rbcd.activity_ratio":
+                rbcd_cycles / gpu_cycles if gpu_cycles > 0.0 else 0.0,
+            "zeb.overflow_rate":
+                overflows / insertions if insertions else 0.0,
+            "ffstack.overflow_rate":
+                stack_overflows / lists_analyzed if lists_analyzed else 0.0,
+            "energy.joules": energy_j,
+            "frame.sim_ms": sim_s * 1e3,
+        }
+        with self._lock:
+            snapshot = MetricSnapshot(
+                frame=self.frames,
+                gpu_cycles=gpu_cycles,
+                sim_s=sim_s,
+                wall_s=wall_s,
+                counters=counters,
+                derived=derived,
+            )
+            self.frames += 1
+            self._latest = snapshot
+            for name, spec in ((s.name, s) for s in registry.specs()):
+                self._counter_kinds.setdefault(name, spec.kind)
+                self._total_counters[name] = (
+                    self._total_counters.get(name, 0) + counters[name]
+                )
+            self._total_wall_s += wall_s
+            self._total_sim_s += sim_s
+            push = {
+                "rbcd_cycles": rbcd_cycles,
+                "gpu_cycles": gpu_cycles,
+                "zeb_overflow_events": float(overflows),
+                "zeb_insertions": float(insertions),
+                "ff_stack_overflows": float(stack_overflows),
+                "zeb_lists_analyzed": float(lists_analyzed),
+                "energy_j": energy_j,
+                "wall_ms": wall_s * 1e3,
+                "sim_ms": sim_s * 1e3,
+                "pairs": float(stats.collision_pairs_emitted),
+            }
+            for name, value in push.items():
+                self._windows[name].push(value)
+            self._ewma["frame.wall_ms"].update(wall_s * 1e3)
+            self._ewma["rbcd.activity_ratio"].update(
+                derived["rbcd.activity_ratio"]
+            )
+            self._sketches["frame.wall_ms"].add(wall_s * 1e3)
+            self._sketches["frame.sim_ms"].add(sim_s * 1e3)
+            self._sketches["rbcd.activity_ratio"].add(
+                derived["rbcd.activity_ratio"]
+            )
+            self._evaluate_rules(snapshot.frame)
+        return snapshot
+
+    # -- watchdogs -----------------------------------------------------------
+
+    def _evaluate_rules(self, frame: int) -> None:
+        """Edge-triggered rule evaluation (caller holds the lock)."""
+        values = self._window_values_locked()
+        frames_in_window = len(self._windows["gpu_cycles"])
+        for rule in self.rules:
+            breached = rule.breached(values, frames_in_window)
+            if breached and rule.name not in self._active_rules:
+                self._active_rules.add(rule.name)
+                alert = Alert(
+                    rule=rule.name,
+                    metric=rule.metric,
+                    value=float(values[rule.metric]),
+                    threshold=rule.threshold,
+                    op=rule.op,
+                    frame=frame,
+                )
+                self.alerts.append(alert)
+                log_event(
+                    self._log, "watchdog.alert", level=logging.WARNING,
+                    **alert.as_dict(),
+                )
+            elif not breached and rule.name in self._active_rules:
+                self._active_rules.discard(rule.name)
+                log_event(
+                    self._log, "watchdog.recovered", level=logging.INFO,
+                    rule=rule.name, metric=rule.metric, frame=frame,
+                )
+
+    @property
+    def active_alerts(self) -> list[str]:
+        """Names of rules currently in breach."""
+        with self._lock:
+            return sorted(self._active_rules)
+
+    @property
+    def healthy(self) -> bool:
+        """True while no watchdog rule is in breach."""
+        with self._lock:
+            return not self._active_rules
+
+    # -- reading -------------------------------------------------------------
+
+    def _window_values_locked(self) -> dict[str, float]:
+        w = self._windows
+
+        def ratio(num: str, den: str) -> float:
+            total = w[den].sum()
+            return w[num].sum() / total if total > 0.0 else 0.0
+
+        frames = len(w["gpu_cycles"])
+        values = {
+            "window.frames": float(frames),
+            "window.rbcd.activity_ratio": ratio("rbcd_cycles", "gpu_cycles"),
+            "window.zeb.overflow_rate":
+                ratio("zeb_overflow_events", "zeb_insertions"),
+            "window.ffstack.overflow_rate":
+                ratio("ff_stack_overflows", "zeb_lists_analyzed"),
+            "window.energy.joules_per_frame": w["energy_j"].mean(),
+            "window.frame.wall_ms.mean": w["wall_ms"].mean(),
+            "window.frame.wall_ms.max": w["wall_ms"].max(),
+            "window.frame.sim_ms.mean": w["sim_ms"].mean(),
+            "window.pairs.per_frame": w["pairs"].mean(),
+            "ewma.frame.wall_ms": self._ewma["frame.wall_ms"].value,
+            "ewma.rbcd.activity_ratio":
+                self._ewma["rbcd.activity_ratio"].value,
+        }
+        for series, sketch in self._sketches.items():
+            for q in _QUANTILES:
+                quantile = sketch.quantile(q)
+                if quantile is not None:
+                    key = f"quantile.{series}.p{int(q * 100)}"
+                    values[key] = quantile
+        return values
+
+    def window_values(self) -> dict[str, float]:
+        """Current window aggregates, EWMAs and quantiles by metric key."""
+        with self._lock:
+            return self._window_values_locked()
+
+    @property
+    def latest(self) -> MetricSnapshot | None:
+        with self._lock:
+            return self._latest
+
+    def totals(self) -> dict[str, int | float]:
+        """Cumulative counters over every observed frame."""
+        with self._lock:
+            return dict(self._total_counters)
+
+    def snapshot_dict(self) -> dict[str, Any]:
+        """The ``/snapshot.json`` document."""
+        with self._lock:
+            return {
+                "frames": self.frames,
+                "healthy": not self._active_rules,
+                "active_alerts": sorted(self._active_rules),
+                "alerts": [a.as_dict() for a in self.alerts],
+                "latest": self._latest.as_dict() if self._latest else None,
+                "window": self._window_values_locked(),
+                "totals": dict(self._total_counters),
+            }
+
+    def health_dict(self) -> dict[str, Any]:
+        """The ``/healthz`` document."""
+        with self._lock:
+            healthy = not self._active_rules
+            return {
+                "status": "ok" if healthy else "failing",
+                "frames": self.frames,
+                "active_alerts": sorted(self._active_rules),
+                "alerts_total": len(self.alerts),
+            }
+
+    # -- exposition ----------------------------------------------------------
+
+    def to_openmetrics(self) -> str:
+        """Render the full live state as OpenMetrics text."""
+        with self._lock:
+            families: list[MetricFamily] = []
+            families.append(
+                MetricFamily(
+                    "repro_frames_observed", "counter",
+                    help="Frames ingested by the live monitor.",
+                ).add(self.frames, suffix="_total")
+            )
+            families.append(
+                MetricFamily(
+                    "repro_health", "gauge",
+                    help="1 while no watchdog rule is in breach, else 0.",
+                ).add(0 if self._active_rules else 1)
+            )
+            alerts = MetricFamily(
+                "repro_watchdog_alerts", "counter",
+                help="Watchdog alerts fired since start.",
+            ).add(len(self.alerts), suffix="_total")
+            families.append(alerts)
+            active = MetricFamily(
+                "repro_watchdog_breached", "gauge",
+                help="1 while the labelled rule is in breach.",
+            )
+            for rule in self.rules:
+                active.add(
+                    1 if rule.name in self._active_rules else 0, rule=rule.name
+                )
+            families.append(active)
+
+            for name in sorted(self._total_counters):
+                family = MetricFamily(
+                    metric_name_of(name), "counter",
+                    help=f"Cumulative registry counter {name}.",
+                )
+                family.add(self._total_counters[name], suffix="_total")
+                families.append(family)
+
+            window_family = MetricFamily(
+                "repro_window", "gauge",
+                help="Sliding-window aggregates, EWMAs and quantiles "
+                     "by metric key.",
+            )
+            for key, value in sorted(self._window_values_locked().items()):
+                window_family.add(value, metric=key)
+            families.append(window_family)
+
+            for series, seconds_name, total in (
+                ("frame.wall_ms", "repro_frame_wall_seconds",
+                 self._total_wall_s),
+                ("frame.sim_ms", "repro_frame_sim_seconds",
+                 self._total_sim_s),
+            ):
+                sketch = self._sketches[series]
+                family = MetricFamily(
+                    seconds_name, "summary",
+                    help=f"Per-frame latency summary ({series}).",
+                )
+                if sketch.count:
+                    for q in _QUANTILES:
+                        quantile = sketch.quantile(q)
+                        assert quantile is not None
+                        family.add(quantile / 1e3, quantile=f"{q:g}")
+                family.add(sketch.count, suffix="_count")
+                family.add(total, suffix="_sum")
+                families.append(family)
+            return render_families(families)
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Routes /metrics, /healthz and /snapshot.json to the monitor."""
+
+    server_version = "repro-live/1.0"
+    monitor: LiveMonitor  # set by MetricsServer via the handler subclass
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0]
+        monitor = self.monitor
+        if path == "/metrics":
+            body = monitor.to_openmetrics().encode("utf-8")
+            self._respond(200, OPENMETRICS_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            health = monitor.health_dict()
+            status = 200 if health["status"] == "ok" else 503
+            body = (json.dumps(health, indent=2) + "\n").encode("utf-8")
+            self._respond(status, "application/json; charset=utf-8", body)
+        elif path == "/snapshot.json":
+            body = (
+                json.dumps(monitor.snapshot_dict(), indent=2) + "\n"
+            ).encode("utf-8")
+            self._respond(200, "application/json; charset=utf-8", body)
+        else:
+            body = json.dumps({
+                "error": "not found",
+                "endpoints": ["/metrics", "/healthz", "/snapshot.json"],
+            }).encode("utf-8")
+            self._respond(404, "application/json; charset=utf-8", body)
+
+    def _respond(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        log_event(
+            _LOG, "http.request", level=logging.DEBUG,
+            client=self.client_address[0], line=format % args,
+        )
+
+
+class MetricsServer:
+    """Background-thread HTTP endpoint over a :class:`LiveMonitor`.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port` after :meth:`start`).  The server thread is a daemon;
+    :meth:`stop` shuts it down cleanly.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        monitor: LiveMonitor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.monitor = monitor
+        self.host = host
+        self._requested_port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        handler = type(
+            "BoundMetricsHandler", (_MetricsHandler,), {"monitor": self.monitor}
+        )
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        log_event(
+            _LOG, "metrics.server.started",
+            host=self.host, port=self.port,
+        )
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        log_event(_LOG, "metrics.server.stopped", host=self.host)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

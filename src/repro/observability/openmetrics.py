@@ -1,0 +1,327 @@
+"""OpenMetrics text exposition: renderer, validator, round-trip parser.
+
+The live-telemetry endpoint speaks the OpenMetrics text format
+(the Prometheus exposition format's standardized successor) so any
+off-the-shelf scraper can consume the simulator's counters:
+
+.. code-block:: text
+
+    # HELP repro_gpu_rbcd_zeb_insertions ZEB sorted-insertion attempts.
+    # TYPE repro_gpu_rbcd_zeb_insertions counter
+    repro_gpu_rbcd_zeb_insertions_total 10234
+    # TYPE repro_frame_sim_seconds summary
+    repro_frame_sim_seconds{quantile="0.95"} 0.000131
+    repro_frame_sim_seconds_count 12
+    repro_frame_sim_seconds_sum 0.00143
+    # EOF
+
+Only the subset the exporter emits is implemented — counter, gauge and
+summary families, HELP/TYPE metadata, label escaping, the ``# EOF``
+terminator — but :func:`validate_openmetrics` checks that subset
+strictly (name charset, metadata-before-samples, suffix rules per
+type, escape sequences, float syntax, family grouping), and
+:func:`parse_openmetrics` round-trips a rendered exposition back into
+comparable values, which is how the tests prove the renderer and the
+golden fixtures agree.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Sample",
+    "MetricFamily",
+    "metric_name_of",
+    "render_families",
+    "validate_openmetrics",
+    "parse_openmetrics",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>\S+))?$"
+)
+
+_TYPES = ("counter", "gauge", "summary")
+
+# Per-type allowed sample-name suffixes relative to the family name.
+_TYPE_SUFFIXES = {
+    "counter": ("_total",),
+    "gauge": ("",),
+    "summary": ("", "_count", "_sum"),
+}
+
+
+def metric_name_of(counter_name: str, prefix: str = "repro") -> str:
+    """Map a registry counter name to a valid OpenMetrics family name.
+
+    ``gpu.rbcd.zeb_insertions`` -> ``repro_gpu_rbcd_zeb_insertions``.
+    """
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", counter_name)
+    name = f"{prefix}_{sanitized}" if prefix else sanitized
+    if not _NAME_RE.match(name):
+        raise ValueError(f"cannot form a valid metric name from {counter_name!r}")
+    return name
+
+
+def _escape(value: str) -> str:
+    """Escape a HELP text or label value per the exposition format."""
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+
+
+def _unescape(value: str) -> str:
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\":
+            if i + 1 >= len(value):
+                raise ValueError("dangling backslash in escaped string")
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == "n":
+                out.append("\n")
+            elif nxt == '"':
+                out.append('"')
+            else:
+                raise ValueError(f"invalid escape sequence \\{nxt}")
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    """Shortest faithful decimal: integers render bare, floats via repr."""
+    if isinstance(value, bool):
+        raise TypeError("metric values cannot be bools")
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError("metric values must be finite")
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition line of a family."""
+
+    value: float
+    suffix: str = ""                 # "", "_total", "_count", "_sum"
+    labels: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass
+class MetricFamily:
+    """One metric family: metadata plus its samples."""
+
+    name: str
+    mtype: str
+    help: str = ""
+    samples: list[Sample] = field(default_factory=list)
+
+    def add(self, value, suffix: str = "", **labels) -> "MetricFamily":
+        self.samples.append(
+            Sample(value=value, suffix=suffix, labels=tuple(sorted(labels.items())))
+        )
+        return self
+
+
+def render_families(families: list[MetricFamily]) -> str:
+    """Render families to OpenMetrics text (terminated by ``# EOF``)."""
+    lines: list[str] = []
+    seen: set[str] = set()
+    for family in families:
+        if not _NAME_RE.match(family.name):
+            raise ValueError(f"invalid metric family name {family.name!r}")
+        if family.mtype not in _TYPES:
+            raise ValueError(f"unsupported metric type {family.mtype!r}")
+        if family.name in seen:
+            raise ValueError(f"duplicate metric family {family.name!r}")
+        seen.add(family.name)
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.mtype}")
+        for sample in family.samples:
+            if sample.suffix not in _TYPE_SUFFIXES[family.mtype]:
+                raise ValueError(
+                    f"{family.name}: suffix {sample.suffix!r} invalid for "
+                    f"type {family.mtype!r}"
+                )
+            name = family.name + sample.suffix
+            label_str = ""
+            if sample.labels:
+                parts = []
+                for key, value in sample.labels:
+                    if not _LABEL_NAME_RE.match(key):
+                        raise ValueError(f"invalid label name {key!r}")
+                    parts.append(f'{key}="{_escape(str(value))}"')
+                label_str = "{" + ",".join(parts) + "}"
+            lines.append(f"{name}{label_str} {_format_value(sample.value)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# -- validation / parsing ----------------------------------------------------
+
+
+def _split_labels(raw: str) -> list[tuple[str, str]]:
+    """Split a ``{...}`` body into (name, value) pairs, strictly."""
+    pairs: list[tuple[str, str]] = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        eq = raw.find("=", i)
+        if eq < 0:
+            raise ValueError(f"malformed label pair near {raw[i:]!r}")
+        name = raw[i:eq]
+        if not _LABEL_NAME_RE.match(name):
+            raise ValueError(f"invalid label name {name!r}")
+        if eq + 1 >= n or raw[eq + 1] != '"':
+            raise ValueError(f"label {name!r} value must be double-quoted")
+        j = eq + 2
+        while j < n:
+            if raw[j] == "\\":
+                j += 2
+            elif raw[j] == '"':
+                break
+            else:
+                j += 1
+        if j >= n:
+            raise ValueError(f"label {name!r} value missing closing quote")
+        pairs.append((name, _unescape(raw[eq + 2 : j])))
+        i = j + 1
+        if i < n:
+            if raw[i] != ",":
+                raise ValueError(f"expected ',' between labels, got {raw[i]!r}")
+            i += 1
+    return pairs
+
+
+def _family_of(sample_name: str, known: dict[str, dict]) -> str | None:
+    """Resolve a sample name to its family (longest matching prefix)."""
+    if sample_name in known:
+        return sample_name
+    for suffix in ("_total", "_count", "_sum", "_created", "_bucket"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in known:
+                return base
+    return None
+
+
+def parse_openmetrics(text: str) -> dict[str, dict]:
+    """Parse an exposition into ``{family: {type, help, samples}}``.
+
+    ``samples`` is a list of ``(sample_name, labels_dict, value)``.
+    Raises ``ValueError`` on any line the validator would reject; use
+    :func:`validate_openmetrics` for an error listing instead.
+    """
+    families: dict[str, dict] = {}
+    last_family: str | None = None
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must end with a '# EOF' line")
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if line == "":
+            raise ValueError(f"line {lineno}: blank lines are not allowed")
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#" or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            keyword, name = parts[1], parts[2]
+            rest = parts[3] if len(parts) > 3 else ""
+            if not _NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: invalid metric name {name!r}")
+            entry = families.setdefault(
+                name, {"type": None, "help": "", "samples": []}
+            )
+            if entry["samples"]:
+                raise ValueError(
+                    f"line {lineno}: metadata for {name!r} after its samples"
+                )
+            if keyword == "TYPE":
+                if entry["type"] is not None:
+                    raise ValueError(f"line {lineno}: duplicate TYPE for {name!r}")
+                if rest not in _TYPES:
+                    raise ValueError(
+                        f"line {lineno}: unknown metric type {rest!r}"
+                    )
+                entry["type"] = rest
+            else:
+                if entry["help"]:
+                    raise ValueError(f"line {lineno}: duplicate HELP for {name!r}")
+                entry["help"] = _unescape(rest)
+            last_family = name
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample line {line!r}")
+        sample_name = match.group("name")
+        family = _family_of(sample_name, families)
+        if family is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} has no preceding "
+                f"TYPE declaration"
+            )
+        entry = families[family]
+        if entry["type"] is None:
+            raise ValueError(f"line {lineno}: family {family!r} missing TYPE")
+        suffix = sample_name[len(family):]
+        if suffix not in _TYPE_SUFFIXES[entry["type"]]:
+            raise ValueError(
+                f"line {lineno}: sample suffix {suffix!r} invalid for "
+                f"{entry['type']} family {family!r}"
+            )
+        if entry["samples"] and last_family != family:
+            raise ValueError(
+                f"line {lineno}: samples of family {family!r} are not "
+                f"contiguous"
+            )
+        raw_labels = match.group("labels")
+        labels = dict(_split_labels(raw_labels)) if raw_labels else {}
+        if entry["type"] == "summary" and suffix == "" and "quantile" not in labels:
+            raise ValueError(
+                f"line {lineno}: summary sample {sample_name!r} needs a "
+                f"quantile label"
+            )
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: unparseable value {raw_value!r}"
+            ) from None
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError(f"line {lineno}: non-finite value {raw_value!r}")
+        entry["samples"].append((sample_name, labels, value))
+        last_family = family
+    return families
+
+
+def validate_openmetrics(text: str) -> int:
+    """Validate an exposition; returns the number of sample lines.
+
+    Raises ``ValueError`` describing the first problem found.
+    """
+    families = parse_openmetrics(text)
+    total = 0
+    for name, entry in families.items():
+        if entry["type"] is None:
+            raise ValueError(f"family {name!r} has HELP but no TYPE")
+        total += len(entry["samples"])
+    return total

@@ -1,0 +1,131 @@
+"""Live monitoring is purely observational: attaching it changes nothing.
+
+The acceptance bar for the telemetry layer, mirroring the tracer and
+provenance differential tests: with a :class:`LiveMonitor` attached,
+every frame must produce bit-identical collision pairs, contact
+records, counters, and simulated cycles, at any worker count — and the
+monitor's own deterministic snapshot stream must be bit-identical
+between workers 1 and 4 (wall-clock fields excluded: they measure the
+host, not the model).
+"""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU
+from repro.hybrid import HybridCDSystem
+from repro.observability.live import LiveMonitor
+from repro.scenes.benchmarks import workload_by_alias
+from tests.conftest import two_boxes_frame
+from tests.gpu.test_parallel import frame_fingerprint
+
+
+def render_fingerprint(config: GPUConfig, frames, monitor=None):
+    gpu = GPU(config, rbcd_enabled=True, monitor=monitor)
+    try:
+        return [frame_fingerprint(gpu.render_frame(f)) for f in frames]
+    finally:
+        gpu.close()
+
+
+def config_for(workers: int) -> GPUConfig:
+    config = GPUConfig().with_screen(160, 96)
+    if workers != 1:
+        config = config.with_executor(workers=workers, backend="thread")
+    return config
+
+
+def benchmark_frames(config: GPUConfig, alias="cap", count=3):
+    workload = workload_by_alias(alias, detail=1)
+    return [
+        workload.scene.frame_at(float(t), config)
+        for t in workload.times(count)
+    ]
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_monitoring_changes_nothing(workers):
+    config = config_for(workers)
+    for separation in (0.8, 1.4):
+        frames = [two_boxes_frame(config, separation)]
+        unmonitored = render_fingerprint(config, frames)
+        monitored = render_fingerprint(
+            config, frames, monitor=LiveMonitor(window=8)
+        )
+        assert monitored == unmonitored
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_monitoring_changes_nothing_on_benchmark_stream(workers):
+    config = config_for(workers)
+    frames = benchmark_frames(config)
+    unmonitored = render_fingerprint(config, frames)
+    monitored = render_fingerprint(
+        config, frames, monitor=LiveMonitor(window=8)
+    )
+    assert monitored == unmonitored
+
+
+def test_snapshots_bit_identical_across_worker_counts():
+    """Workers 1 and 4 feed the monitor the exact same snapshot stream."""
+    streams = {}
+    for workers in (1, 4):
+        config = config_for(workers)
+        monitor = LiveMonitor(window=8)
+        render_fingerprint(config, benchmark_frames(config), monitor=monitor)
+        streams[workers] = monitor
+    one, four = streams[1], streams[4]
+    assert one.frames == four.frames == 3
+    assert (
+        one.latest.deterministic_fingerprint()
+        == four.latest.deterministic_fingerprint()
+    )
+    assert one.totals() == four.totals()
+    # Window aggregates match except the host-time series.
+    values_one = one.window_values()
+    values_four = four.window_values()
+    deterministic_keys = {
+        k for k in values_one
+        if "wall" not in k and not k.startswith("ewma.frame.wall")
+    }
+    assert deterministic_keys == {
+        k for k in values_four
+        if "wall" not in k and not k.startswith("ewma.frame.wall")
+    }
+    for key in deterministic_keys:
+        assert values_one[key] == values_four[key], key
+    assert one.active_alerts == four.active_alerts
+    assert [a.as_dict() for a in one.alerts] == [
+        a.as_dict() for a in four.alerts
+    ]
+
+
+def test_monitoring_is_deterministic_across_repeat_runs():
+    """Two identical monitored runs produce identical snapshot streams."""
+    fingerprints = []
+    for _ in range(2):
+        config = config_for(1)
+        monitor = LiveMonitor(window=8)
+        render_fingerprint(config, benchmark_frames(config), monitor=monitor)
+        fingerprints.append(monitor.latest.deterministic_fingerprint())
+    assert fingerprints[0] == fingerprints[1]
+
+
+def test_hybrid_monitoring_changes_nothing():
+    workload = workload_by_alias("cap", detail=1)
+    scene = workload.scene
+    objects = [
+        (scene.object_id(obj.name), obj.mesh, obj.animator.transform(1.0))
+        for obj in scene.objects
+        if obj.collisionable
+    ]
+    camera = workload.scene.camera_at(1.0)
+    with HybridCDSystem(resolution=(160, 96)) as plain:
+        baseline = plain.detect(objects, camera)
+    monitor = LiveMonitor(window=8)
+    with HybridCDSystem(resolution=(160, 96), monitor=monitor) as monitored:
+        observed = monitored.detect(objects, camera)
+    assert observed.pairs == baseline.pairs
+    assert observed.rbcd_pairs == baseline.rbcd_pairs
+    assert observed.software_pairs == baseline.software_pairs
+    assert monitor.frames == 1  # the RBCD pass fed the monitor

@@ -1,0 +1,111 @@
+"""Public-API audit: ``__all__`` contracts of repro and repro.observability.
+
+Guards the import surface the docs advertise: every name in ``__all__``
+resolves, key telemetry names are importable from the package top
+level, and the submodule ``__all__`` lists stay in sync with what the
+package re-exports.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+import repro.observability as obs
+
+SUBMODULES = (
+    "repro.observability.counters",
+    "repro.observability.tracer",
+    "repro.observability.window",
+    "repro.observability.log",
+    "repro.observability.openmetrics",
+    "repro.observability.live",
+)
+
+
+class TestObservabilityExports:
+    def test_all_names_resolve(self):
+        missing = [name for name in obs.__all__ if not hasattr(obs, name)]
+        assert missing == [], f"__all__ names missing attributes: {missing}"
+
+    def test_no_duplicate_all_entries(self):
+        assert len(obs.__all__) == len(set(obs.__all__))
+
+    def test_tracer_names_importable_from_top_level(self):
+        from repro.observability import NULL_TRACER, NullTracer, Tracer
+
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert Tracer is not NullTracer
+
+    def test_live_telemetry_names_importable_from_top_level(self):
+        from repro.observability import (
+            Alert,
+            Ewma,
+            JsonFormatter,
+            LiveMonitor,
+            MetricFamily,
+            MetricSnapshot,
+            MetricsServer,
+            QuantileSketch,
+            SlidingWindow,
+            WatchdogRule,
+            WindowAggregate,
+            configure_json_logging,
+            default_rules,
+            get_logger,
+            log_event,
+            metric_name_of,
+            parse_openmetrics,
+            render_families,
+            validate_openmetrics,
+        )
+
+        for name in (
+            Alert, Ewma, JsonFormatter, LiveMonitor, MetricFamily,
+            MetricSnapshot, MetricsServer, QuantileSketch, SlidingWindow,
+            WatchdogRule, WindowAggregate, configure_json_logging,
+            default_rules, get_logger, log_event, metric_name_of,
+            parse_openmetrics, render_families, validate_openmetrics,
+        ):
+            assert name is not None
+
+    @pytest.mark.parametrize("module_name", SUBMODULES)
+    def test_submodule_all_is_reexported_by_package(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), f"{module_name} missing __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+            # Everything a telemetry submodule declares public is
+            # reachable from the package, except deliberately
+            # module-scoped constants.
+            if module_name in (
+                "repro.observability.window",
+                "repro.observability.log",
+                "repro.observability.openmetrics",
+            ):
+                assert hasattr(obs, name), (
+                    f"{module_name}.{name} not re-exported"
+                )
+
+    def test_forensics_stays_module_scoped(self):
+        # repro.observability.forensics sits above the GPU pipeline; the
+        # package __init__ must not import it (cycle), so its names are
+        # intentionally absent from the package namespace.
+        assert not hasattr(obs, "DivergenceReport")
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+        assert missing == []
+
+    def test_observability_importable_as_attribute(self):
+        from repro import observability
+
+        assert observability is obs
+        assert "observability" in repro.__all__
+
+    def test_core_api_still_present(self):
+        assert repro.RBCDSystem is not None
+        assert repro.detect_collisions is not None
+        assert isinstance(repro.__version__, str)

@@ -1,0 +1,404 @@
+"""LiveMonitor: snapshots, windows, watchdogs, exposition, HTTP server.
+
+Frames here are synthetic :class:`GPUStats` / :class:`FrameEnergyReport`
+objects so every derived value is known in closed form; the end-to-end
+tests over real rendered frames live in
+``tests/experiments/test_monitor.py`` and
+``tests/integration/test_live_differential.py``.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.energy.gpu_power import GPUEnergyBreakdown
+from repro.energy.report import FrameEnergyReport
+from repro.gpu.stats import GPUStats
+from repro.observability.live import (
+    PAPER_ACTIVITY_ENVELOPE,
+    Alert,
+    LiveMonitor,
+    MetricsServer,
+    WatchdogRule,
+    default_rules,
+)
+from repro.observability.openmetrics import parse_openmetrics, validate_openmetrics
+
+
+def make_stats(
+    gpu_cycles=1000.0,
+    rbcd_cycles=5.0,
+    zeb_insertions=100,
+    zeb_overflow_events=0,
+    zeb_lists_analyzed=50,
+    ff_stack_overflows=0,
+    collision_pairs_emitted=3,
+) -> GPUStats:
+    return GPUStats(
+        gpu_cycles=gpu_cycles,
+        rbcd_cycles=rbcd_cycles,
+        zeb_insertions=zeb_insertions,
+        zeb_overflow_events=zeb_overflow_events,
+        zeb_lists_analyzed=zeb_lists_analyzed,
+        ff_stack_overflows=ff_stack_overflows,
+        collision_pairs_emitted=collision_pairs_emitted,
+    )
+
+
+def make_energy(total_j=0.001, delay_s=0.002) -> FrameEnergyReport:
+    return FrameEnergyReport(
+        gpu=GPUEnergyBreakdown(static_j=total_j), delay_s=delay_s
+    )
+
+
+class TestWatchdogRule:
+    def test_validates_op_and_min_frames(self):
+        with pytest.raises(ValueError):
+            WatchdogRule("r", "m", "between", 1.0)
+        with pytest.raises(ValueError):
+            WatchdogRule("r", "m", "gt", 1.0, min_frames=0)
+
+    def test_not_breached_before_min_frames_or_without_metric(self):
+        rule = WatchdogRule("r", "m", "gt", 1.0, min_frames=3)
+        assert not rule.breached({"m": 5.0}, frames=2)
+        assert rule.breached({"m": 5.0}, frames=3)
+        assert not rule.breached({}, frames=10)
+
+    @pytest.mark.parametrize("op,value,trips", [
+        ("gt", 2.0, True), ("gt", 1.0, False),
+        ("ge", 1.0, True), ("ge", 0.9, False),
+        ("lt", 0.5, True), ("lt", 1.0, False),
+        ("le", 1.0, True), ("le", 1.1, False),
+    ])
+    def test_operators(self, op, value, trips):
+        rule = WatchdogRule("r", "m", op, 1.0)
+        assert rule.breached({"m": value}, frames=1) is trips
+
+
+class TestDefaultRules:
+    def test_stock_set_guards_the_paper_envelope(self):
+        rules = {r.name: r for r in default_rules()}
+        assert rules["rbcd-activity-envelope"].threshold == (
+            PAPER_ACTIVITY_ENVELOPE
+        )
+        assert "zeb-overflow-rate" in rules
+        assert "ffstack-overflow-rate" in rules
+        assert "energy-budget" in rules
+        assert "frame-latency-slo" not in rules  # opt-in
+
+    def test_none_drops_a_rule_and_latency_is_opt_in(self):
+        names = {r.name for r in default_rules(
+            max_activity_ratio=None, max_frame_ms=50.0,
+        )}
+        assert "rbcd-activity-envelope" not in names
+        assert "frame-latency-slo" in names
+
+
+class TestLiveMonitorIngestion:
+    def test_snapshot_fields_are_closed_form(self):
+        monitor = LiveMonitor(window=8)
+        snap = monitor.observe_frame(
+            make_stats(gpu_cycles=1000.0, rbcd_cycles=5.0,
+                       zeb_insertions=100, zeb_overflow_events=4,
+                       zeb_lists_analyzed=50, ff_stack_overflows=1),
+            make_energy(total_j=0.001, delay_s=0.002),
+            wall_s=0.25,
+        )
+        assert snap.frame == 0
+        assert snap.derived["rbcd.activity_ratio"] == pytest.approx(0.005)
+        assert snap.derived["zeb.overflow_rate"] == pytest.approx(0.04)
+        assert snap.derived["ffstack.overflow_rate"] == pytest.approx(0.02)
+        assert snap.derived["energy.joules"] == pytest.approx(0.001)
+        assert snap.derived["frame.sim_ms"] == pytest.approx(2.0)
+        assert snap.counters["gpu.rbcd.zeb_insertions"] == 100
+        assert snap.counters["energy.total_j"] == pytest.approx(0.001)
+        assert monitor.frames == 1
+        assert monitor.latest == snap
+
+    def test_zero_denominators_yield_zero_rates(self):
+        monitor = LiveMonitor(window=4, rules=[])
+        snap = monitor.observe_frame(
+            GPUStats(), FrameEnergyReport(), wall_s=0.0
+        )
+        assert snap.derived["rbcd.activity_ratio"] == 0.0
+        assert snap.derived["zeb.overflow_rate"] == 0.0
+        assert snap.derived["ffstack.overflow_rate"] == 0.0
+
+    def test_deterministic_fingerprint_excludes_wall_clock(self):
+        monitor_a = LiveMonitor(window=4, rules=[])
+        monitor_b = LiveMonitor(window=4, rules=[])
+        snap_a = monitor_a.observe_frame(make_stats(), make_energy(), wall_s=1.0)
+        snap_b = monitor_b.observe_frame(make_stats(), make_energy(), wall_s=9.0)
+        assert snap_a.deterministic_fingerprint() == (
+            snap_b.deterministic_fingerprint()
+        )
+        assert snap_a.as_dict() != snap_b.as_dict()
+
+    def test_window_values_are_ratios_of_window_sums(self):
+        monitor = LiveMonitor(window=2, rules=[])
+        monitor.observe_frame(
+            make_stats(gpu_cycles=1000.0, rbcd_cycles=100.0), make_energy()
+        )
+        monitor.observe_frame(
+            make_stats(gpu_cycles=3000.0, rbcd_cycles=0.0), make_energy()
+        )
+        values = monitor.window_values()
+        assert values["window.frames"] == 2.0
+        # (100 + 0) / (1000 + 3000), not the mean of per-frame ratios.
+        assert values["window.rbcd.activity_ratio"] == pytest.approx(0.025)
+
+    def test_window_eviction_forgets_old_frames(self):
+        monitor = LiveMonitor(window=2, rules=[])
+        monitor.observe_frame(
+            make_stats(zeb_insertions=10, zeb_overflow_events=10), make_energy()
+        )
+        for _ in range(2):
+            monitor.observe_frame(
+                make_stats(zeb_insertions=10, zeb_overflow_events=0),
+                make_energy(),
+            )
+        values = monitor.window_values()
+        assert values["window.zeb.overflow_rate"] == 0.0
+
+    def test_totals_accumulate_registry_counters(self):
+        monitor = LiveMonitor(window=4, rules=[])
+        monitor.observe_frame(make_stats(zeb_insertions=10), make_energy())
+        monitor.observe_frame(make_stats(zeb_insertions=5), make_energy())
+        totals = monitor.totals()
+        assert totals["gpu.rbcd.zeb_insertions"] == 15
+        assert totals["energy.total_j"] == pytest.approx(0.002)
+
+    def test_quantiles_and_ewma_appear_in_window_values(self):
+        monitor = LiveMonitor(window=16, rules=[])
+        for wall_ms in (1.0, 2.0, 3.0, 10.0):
+            monitor.observe_frame(
+                make_stats(), make_energy(), wall_s=wall_ms / 1e3
+            )
+        values = monitor.window_values()
+        assert values["quantile.frame.wall_ms.p50"] == pytest.approx(2.0, rel=0.05)
+        assert values["quantile.frame.wall_ms.p99"] == pytest.approx(10.0, rel=0.05)
+        assert values["ewma.frame.wall_ms"] > 0.0
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = WatchdogRule("dup", "m", "gt", 1.0)
+        with pytest.raises(ValueError):
+            LiveMonitor(rules=[rule, rule])
+
+
+class TestWatchdogBehavior:
+    overflow_every_frame = [
+        WatchdogRule("always-overflow", "window.zeb.overflow_rate", "ge", 0.0)
+    ]
+
+    def test_edge_triggered_alert_and_recovery(self):
+        rules = [
+            WatchdogRule("hot", "window.rbcd.activity_ratio", "gt", 0.01)
+        ]
+        monitor = LiveMonitor(window=1, rules=rules)
+        hot = make_stats(gpu_cycles=1000.0, rbcd_cycles=100.0)
+        cold = make_stats(gpu_cycles=1000.0, rbcd_cycles=0.0)
+
+        monitor.observe_frame(cold, make_energy())
+        assert monitor.healthy and monitor.alerts == []
+
+        monitor.observe_frame(hot, make_energy())
+        assert not monitor.healthy
+        assert monitor.active_alerts == ["hot"]
+        assert len(monitor.alerts) == 1
+
+        # Still breached: edge-triggered, so no second alert.
+        monitor.observe_frame(hot, make_energy())
+        assert len(monitor.alerts) == 1
+
+        # Recovery clears the active set but keeps the alert history.
+        monitor.observe_frame(cold, make_energy())
+        assert monitor.healthy
+        assert monitor.active_alerts == []
+        assert len(monitor.alerts) == 1
+
+        # A new breach raises a fresh alert.
+        monitor.observe_frame(hot, make_energy())
+        assert len(monitor.alerts) == 2
+
+    def test_alert_carries_rule_context(self):
+        monitor = LiveMonitor(window=4, rules=self.overflow_every_frame)
+        monitor.observe_frame(make_stats(), make_energy())
+        (alert,) = monitor.alerts
+        assert isinstance(alert, Alert)
+        assert alert.rule == "always-overflow"
+        assert alert.metric == "window.zeb.overflow_rate"
+        assert alert.op == "ge" and alert.threshold == 0.0
+        assert alert.frame == 0
+        assert "always-overflow" in alert.message
+        assert alert.as_dict()["message"] == alert.message
+
+    def test_min_frames_defers_breach(self):
+        rules = [
+            WatchdogRule("warm", "window.zeb.overflow_rate", "ge", 0.0,
+                         min_frames=3)
+        ]
+        monitor = LiveMonitor(window=8, rules=rules)
+        monitor.observe_frame(make_stats(), make_energy())
+        monitor.observe_frame(make_stats(), make_energy())
+        assert monitor.healthy
+        monitor.observe_frame(make_stats(), make_energy())
+        assert not monitor.healthy
+
+    def test_health_and_snapshot_documents(self):
+        monitor = LiveMonitor(window=4, rules=self.overflow_every_frame)
+        assert monitor.health_dict()["status"] == "ok"
+        monitor.observe_frame(make_stats(), make_energy())
+        health = monitor.health_dict()
+        assert health["status"] == "failing"
+        assert health["active_alerts"] == ["always-overflow"]
+        assert health["alerts_total"] == 1
+
+        snapshot = monitor.snapshot_dict()
+        assert snapshot["frames"] == 1
+        assert snapshot["healthy"] is False
+        assert snapshot["alerts"][0]["rule"] == "always-overflow"
+        assert snapshot["latest"]["frame"] == 0
+        json.dumps(snapshot)  # must be JSON-serializable as-is
+
+
+class TestOpenMetricsExposition:
+    def test_empty_monitor_renders_valid_exposition(self):
+        text = LiveMonitor().to_openmetrics()
+        assert validate_openmetrics(text) > 0
+        families = parse_openmetrics(text)
+        assert families["repro_frames_observed"]["samples"] == [
+            ("repro_frames_observed_total", {}, 0.0)
+        ]
+        assert families["repro_health"]["samples"][0][2] == 1.0
+
+    def test_exposition_reflects_stream_state(self):
+        monitor = LiveMonitor(
+            window=8,
+            rules=[WatchdogRule("trip", "window.zeb.overflow_rate", "ge", 0.0)],
+        )
+        monitor.observe_frame(
+            make_stats(zeb_insertions=100), make_energy(), wall_s=0.002
+        )
+        monitor.observe_frame(
+            make_stats(zeb_insertions=50), make_energy(), wall_s=0.002
+        )
+        families = parse_openmetrics(monitor.to_openmetrics())
+
+        assert families["repro_frames_observed"]["samples"][0][2] == 2.0
+        assert families["repro_health"]["samples"][0][2] == 0.0
+        assert families["repro_watchdog_alerts"]["samples"][0][2] == 1.0
+        breached = families["repro_watchdog_breached"]["samples"]
+        assert ("repro_watchdog_breached", {"rule": "trip"}, 1.0) in breached
+        # Cumulative registry counters surface with _total samples.
+        insertions = families["repro_gpu_rbcd_zeb_insertions"]["samples"]
+        assert insertions == [
+            ("repro_gpu_rbcd_zeb_insertions_total", {}, 150.0)
+        ]
+        # Window gauge carries the metric= label per key.
+        window = {
+            labels["metric"]: value
+            for _, labels, value in families["repro_window"]["samples"]
+        }
+        assert window["window.frames"] == 2.0
+        # Latency summaries expose quantiles in seconds plus count/sum.
+        lat = families["repro_frame_wall_seconds"]["samples"]
+        by_name = {}
+        for name, labels, value in lat:
+            by_name.setdefault(name, []).append((labels, value))
+        assert ({}, 2.0) in by_name["repro_frame_wall_seconds_count"]
+        quantiles = {
+            labels["quantile"]
+            for labels, _ in by_name["repro_frame_wall_seconds"]
+        }
+        assert quantiles == {"0.5", "0.95", "0.99"}
+
+
+class TestMetricsServer:
+    def fetch(self, url):
+        from urllib.error import HTTPError
+        from urllib.request import urlopen
+
+        try:
+            with urlopen(url, timeout=10) as response:
+                return response.status, response.read().decode("utf-8"), \
+                    response.headers.get("Content-Type", "")
+        except HTTPError as err:
+            return err.code, err.read().decode("utf-8"), \
+                err.headers.get("Content-Type", "")
+
+    def test_serves_all_endpoints(self):
+        monitor = LiveMonitor(window=4, rules=[])
+        monitor.observe_frame(make_stats(), make_energy())
+        with MetricsServer(monitor) as server:
+            assert server.url.startswith("http://127.0.0.1:")
+
+            status, body, ctype = self.fetch(server.url + "/metrics")
+            assert status == 200
+            assert ctype.startswith("application/openmetrics-text")
+            assert validate_openmetrics(body) > 0
+
+            status, body, ctype = self.fetch(server.url + "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+
+            status, body, _ = self.fetch(server.url + "/snapshot.json")
+            assert status == 200
+            assert json.loads(body)["frames"] == 1
+
+            status, body, _ = self.fetch(server.url + "/nope")
+            assert status == 404
+            assert "/metrics" in json.loads(body)["endpoints"]
+
+    def test_healthz_returns_503_when_failing(self):
+        monitor = LiveMonitor(
+            window=4,
+            rules=[WatchdogRule("trip", "window.zeb.overflow_rate", "ge", 0.0)],
+        )
+        monitor.observe_frame(make_stats(), make_energy())
+        assert not monitor.healthy
+        with MetricsServer(monitor) as server:
+            status, body, _ = self.fetch(server.url + "/healthz")
+        assert status == 503
+        assert json.loads(body)["status"] == "failing"
+
+    def test_query_strings_are_ignored(self):
+        monitor = LiveMonitor(rules=[])
+        with MetricsServer(monitor) as server:
+            status, _, _ = self.fetch(server.url + "/metrics?x=1")
+        assert status == 200
+
+    def test_lifecycle_guards(self):
+        monitor = LiveMonitor(rules=[])
+        server = MetricsServer(monitor)
+        with pytest.raises(RuntimeError):
+            server.port  # not started yet
+        server.start()
+        try:
+            with pytest.raises(RuntimeError):
+                server.start()  # double start
+        finally:
+            server.stop()
+        server.stop()  # second stop is a no-op
+
+    def test_concurrent_scrapes_while_observing(self):
+        monitor = LiveMonitor(window=8, rules=[])
+        errors = []
+
+        def observe_many():
+            try:
+                for _ in range(30):
+                    monitor.observe_frame(make_stats(), make_energy())
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        with MetricsServer(monitor) as server:
+            writer = threading.Thread(target=observe_many)
+            writer.start()
+            for _ in range(10):
+                status, body, _ = self.fetch(server.url + "/metrics")
+                assert status == 200
+                validate_openmetrics(body)
+            writer.join()
+        assert errors == []
+        assert monitor.frames == 30

@@ -1,0 +1,205 @@
+"""OpenMetrics exposition: renderer, strict validator, round-trip parse."""
+
+import pytest
+
+from repro.observability.openmetrics import (
+    MetricFamily,
+    metric_name_of,
+    parse_openmetrics,
+    render_families,
+    validate_openmetrics,
+)
+
+
+def render_one(family):
+    return render_families([family])
+
+
+class TestMetricNameOf:
+    def test_maps_registry_names(self):
+        assert (
+            metric_name_of("gpu.rbcd.zeb_insertions")
+            == "repro_gpu_rbcd_zeb_insertions"
+        )
+        assert metric_name_of("energy.total_j") == "repro_energy_total_j"
+
+    def test_custom_and_empty_prefix(self):
+        assert metric_name_of("a.b", prefix="x") == "x_a_b"
+        assert metric_name_of("a.b", prefix="") == "a_b"
+
+    def test_rejects_unsalvageable_names(self):
+        with pytest.raises(ValueError):
+            metric_name_of("", prefix="")
+
+
+class TestRenderFamilies:
+    def test_counter_gets_total_suffix_and_eof(self):
+        text = render_one(
+            MetricFamily("repro_frames", "counter", help="Frames.")
+            .add(3, suffix="_total")
+        )
+        assert text.splitlines() == [
+            "# HELP repro_frames Frames.",
+            "# TYPE repro_frames counter",
+            "repro_frames_total 3",
+            "# EOF",
+        ]
+        assert text.endswith("# EOF\n")
+
+    def test_gauge_labels_are_sorted_and_escaped(self):
+        text = render_one(
+            MetricFamily("repro_g", "gauge")
+            .add(1.5, zeta="z", alpha='quo"te\nnl\\bs')
+        )
+        line = text.splitlines()[1]
+        assert line == (
+            'repro_g{alpha="quo\\"te\\nnl\\\\bs",zeta="z"} 1.5'
+        )
+
+    def test_integral_floats_render_bare(self):
+        text = render_one(MetricFamily("repro_g", "gauge").add(7.0))
+        assert "repro_g 7" in text.splitlines()
+
+    def test_rejects_wrong_suffix_for_type(self):
+        with pytest.raises(ValueError):
+            render_one(MetricFamily("repro_g", "gauge").add(1, suffix="_total"))
+        with pytest.raises(ValueError):
+            render_one(MetricFamily("repro_c", "counter").add(1))
+
+    def test_rejects_invalid_names_types_and_values(self):
+        with pytest.raises(ValueError):
+            render_one(MetricFamily("bad-name", "gauge"))
+        with pytest.raises(ValueError):
+            render_one(MetricFamily("repro_h", "histogram"))
+        with pytest.raises(ValueError):
+            render_one(MetricFamily("repro_g", "gauge").add(float("nan")))
+        with pytest.raises(TypeError):
+            render_one(MetricFamily("repro_g", "gauge").add(True))
+        with pytest.raises(ValueError):
+            render_one(MetricFamily("repro_g", "gauge").add(1, **{"0bad": "v"}))
+
+    def test_rejects_duplicate_families(self):
+        with pytest.raises(ValueError):
+            render_families([
+                MetricFamily("repro_g", "gauge").add(1),
+                MetricFamily("repro_g", "gauge").add(2),
+            ])
+
+    def test_summary_family(self):
+        text = render_one(
+            MetricFamily("repro_lat", "summary", help="Latency.")
+            .add(0.25, quantile="0.95")
+            .add(10, suffix="_count")
+            .add(1.5, suffix="_sum")
+        )
+        assert 'repro_lat{quantile="0.95"} 0.25' in text
+        assert "repro_lat_count 10" in text
+        assert "repro_lat_sum 1.5" in text
+
+
+class TestRoundTrip:
+    def build_exposition(self):
+        return render_families([
+            MetricFamily("repro_frames", "counter", help="Frames seen.")
+            .add(12, suffix="_total"),
+            MetricFamily("repro_health", "gauge").add(1),
+            MetricFamily("repro_window", "gauge", help='Key "metrics".')
+            .add(0.25, metric="a.b")
+            .add(3, metric="c\nd"),
+            MetricFamily("repro_lat", "summary")
+            .add(0.001, quantile="0.5")
+            .add(5, suffix="_count")
+            .add(0.02, suffix="_sum"),
+        ])
+
+    def test_parse_recovers_families_and_values(self):
+        families = parse_openmetrics(self.build_exposition())
+        assert families["repro_frames"]["type"] == "counter"
+        assert families["repro_frames"]["help"] == "Frames seen."
+        assert families["repro_frames"]["samples"] == [
+            ("repro_frames_total", {}, 12.0)
+        ]
+        window = families["repro_window"]["samples"]
+        assert ("repro_window", {"metric": "a.b"}, 0.25) in window
+        assert ("repro_window", {"metric": "c\nd"}, 3.0) in window
+        lat = families["repro_lat"]["samples"]
+        assert ("repro_lat", {"quantile": "0.5"}, 0.001) in lat
+
+    def test_validate_counts_samples(self):
+        assert validate_openmetrics(self.build_exposition()) == 7
+
+
+class TestValidatorRejections:
+    GOOD = (
+        "# TYPE repro_g gauge\n"
+        "repro_g 1\n"
+        "# EOF\n"
+    )
+
+    def test_accepts_minimal_exposition(self):
+        assert validate_openmetrics(self.GOOD) == 1
+
+    @pytest.mark.parametrize("mutation,description", [
+        (lambda t: t.replace("# EOF\n", ""), "missing EOF"),
+        (lambda t: t.replace("repro_g 1\n", "repro_g 1\n\n"), "blank line"),
+        (lambda t: t.replace("gauge", "gaugex"), "unknown type"),
+        (lambda t: t.replace("repro_g 1", "repro_g one"), "bad value"),
+        (lambda t: t.replace("repro_g 1", "repro_g NaN"), "non-finite"),
+        (lambda t: t.replace("repro_g 1", "repro_g_total 1"),
+         "suffix invalid for gauge"),
+        (lambda t: "repro_orphan 1\n" + t, "sample before TYPE"),
+        (lambda t: "# TYPE repro_g gauge\n" + t, "duplicate TYPE"),
+        (lambda t: t.replace("repro_g 1", 'repro_g{l="x} 1'),
+         "unterminated label value"),
+        (lambda t: t.replace("repro_g 1", 'repro_g{l="\\q"} 1'),
+         "invalid escape"),
+        (lambda t: t.replace("repro_g 1", 'repro_g{0l="x"} 1'),
+         "bad label name"),
+        (lambda t: t.replace("repro_g 1", 'repro_g{l="x"b="y"} 1'),
+         "missing comma"),
+        (lambda t: t + "# TYPE late gauge\n",
+         "content after EOF"),
+    ])
+    def test_rejects_mutations(self, mutation, description):
+        mutated = mutation(self.GOOD)
+        with pytest.raises(ValueError):
+            validate_openmetrics(mutated)
+
+    def test_rejects_metadata_after_samples(self):
+        text = (
+            "# TYPE repro_g gauge\n"
+            "repro_g 1\n"
+            "# HELP repro_g late help\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match="after its samples"):
+            validate_openmetrics(text)
+
+    def test_rejects_noncontiguous_family_samples(self):
+        text = (
+            "# TYPE repro_a gauge\n"
+            "# TYPE repro_b gauge\n"
+            "repro_a 1\n"
+            "repro_b 2\n"
+            "repro_a 3\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match="not contiguous"):
+            validate_openmetrics(text)
+
+    def test_rejects_bare_summary_sample_without_quantile(self):
+        text = (
+            "# TYPE repro_s summary\n"
+            "repro_s 1\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match="quantile"):
+            validate_openmetrics(text)
+
+    def test_rejects_help_without_type(self):
+        text = (
+            "# HELP repro_g about\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match="no TYPE"):
+            validate_openmetrics(text)
