@@ -29,8 +29,9 @@ The document layout (checked by :func:`validate_bench_document`):
 
     {
       "schema": "rbcd-bench",          # fixed discriminator
-      "version": 2,
-      "config": {width, height, frames, detail, quick, runs, profile},
+      "version": 4,
+      "config": {width, height, frames, detail, quick, runs, profile,
+                 kernel_backend, broad_phase},     # (schema v4)
       "stats": {bootstrap_resamples, confidence},
       "scenes": {
         "<alias>": {
@@ -57,6 +58,15 @@ one run; ``wall_ms_median``/``min``/``max`` and the CI are over those
 per-run samples, ``wall_ms_total`` sums them across runs.  Everything
 except wall time is deterministic and asserted identical across runs.
 
+Schema v4 adds the active **kernel backend** (``--kernel-backend``,
+resolved through :mod:`repro.gpu.kernels` and threaded into the GPU
+config) and the configured software **broad phase** (``--broad-phase``)
+to the config block.  All backends are bit-identical, so only wall
+times may move between them — but wall time is exactly what the gate
+tests, so documents produced under different backends must never gate
+against each other silently; recording both keys makes the regress
+layer refuse such comparisons.
+
 ``--quick`` shrinks the run (160x96, 2 frames, detail 1) for CI smoke
 jobs; ``--check FILE`` validates an existing document and exits, so CI
 can assert the artifact it just produced is well-formed without any
@@ -75,6 +85,7 @@ from typing import Any, Mapping, Sequence
 from repro.core import RBCDSystem
 from repro.energy.report import FrameEnergyReport
 from repro.gpu.config import GPUConfig
+from repro.gpu.kernels import backend_names, get_backend as get_kernel_backend
 from repro.observability.counters import CounterRegistry
 from repro.observability.export import write_chrome_trace, write_ndjson
 from repro.observability.profile import ProfilingTracer
@@ -100,7 +111,7 @@ __all__ = [
 ]
 
 SCHEMA_NAME = "rbcd-bench"
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 # Per-scene "cases" keys (schema v3): the Figure-5 interference-case
 # histogram from the provenance recorder, deterministic per scene.
@@ -326,10 +337,28 @@ def run_bench(
     runs: int = 1,
     trace_dir: Path | None = None,
     profile: bool = False,
+    kernel_backend: str | None = None,
+    broad_phase: str = "lbvh",
     progress=None,
 ) -> dict[str, Any]:
-    """Run the bench over ``scenes`` and assemble the full document."""
+    """Run the bench over ``scenes`` and assemble the full document.
+
+    ``kernel_backend`` selects the GPU kernel implementation (default:
+    the config's own default, i.e. ``REPRO_KERNEL_BACKEND`` or
+    ``vectorized``); the *resolved* name is recorded in the config
+    block.  ``broad_phase`` names the software broad phase the
+    document's CPU-side numbers assume — the bench itself is GPU-side,
+    but the key exists for comparability: two documents measured under
+    different configurations must never gate against each other.
+    """
+    from repro.physics.world import BROAD_ALGOS
+
+    if broad_phase not in BROAD_ALGOS:
+        raise ValueError(f"broad_phase must be one of {BROAD_ALGOS}")
     config = GPUConfig().with_screen(width, height)
+    if kernel_backend is not None:
+        config = config.with_kernel_backend(kernel_backend)
+    get_kernel_backend(config.kernel_backend)  # fail fast on bad names
     doc: dict[str, Any] = {
         "schema": SCHEMA_NAME,
         "version": SCHEMA_VERSION,
@@ -341,6 +370,8 @@ def run_bench(
             "quick": quick,
             "runs": runs,
             "profile": profile,
+            "kernel_backend": config.kernel_backend,
+            "broad_phase": broad_phase,
         },
         "stats": {
             "bootstrap_resamples": BOOTSTRAP_RESAMPLES,
@@ -438,6 +469,10 @@ def validate_bench_document(doc: Any) -> None:
         for key in ("quick", "profile"):
             if not isinstance(config.get(key), bool):
                 _fail(errors, f"config.{key}", "expected a bool")
+        for key in ("kernel_backend", "broad_phase"):
+            value = config.get(key)
+            if not isinstance(value, str) or not value:
+                _fail(errors, f"config.{key}", "expected a non-empty string")
         runs = config.get("runs")
 
     stats = doc.get("stats")
@@ -581,6 +616,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="CI smoke preset: 160x96, 2 frames, detail 1",
     )
     parser.add_argument(
+        "--kernel-backend", choices=backend_names(), default=None,
+        help="GPU kernel implementation (default: the config default, "
+             "REPRO_KERNEL_BACKEND or 'vectorized'); recorded in the "
+             "document's config block",
+    )
+    parser.add_argument(
+        "--broad-phase", default="lbvh",
+        help="software broad-phase configuration to record in the "
+             "document's config block (default: lbvh)",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="attach cProfile to stage spans; hotspots land in the "
              "exported traces (document is marked and cannot gate)",
@@ -648,7 +694,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     doc = run_bench(
         args.scenes, args.width, args.height, args.frames, args.detail,
         quick=args.quick, runs=args.runs, trace_dir=args.trace_dir,
-        profile=args.profile,
+        profile=args.profile, kernel_backend=args.kernel_backend,
+        broad_phase=args.broad_phase,
         progress=lambda alias: print(f"bench: {alias} ...", flush=True),
     )
     validate_bench_document(doc)

@@ -8,7 +8,20 @@ comments and exercised by the sensitivity benches.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
+
+# Kernel-backend selection: the env var overrides the built-in default
+# for freshly-constructed configs (explicit with_kernel_backend() /
+# dataclass arguments always win).  The registry itself lives in
+# repro.gpu.kernels, which imports this module — names are validated
+# where they are resolved (GPU construction, tile compute), not here.
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+DEFAULT_KERNEL_BACKEND = "vectorized"
+
+
+def _default_kernel_backend() -> str:
+    return os.environ.get(KERNEL_BACKEND_ENV, DEFAULT_KERNEL_BACKEND)
 
 
 @dataclass(frozen=True, slots=True)
@@ -152,9 +165,19 @@ class GPUConfig:
     executor_workers: int = 1          # worker count for pooled backends
     executor_chunk_tiles: int = 16     # tiles per dispatched work item
 
+    # Kernel backend running the per-pixel/per-tile hot loops
+    # (rasterize / early-Z / ZEB insert / Z-Overlap).  All registered
+    # backends are bit-identical (enforced by the conformance suite),
+    # so the choice affects wall time only.  Resolved against the
+    # repro.gpu.kernels registry at GPU construction and tile compute
+    # time; the default honours REPRO_KERNEL_BACKEND.
+    kernel_backend: str = field(default_factory=_default_kernel_backend)
+
     def __post_init__(self) -> None:
         if self.screen_width <= 0 or self.screen_height <= 0:
             raise ValueError("screen dimensions must be positive")
+        if not isinstance(self.kernel_backend, str) or not self.kernel_backend:
+            raise ValueError("kernel_backend must be a non-empty string")
         if self.tile_size <= 0:
             raise ValueError("tile size must be positive")
         if self.executor_backend not in ("serial", "thread", "process"):
@@ -198,6 +221,10 @@ class GPUConfig:
     def with_screen(self, width: int, height: int) -> "GPUConfig":
         """Copy with a different render resolution (tests use small ones)."""
         return replace(self, screen_width=width, screen_height=height)
+
+    def with_kernel_backend(self, name: str) -> "GPUConfig":
+        """Copy with a different kernel backend (see repro.gpu.kernels)."""
+        return replace(self, kernel_backend=name)
 
     def with_executor(
         self,

@@ -6,12 +6,12 @@ pixel (buffer cleared to 1.0 = far plane).  Tagged-to-be-culled
 fragments never reach this stage (Section 3.3) — the caller filters
 them.
 
-The sequential per-pixel scan is vectorized with a segmented exclusive
-prefix-min: fragments are stably sorted by pixel, then a scan over
-*in-segment position* updates all segments' running minima in lockstep.
-Each fragment is visited exactly once, comparisons are exact float
-comparisons (no algebraic re-encoding), and iteration count is bounded
-by the deepest per-pixel overdraw.
+The pass/fail decision is a kernel (:mod:`repro.gpu.kernels`): the
+reference backend runs the literal per-fragment scan, the vectorized
+backend a segmented exclusive prefix-min over the pixel-sorted stream.
+Both visit each fragment once and compare exact floats (no algebraic
+re-encoding), so the mask is bit-identical across backends; this module
+derives the Z-buffer and per-pixel winner from it.
 """
 
 from __future__ import annotations
@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.gpu.config import GPUConfig
+from repro.gpu.kernels import get_backend
 from repro.gpu.raster import FragmentSoup
 from repro.gpu.stats import GPUStats
 
@@ -61,49 +62,21 @@ def depth_test(
     z = frags.z[tested_idx]
     pixel = y.astype(np.int64) * width + x.astype(np.int64)
 
-    # Stable sort by pixel keeps arrival order within each segment.
-    order = np.argsort(pixel, kind="stable")
-    sp = pixel[order]
-    sz = z[order]
-    n = sp.shape[0]
-
-    new_segment = np.r_[True, sp[1:] != sp[:-1]]
-    starts = np.flatnonzero(new_segment)
-    seg_ends = np.r_[starts[1:], n]
-    seg_lengths = seg_ends - starts
-
-    # Exclusive prefix min per segment: walk in-segment positions in
-    # lockstep across all segments.  Total work is one visit per
-    # fragment; the Python loop runs max-overdraw times.
-    excl_min = np.empty(n, dtype=np.float64)
-    running = np.full(starts.shape[0], 1.0)  # z-buffer clear value
-    alive = np.arange(starts.shape[0])
-    for k in range(int(seg_lengths.max())):
-        alive = alive[k < seg_lengths[alive]]
-        idx = starts[alive] + k
-        excl_min[idx] = running[alive]
-        running[alive] = np.minimum(running[alive], sz[idx])
-
-    passes_sorted = sz < excl_min
-    passed_idx = tested_idx[order[passes_sorted]]
-    passed[passed_idx] = True
-
-    stats.early_z_passes += int(passes_sorted.sum())
+    backend = get_backend(config.kernel_backend)
+    mask = backend.earlyz_pass_mask(pixel, z)
+    passed[tested_idx[mask]] = True
+    stats.early_z_passes += int(mask.sum())
 
     # Final Z-buffer: per-pixel minimum of tested depths.
     # (minimum.at is unbuffered and handles duplicates.)
     flat_z = z_buffer.ravel()
     np.minimum.at(flat_z, pixel, z)
 
-    # Winner per pixel: the passing fragment with the minimal depth —
-    # i.e. the last passing fragment in arrival order.  Among sorted
-    # passing fragments, that is the last one of each segment.
-    if passes_sorted.any():
-        pass_pos = np.flatnonzero(passes_sorted)
-        pass_pixels = sp[pass_pos]
-        last_of_pixel = np.r_[pass_pixels[1:] != pass_pixels[:-1], True]
-        winners_sorted_pos = pass_pos[last_of_pixel]
-        win_fragments = tested_idx[order[winners_sorted_pos]]
-        winner.ravel()[sp[winners_sorted_pos]] = win_fragments
+    # Winner per pixel: the passing fragment with the minimal depth.
+    # Every later passing fragment at a pixel is strictly nearer than
+    # all earlier ones, so the winner is the passing fragment with the
+    # largest soup index — a per-pixel max reduction.
+    if mask.any():
+        np.maximum.at(winner.ravel(), pixel[mask], tested_idx[mask])
 
     return DepthTestResult(passed, z_buffer, winner)

@@ -1,0 +1,182 @@
+"""Backend-agnostic kernel API for the per-pixel/per-tile hot loops.
+
+The RBCD pipeline spends essentially all of its time in four loops:
+edge-function rasterization, the early-Z depth test, ZEB sorted
+insertion, and the Z-Overlap FF-Stack traversal.  This package lifts
+them out of the pipeline stages into pure functions over typed arrays
+so that interchangeable implementations ("backends") can be swapped in
+without touching any stage logic:
+
+``reference``
+    The hardware-literal scalar loops — the executable specification.
+``vectorized``
+    Fully vectorized numpy, the default.  Bit-identical to the
+    reference: same IEEE operations in the same per-element order.
+``numba``
+    Optional JIT-compiled loops; registered lazily and reported as
+    unavailable (with the import error) when numba is not installed.
+
+Every backend implements the same four kernels (see
+:class:`KernelBackend`) and must produce **byte-identical** outputs —
+fragments, ZEB contents, overlap pairs, counters — for any input; the
+conformance suite (``tests/gpu/test_kernel_conformance.py``) enforces
+this against the reference backend.  Backend choice therefore affects
+wall time only, never results.
+
+Selection: ``GPUConfig.kernel_backend`` names the backend; its default
+comes from the ``REPRO_KERNEL_BACKEND`` environment variable, falling
+back to ``"vectorized"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.gpu.config import DEFAULT_KERNEL_BACKEND, KERNEL_BACKEND_ENV
+
+__all__ = [
+    "KernelBackend",
+    "KernelUnavailableError",
+    "register_backend",
+    "register_optional_backend",
+    "get_backend",
+    "backend_names",
+    "available_backends",
+    "DEFAULT_KERNEL_BACKEND",
+    "KERNEL_BACKEND_ENV",
+]
+
+
+class KernelUnavailableError(RuntimeError):
+    """A registered backend cannot run in this environment."""
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """The four hot-loop kernels, as pure functions over typed arrays.
+
+    ``rasterize_triangles(xy, z, width, height)``
+        ``xy`` is ``(T, 3, 2)`` float64 screen coordinates, ``z`` is
+        ``(T, 3)`` float64 vertex depths.  Returns ``(px, py, pz,
+        tri)``: integer pixel coordinates, interpolated depths, and the
+        producing triangle index, in canonical order (triangle
+        ascending, row-major within each triangle's bounding box).
+    ``earlyz_pass_mask(pixel, z)``
+        ``pixel`` is ``(N,) int64`` flat pixel indices and ``z`` the
+        matching depths, both in arrival order.  Returns the ``(N,)``
+        bool mask of fragments passing a LESS test against the running
+        per-pixel minimum (buffer cleared to 1.0).
+    ``zeb_insert(pixel, z_codes, object_id, is_front, config,
+    tile_pixels)``
+        One tile's collisionable fragments in arrival order (depths
+        already quantized to integer z codes); returns the final
+        :class:`~repro.rbcd.zeb.ZEBTile`.
+    ``zoverlap_traverse(zeb, config)``
+        The Z-Overlap Test over one tile's ZEB; returns an
+        :class:`~repro.rbcd.overlap.OverlapResult` with pairs in
+        canonical lock-step order: ascending (element step, list row,
+        FF-Stack slot).
+    """
+
+    name: str
+    rasterize_triangles: Callable
+    earlyz_pass_mask: Callable
+    zeb_insert: Callable
+    zoverlap_traverse: Callable
+
+
+_REGISTRY: dict[str, KernelBackend] = {}
+# Backends that may be unavailable (missing optional dependency): name
+# -> zero-argument probe returning a KernelBackend or raising
+# KernelUnavailableError.  Probed lazily and the outcome cached.
+_OPTIONAL: dict[str, Callable[[], KernelBackend]] = {}
+_OPTIONAL_ERRORS: dict[str, str] = {}
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Register an always-available backend under ``backend.name``."""
+    if backend.name in _REGISTRY or backend.name in _OPTIONAL:
+        raise ValueError(f"kernel backend {backend.name!r} already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def register_optional_backend(
+    name: str, probe: Callable[[], KernelBackend]
+) -> None:
+    """Register a backend that may fail to load (optional dependency).
+
+    ``probe`` is called at most once, on first resolution; it returns
+    the backend or raises :class:`KernelUnavailableError`.
+    """
+    if name in _REGISTRY or name in _OPTIONAL:
+        raise ValueError(f"kernel backend {name!r} already registered")
+    _OPTIONAL[name] = probe
+
+
+def _resolve_optional(name: str) -> KernelBackend | None:
+    probe = _OPTIONAL.pop(name, None)
+    if probe is None:
+        return None
+    try:
+        backend = probe()
+    except KernelUnavailableError as exc:
+        _OPTIONAL_ERRORS[name] = str(exc)
+        return None
+    if backend.name != name:
+        raise ValueError(
+            f"optional backend probe for {name!r} returned {backend.name!r}"
+        )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def backend_names() -> tuple[str, ...]:
+    """Every registered backend name, available or not (sorted)."""
+    return tuple(sorted({*_REGISTRY, *_OPTIONAL, *_OPTIONAL_ERRORS}))
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends that can actually run here (sorted)."""
+    for name in list(_OPTIONAL):
+        _resolve_optional(name)
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Resolve a backend by name.
+
+    Raises ``ValueError`` for unknown names and
+    :class:`KernelUnavailableError` for registered backends whose
+    optional dependency is missing (the numba backend without numba).
+    """
+    backend = _REGISTRY.get(name)
+    if backend is not None:
+        return backend
+    if name in _OPTIONAL:
+        backend = _resolve_optional(name)
+        if backend is not None:
+            return backend
+    if name in _OPTIONAL_ERRORS:
+        raise KernelUnavailableError(
+            f"kernel backend {name!r} is registered but unavailable: "
+            f"{_OPTIONAL_ERRORS[name]}"
+        )
+    raise ValueError(
+        f"unknown kernel backend {name!r}; registered: "
+        f"{', '.join(backend_names())}"
+    )
+
+
+# Backend modules are imported *after* the registry API is defined so
+# that modules reached through their imports (repro.rbcd.unit and
+# repro.gpu.raster both import this package) can resolve kernels at
+# call time even while this module is still initializing.
+from repro.gpu.kernels import reference as _reference  # noqa: E402
+from repro.gpu.kernels import vectorized as _vectorized  # noqa: E402
+from repro.gpu.kernels import numba_backend as _numba_backend  # noqa: E402
+
+register_backend(_reference.BACKEND)
+register_backend(_vectorized.BACKEND)
+register_optional_backend("numba", _numba_backend.probe)

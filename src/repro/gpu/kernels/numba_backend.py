@@ -1,0 +1,338 @@
+"""Optional numba kernel backend: JIT-compiled scalar hot loops.
+
+The kernel cores below are written in the numba-compatible subset of
+Python/numpy (flat arrays, explicit loops, no object mode) and are
+compiled with ``numba.njit`` when numba is importable.  Without numba
+this module still imports cleanly — the backend registry reports the
+backend as unavailable — and the *uncompiled* cores remain callable, so
+the conformance suite can pin their semantics (via
+:func:`make_backend` with ``force_python=True``) even on machines where
+numba is not installed; the CI numba leg then covers the compiled path.
+
+Rasterization uses the vectorized numpy kernel: it is already one flat
+array pass, and the interesting scalar loops (sorted ZEB insertion and
+the FF-Stack traversal) are where JIT compilation pays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.kernels import KernelBackend, KernelUnavailableError
+from repro.gpu.kernels import vectorized as _vectorized
+from repro.rbcd.overlap import (
+    CASE_CROSSING,
+    CASE_NESTED,
+    OverlapResult,
+)
+from repro.rbcd.zeb import ZEBTile
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+except ImportError:
+    _njit = None
+
+
+# ---------------------------------------------------------------------------
+# Kernel cores (numba-compatible subset; compiled when numba is present)
+# ---------------------------------------------------------------------------
+
+
+def _earlyz_core(pixel, z, max_pixel):
+    n = pixel.shape[0]
+    passed = np.zeros(n, dtype=np.bool_)
+    z_buffer = np.full(max_pixel + 1, 1.0)
+    for k in range(n):
+        p = pixel[k]
+        if z[k] < z_buffer[p]:
+            passed[k] = True
+            z_buffer[p] = z[k]
+    return passed
+
+
+def _zeb_core(pixel, z_codes, object_id, is_front, m, spare_pool, tile_pixels):
+    """Per-fragment sorted insertion into fixed per-pixel arrays.
+
+    Mirrors ``insert_sequential``: read list, compare, shift-insert,
+    drop-farthest on overflow, spare-pool capacity grants in arrival
+    order.  Lists live in dense (tile_pixels, m + spares + 1) arrays;
+    the +1 column is slack for insert-then-drop.
+    """
+    n = pixel.shape[0]
+    max_cap = m + spare_pool + 1
+    list_z = np.zeros((tile_pixels, max_cap), dtype=np.int64)
+    list_id = np.zeros((tile_pixels, max_cap), dtype=np.int64)
+    list_front = np.zeros((tile_pixels, max_cap), dtype=np.bool_)
+    length = np.zeros(tile_pixels, dtype=np.int64)
+    capacity = np.full(tile_pixels, m, dtype=np.int64)
+    spares = spare_pool
+    overflow_events = 0
+    spare_allocations = 0
+
+    for k in range(n):
+        p = pixel[k]
+        zc = z_codes[k]
+        if length[p] >= capacity[p]:
+            if spares > 0:
+                spares -= 1
+                spare_allocations += 1
+                capacity[p] += 1
+            else:
+                overflow_events += 1
+                if length[p] > 0 and zc >= list_z[p, length[p] - 1]:
+                    continue  # new element is the farthest: dropped
+        pos = length[p]
+        for i in range(length[p]):
+            if zc < list_z[p, i]:
+                pos = i
+                break
+        for i in range(length[p], pos, -1):
+            list_z[p, i] = list_z[p, i - 1]
+            list_id[p, i] = list_id[p, i - 1]
+            list_front[p, i] = list_front[p, i - 1]
+        list_z[p, pos] = zc
+        list_id[p, pos] = object_id[k]
+        list_front[p, pos] = is_front[k]
+        length[p] += 1
+        if length[p] > capacity[p]:
+            length[p] -= 1  # farthest element falls off
+
+    return (
+        list_z, list_id, list_front, length,
+        overflow_events, spare_allocations,
+    )
+
+
+def _overlap_core(z_codes, object_ids, is_front, counts, t_max):
+    """Lock-step FF-Stack traversal over one tile's packed lists.
+
+    Emits pairs in the canonical (element step, list row, stack slot)
+    order into preallocated output arrays (bound: elements * t_max).
+    """
+    num_rows = counts.shape[0]
+    max_len = z_codes.shape[1]
+    total_elements = 0
+    for r in range(num_rows):
+        total_elements += counts[r]
+    cap = total_elements * t_max
+
+    out_row = np.empty(cap, dtype=np.int64)
+    out_a = np.empty(cap, dtype=np.int64)
+    out_b = np.empty(cap, dtype=np.int64)
+    out_zf = np.empty(cap, dtype=np.int64)
+    out_zb = np.empty(cap, dtype=np.int64)
+    out_case = np.empty(cap, dtype=np.int64)
+    out_depth = np.empty(cap, dtype=np.int64)
+
+    stack_id = np.zeros((num_rows, t_max), dtype=np.int64)
+    stack_z = np.zeros((num_rows, t_max), dtype=np.int64)
+    stack_matched = np.zeros((num_rows, t_max), dtype=np.bool_)
+    top = np.zeros(num_rows, dtype=np.int64)
+
+    n_out = 0
+    overflows = 0
+    unmatched = 0
+    disjoint = 0
+    self_filtered = 0
+
+    for j in range(max_len):
+        for row in range(num_rows):
+            if j >= counts[row]:
+                continue
+            oid = object_ids[row, j]
+            zc = z_codes[row, j]
+            if is_front[row, j]:
+                if top[row] >= t_max:
+                    overflows += 1
+                    continue
+                stack_id[row, top[row]] = oid
+                stack_z[row, top[row]] = zc
+                stack_matched[row, top[row]] = False
+                top[row] += 1
+                continue
+            # Back face: bottommost unmatched entry with the same id.
+            m = -1
+            for i in range(top[row]):
+                if stack_id[row, i] == oid and not stack_matched[row, i]:
+                    m = i
+                    break
+            if m < 0:
+                unmatched += 1
+                continue
+            emitted = 0
+            for i in range(m + 1, top[row]):
+                if stack_id[row, i] == oid:
+                    self_filtered += 1
+                    continue
+                out_row[n_out] = row
+                out_a[n_out] = stack_id[row, i]
+                out_b[n_out] = oid
+                out_zf[n_out] = stack_z[row, i]
+                out_zb[n_out] = zc
+                if stack_matched[row, i]:
+                    out_case[n_out] = CASE_NESTED
+                else:
+                    out_case[n_out] = CASE_CROSSING
+                out_depth[n_out] = top[row]
+                n_out += 1
+                emitted += 1
+            if emitted == 0:
+                disjoint += 1
+            stack_matched[row, m] = True
+
+    return (
+        out_row[:n_out], out_a[:n_out], out_b[:n_out],
+        out_zf[:n_out], out_zb[:n_out], out_case[:n_out], out_depth[:n_out],
+        total_elements, overflows, unmatched, disjoint, self_filtered,
+    )
+
+
+if _njit is not None:  # pragma: no cover - compiled path needs numba
+    _earlyz_compiled = _njit(cache=True)(_earlyz_core)
+    _zeb_compiled = _njit(cache=True)(_zeb_core)
+    _overlap_compiled = _njit(cache=True)(_overlap_core)
+else:
+    _earlyz_compiled = _earlyz_core
+    _zeb_compiled = _zeb_core
+    _overlap_compiled = _overlap_core
+
+
+# ---------------------------------------------------------------------------
+# Array packing wrappers (plain Python; shared by both paths)
+# ---------------------------------------------------------------------------
+
+
+def _make_earlyz(core):
+    def earlyz_pass_mask(pixel: np.ndarray, z: np.ndarray) -> np.ndarray:
+        if pixel.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        return np.asarray(
+            core(
+                np.ascontiguousarray(pixel, dtype=np.int64),
+                np.ascontiguousarray(z, dtype=np.float64),
+                int(pixel.max()),
+            ),
+            dtype=bool,
+        )
+
+    return earlyz_pass_mask
+
+
+def _make_zeb_insert(core):
+    def zeb_insert(pixel, z_codes, object_id, is_front, config, tile_pixels):
+        pixel = np.ascontiguousarray(pixel, dtype=np.int64)
+        n = pixel.shape[0]
+        if n == 0:
+            return ZEBTile.empty()
+        if pixel.min() < 0 or pixel.max() >= tile_pixels:
+            raise ValueError(
+                f"pixel index outside tile of {tile_pixels}"
+            )
+        list_z, list_id, list_front, length, overflow, spare = core(
+            pixel,
+            np.ascontiguousarray(z_codes, dtype=np.int64),
+            np.ascontiguousarray(object_id, dtype=np.int64),
+            np.ascontiguousarray(is_front, dtype=np.bool_),
+            config.list_length,
+            config.spare_entries_per_tile,
+            tile_pixels,
+        )
+        non_empty = np.flatnonzero(length > 0)
+        if non_empty.shape[0] == 0:
+            tile = ZEBTile.empty()
+            tile.overflow_events = int(overflow)
+            tile.spare_allocations = int(spare)
+            return tile
+        counts = length[non_empty]
+        max_len = int(counts.max())
+        cols = np.arange(max_len)
+        valid = cols[None, :] < counts[:, None]
+        # Slots past a list's count may hold stale shifted values: mask
+        # them back to the canonical padding (z 0, id -1, front False).
+        z_out = np.where(valid, list_z[non_empty, :max_len], 0)
+        id_out = np.where(valid, list_id[non_empty, :max_len], -1)
+        front_out = list_front[non_empty, :max_len] & valid
+        return ZEBTile(
+            pixel_index=non_empty.astype(np.int64),
+            counts=counts.astype(np.int64),
+            z_codes=z_out.astype(np.int64),
+            object_ids=id_out.astype(np.int64),
+            is_front=front_out,
+            insertions=n,
+            overflow_events=int(overflow),
+            spare_allocations=int(spare),
+        )
+
+    return zeb_insert
+
+
+def _make_zoverlap(core):
+    def zoverlap_traverse(zeb: ZEBTile, config) -> OverlapResult:
+        if zeb.non_empty_lists == 0:
+            return OverlapResult.empty()
+        (
+            row, a, b, zf, zb, case, depth,
+            elements, overflows, unmatched, disjoint, self_filtered,
+        ) = core(
+            np.ascontiguousarray(zeb.z_codes, dtype=np.int64),
+            np.ascontiguousarray(zeb.object_ids, dtype=np.int64),
+            np.ascontiguousarray(zeb.is_front, dtype=np.bool_),
+            np.ascontiguousarray(zeb.counts, dtype=np.int64),
+            config.ff_stack_entries,
+        )
+        return OverlapResult(
+            pair_row=np.ascontiguousarray(row),
+            pair_id_a=np.ascontiguousarray(a),
+            pair_id_b=np.ascontiguousarray(b),
+            pair_z_front=np.ascontiguousarray(zf),
+            pair_z_back=np.ascontiguousarray(zb),
+            pair_case=np.ascontiguousarray(case),
+            pair_stack_depth=np.ascontiguousarray(depth),
+            elements_read=int(elements),
+            pair_records=int(row.shape[0]),
+            stack_overflows=int(overflows),
+            unmatched_backfaces=int(unmatched),
+            disjoint_closures=int(disjoint),
+            self_pairs_filtered=int(self_filtered),
+        )
+
+    return zoverlap_traverse
+
+
+def available() -> bool:
+    """True when numba is importable (the compiled path can run)."""
+    return _njit is not None
+
+
+def make_backend(force_python: bool = False) -> KernelBackend:
+    """Build the numba backend.
+
+    ``force_python=True`` returns the same kernels running their
+    *uncompiled* cores — slow, but semantically the numba backend —
+    which is how the conformance suite pins this backend's behaviour on
+    machines without numba.
+    """
+    if force_python:
+        earlyz, zebc, ovlc = _earlyz_core, _zeb_core, _overlap_core
+        name = "numba-python"
+    else:
+        if not available():
+            raise KernelUnavailableError(
+                "numba is not installed (pip install numba)"
+            )
+        earlyz, zebc, ovlc = (
+            _earlyz_compiled, _zeb_compiled, _overlap_compiled,
+        )
+        name = "numba"
+    return KernelBackend(
+        name=name,
+        rasterize_triangles=_vectorized.rasterize_triangles,
+        earlyz_pass_mask=_make_earlyz(earlyz),
+        zeb_insert=_make_zeb_insert(zebc),
+        zoverlap_traverse=_make_zoverlap(ovlc),
+    )
+
+
+def probe() -> KernelBackend:
+    """Registry probe: the compiled backend, or unavailable."""
+    return make_backend()

@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.gpu import kernels
 from repro.gpu.assembly import TriangleSoup, assemble
 from repro.gpu.caches import Cache
 from repro.gpu.commands import Frame
@@ -222,6 +223,11 @@ class GPU:
                 "IMR mode is baseline-only, as in the paper's Section 3.1"
             )
         self.config = config if config is not None else GPUConfig()
+        # Fail fast on unknown/unavailable kernel backends: resolving
+        # here surfaces a typo'd REPRO_KERNEL_BACKEND at construction
+        # instead of mid-frame (workers re-resolve by name from the
+        # pickled config, so the instance itself is not stored).
+        kernels.get_backend(self.config.kernel_backend)
         self.rbcd_enabled = rbcd_enabled
         self.rendering_mode = rendering_mode
         self.tracer = ensure_tracer(tracer)

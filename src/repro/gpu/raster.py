@@ -8,6 +8,11 @@ RBCD unit's insertion-sort input).
 Depth is the NDC z remapped to [0, 1]; it is interpolated linearly in
 screen space, which is exact for the post-projection depth a real
 Z-buffer stores.
+
+The scan-conversion loop itself lives in the kernel layer
+(:mod:`repro.gpu.kernels`): this module assembles the resulting
+fragment soup and keeps the stats, while ``config.kernel_backend``
+selects which (bit-identical) implementation runs the hot loop.
 """
 
 from __future__ import annotations
@@ -18,6 +23,8 @@ import numpy as np
 
 from repro.gpu.assembly import TriangleSoup
 from repro.gpu.config import GPUConfig
+from repro.gpu.kernels import get_backend
+from repro.gpu.kernels.reference import rasterize_triangle as _rasterize_triangle  # noqa: F401  (back-compat re-export)
 from repro.gpu.stats import GPUStats
 
 
@@ -69,67 +76,6 @@ class FragmentSoup:
         })
 
 
-def _rasterize_triangle(xy: np.ndarray, z: np.ndarray, width: int, height: int):
-    """Fragments of one screen triangle.
-
-    Returns ``(px, py, pz)`` integer pixel coords and depths, or
-    ``None`` when the triangle covers no pixel centre.  Boundary pixels
-    follow the D3D/GL top-left fill rule so shared edges never double-
-    generate fragments.
-    """
-    e1 = xy[1] - xy[0]
-    e2 = xy[2] - xy[0]
-    area2 = e1[0] * e2[1] - e1[1] * e2[0]
-    if area2 == 0.0:
-        return None
-    sign = 1.0 if area2 > 0 else -1.0
-
-    # Bbox widened to whole pixels; the edge tests decide inclusion, so
-    # a slightly generous box only costs a few extra tests and keeps
-    # shared edges watertight even at half-integer coordinates.
-    x0 = max(int(np.floor(xy[:, 0].min())), 0)
-    x1 = min(int(np.ceil(xy[:, 0].max())), width - 1)
-    y0 = max(int(np.floor(xy[:, 1].min())), 0)
-    y1 = min(int(np.ceil(xy[:, 1].max())), height - 1)
-    if x1 < x0 or y1 < y0:
-        return None
-
-    px = np.arange(x0, x1 + 1, dtype=np.int32)
-    py = np.arange(y0, y1 + 1, dtype=np.int32)
-    cx = px.astype(np.float64) + 0.5
-    cy = py.astype(np.float64) + 0.5
-    gx, gy = np.meshgrid(cx, cy, indexing="xy")
-
-    inside = np.ones(gx.shape, dtype=bool)
-    f_values = []
-    for i in range(3):
-        ax, ay = xy[i]
-        dx = xy[(i + 1) % 3][0] - ax
-        dy = xy[(i + 1) % 3][1] - ay
-        f = dx * (gy - ay) - dy * (gx - ax)
-        f_signed = sign * f
-        # Top-left rule (y-down): boundary belongs to horizontal edges
-        # going +x and to edges going -y, for the orientation-normalized
-        # triangle.
-        dxn, dyn = sign * dx, sign * dy
-        top_left = (dyn == 0.0 and dxn > 0.0) or dyn < 0.0
-        if top_left:
-            inside &= f_signed >= 0.0
-        else:
-            inside &= f_signed > 0.0
-        f_values.append(f)
-    if not inside.any():
-        return None
-
-    iy, ix = np.nonzero(inside)
-    # Barycentric weights: F_i / area2 is the weight of vertex i+2.
-    w2 = f_values[0][iy, ix] / area2
-    w0 = f_values[1][iy, ix] / area2
-    w1 = f_values[2][iy, ix] / area2
-    pz = w0 * z[0] + w1 * z[1] + w2 * z[2]
-    return px[ix], py[iy], pz
-
-
 def rasterize(
     soup: TriangleSoup, config: GPUConfig, stats: GPUStats
 ) -> FragmentSoup:
@@ -137,29 +83,12 @@ def rasterize(
     if soup.count == 0:
         return FragmentSoup.empty()
 
-    xs: list[np.ndarray] = []
-    ys: list[np.ndarray] = []
-    zs: list[np.ndarray] = []
-    tri_ids: list[np.ndarray] = []
-    width, height = config.screen_width, config.screen_height
-
-    for t in range(soup.count):
-        result = _rasterize_triangle(soup.xy[t], soup.z[t], width, height)
-        if result is None:
-            continue
-        px, py, pz = result
-        xs.append(px)
-        ys.append(py)
-        zs.append(pz)
-        tri_ids.append(np.full(px.shape[0], t, dtype=np.int64))
-
-    if not xs:
+    backend = get_backend(config.kernel_backend)
+    x, y, z, tri = backend.rasterize_triangles(
+        soup.xy, soup.z, config.screen_width, config.screen_height
+    )
+    if x.shape[0] == 0:
         return FragmentSoup.empty()
-
-    x = np.concatenate(xs)
-    y = np.concatenate(ys)
-    z = np.concatenate(zs)
-    tri = np.concatenate(tri_ids)
 
     d = FRAGMENT_DTYPES
     frags = FragmentSoup(

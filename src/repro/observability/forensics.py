@@ -434,7 +434,10 @@ def run_forensics(
     recorder = recorder if recorder is not None else ProvenanceRecorder()
     scene = workload.scene
 
-    world = CollisionWorld()
+    # The oracle's broad phase uses the LBVH backend: its pair set is
+    # provably identical to brute force (the LBVH suite asserts it),
+    # and it keeps oracle wall-time sub-quadratic on dense scenes.
+    world = CollisionWorld("lbvh")
     collisionables = [
         (scene.object_id(obj.name), obj)
         for obj in scene.objects

@@ -54,7 +54,10 @@ DETERMINISTIC_SCENE_METRICS = (
 
 # Workload-config keys that must match for two documents to be
 # comparable at all.
-_CONFIG_KEYS = ("width", "height", "frames", "detail", "quick", "scenes")
+_CONFIG_KEYS = (
+    "width", "height", "frames", "detail", "quick", "scenes",
+    "kernel_backend", "broad_phase",
+)
 
 
 @dataclass(frozen=True, slots=True)

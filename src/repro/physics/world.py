@@ -33,7 +33,7 @@ from repro.physics.gjk import gjk_intersect
 from repro.physics.shapes import ConvexShape
 
 MODES = ("broad", "broad+narrow", "broad+exact")
-BROAD_ALGOS = ("bruteforce", "sap", "tree")
+BROAD_ALGOS = ("bruteforce", "sap", "tree", "lbvh")
 
 
 @dataclass
@@ -120,6 +120,10 @@ class CollisionWorld:
 
             pairs, self._tree = tree_broadphase_pairs(boxes, ids, ops, self._tree)
             broad = BroadPhaseResult(pairs=pairs, ops=ops)
+        elif self.broad_algorithm == "lbvh":
+            from repro.physics.lbvh import lbvh_broadphase_pairs
+
+            broad = lbvh_broadphase_pairs(boxes, ids, ops)
         else:
             broad = aabb_bruteforce_pairs(boxes, ids, ops)
 

@@ -21,10 +21,12 @@ tests):
   clipped or lost to ZEB overflow) reports nothing.
 * A push onto a full FF-Stack is dropped and counted.
 
-Two implementations: :func:`analyze_pixel_list` is the hardware-literal
-reference; :func:`analyze_tile` is a numpy version that processes all
-of a tile's lists in lock-step and is verified equivalent by property
-tests.
+Three implementations: :func:`analyze_pixel_list` is the hardware-
+literal reference for a single list; :func:`traverse_lists_sequential`
+runs the same algorithm over all of a tile's lists in lock-step (the
+reference ``zoverlap_traverse`` kernel, defining the canonical pair
+emission order); :func:`analyze_tile` is a numpy version of the same
+lock-step traversal, verified bit-identical by the conformance suite.
 """
 
 from __future__ import annotations
@@ -161,6 +163,97 @@ def analyze_pixel_list(
         pair_case=np.array(cases, dtype=np.int64),
         pair_stack_depth=np.array(depths, dtype=np.int64),
         elements_read=n,
+        pair_records=len(id_a),
+        stack_overflows=overflows,
+        unmatched_backfaces=unmatched,
+        disjoint_closures=disjoint,
+        self_pairs_filtered=self_filtered,
+    )
+
+
+def traverse_lists_sequential(zeb: ZEBTile, config: RBCDConfig) -> OverlapResult:
+    """Hardware-literal Z-Overlap Test over every list of one tile.
+
+    Each list owns its FF-Stack and is traversed exactly as
+    :func:`analyze_pixel_list` traverses one list, but the tile's lists
+    advance *in lock-step*: step ``j`` processes element ``j`` of every
+    list that still has one (the hardware walks all lists of a tile in
+    parallel).  Pairs are therefore emitted in the canonical tile order
+    — ascending ``(element step, list row, FF-Stack slot)`` — which is
+    the order :func:`analyze_tile` produces and the order the RBCD
+    unit's output buffer records.  This is the reference
+    ``zoverlap_traverse`` kernel.
+    """
+    num_rows = zeb.non_empty_lists
+    if num_rows == 0:
+        return OverlapResult.empty()
+
+    t_max = config.ff_stack_entries
+    counts = zeb.counts
+    max_len = zeb.z_codes.shape[1]
+
+    stack_id: list[list[int]] = [[] for _ in range(num_rows)]
+    stack_z: list[list[int]] = [[] for _ in range(num_rows)]
+    stack_matched: list[list[bool]] = [[] for _ in range(num_rows)]
+
+    rows, id_a, id_b, zf, zb = [], [], [], [], []
+    cases: list[int] = []
+    depths: list[int] = []
+    overflows = 0
+    unmatched = 0
+    disjoint = 0
+    self_filtered = 0
+
+    for j in range(max_len):
+        for row in range(num_rows):
+            if j >= int(counts[row]):
+                continue
+            oid = int(zeb.object_ids[row, j])
+            z_code = int(zeb.z_codes[row, j])
+            sid = stack_id[row]
+            smatched = stack_matched[row]
+            if zeb.is_front[row, j]:
+                if len(sid) >= t_max:
+                    overflows += 1
+                    continue
+                sid.append(oid)
+                stack_z[row].append(z_code)
+                smatched.append(False)
+                continue
+            # Back face: bottommost unmatched entry with the same id.
+            m = -1
+            for i in range(len(sid)):
+                if sid[i] == oid and not smatched[i]:
+                    m = i
+                    break
+            if m < 0:
+                unmatched += 1
+                continue
+            emitted_before = len(id_a)
+            for i in range(m + 1, len(sid)):
+                if sid[i] == oid:
+                    self_filtered += 1
+                    continue  # self-pair filtered
+                rows.append(row)
+                id_a.append(sid[i])
+                id_b.append(oid)
+                zf.append(stack_z[row][i])
+                zb.append(z_code)
+                cases.append(CASE_NESTED if smatched[i] else CASE_CROSSING)
+                depths.append(len(sid))
+            if len(id_a) == emitted_before:
+                disjoint += 1
+            smatched[m] = True
+
+    return OverlapResult(
+        pair_row=np.array(rows, dtype=np.int64),
+        pair_id_a=np.array(id_a, dtype=np.int64),
+        pair_id_b=np.array(id_b, dtype=np.int64),
+        pair_z_front=np.array(zf, dtype=np.int64),
+        pair_z_back=np.array(zb, dtype=np.int64),
+        pair_case=np.array(cases, dtype=np.int64),
+        pair_stack_depth=np.array(depths, dtype=np.int64),
+        elements_read=int(counts.sum()),
         pair_records=len(id_a),
         stack_overflows=overflows,
         unmatched_backfaces=unmatched,

@@ -30,12 +30,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.gpu import kernels as _kernels
 from repro.gpu.config import GPUConfig, RBCDConfig
 from repro.observability.counters import CounterRegistry
-from repro.rbcd.element import dequantize_depth, max_object_id
-from repro.rbcd.overlap import OverlapResult, analyze_tile
+from repro.rbcd.element import dequantize_depth, max_object_id, quantize_depth
+from repro.rbcd.overlap import OverlapResult
 from repro.rbcd.pairs import CollisionReport, ContactPoint
-from repro.rbcd.zeb import ZEBTile, build_zeb_tile
+from repro.rbcd.zeb import ZEBTile
 
 _BITMAP_PIXELS_PER_CYCLE = 32
 
@@ -86,7 +87,9 @@ def compute_tile(
     concurrently (each tile has its own ZEB and its own spare pool).
     ``x``/``y`` are *global* pixel coordinates in arrival order; the
     tile-local pixel index is derived here, mirroring how the
-    Rasterizer addresses the ZEB.
+    Rasterizer addresses the ZEB.  The insertion and traversal loops
+    run on the kernel backend named by ``gpu_config.kernel_backend``
+    (all backends are bit-identical; see :mod:`repro.gpu.kernels`).
     """
     config = gpu_config.rbcd
     ts = gpu_config.tile_size
@@ -95,9 +98,13 @@ def compute_tile(
             f"object id {int(object_id.max())} exceeds the "
             f"{config.id_bits}-bit ZEB id field"
         )
+    backend = _kernels.get_backend(gpu_config.kernel_backend)
     local = (y % ts).astype(np.int64) * ts + (x % ts).astype(np.int64)
-    zeb = build_zeb_tile(local, z, object_id, is_front, config)
-    overlap = analyze_tile(zeb, config)
+    codes = quantize_depth(z, config)
+    zeb = backend.zeb_insert(
+        local, codes, object_id, is_front, config, gpu_config.tile_pixels
+    )
+    overlap = backend.zoverlap_traverse(zeb, config)
 
     # The multi-object filter: lists whose entries all belong to one
     # object are skipped by the overlap hardware (they cannot yield a

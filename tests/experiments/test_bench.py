@@ -99,6 +99,26 @@ class TestRunBench:
         assert set(doc["scenes"]) == {"crazy"}
         assert doc["config"]["runs"] == 2
         assert doc["config"]["profile"] is False
+        # v4: the resolved kernel backend + broad phase are recorded.
+        from repro.gpu.config import GPUConfig
+
+        assert doc["config"]["kernel_backend"] == GPUConfig().kernel_backend
+        assert doc["config"]["broad_phase"] == "lbvh"
+
+    def test_explicit_kernel_backend_recorded(self):
+        doc = run_bench(
+            ["crazy"], width=64, height=32, frames=1, detail=1,
+            kernel_backend="reference", broad_phase="bruteforce",
+        )
+        validate_bench_document(doc)
+        assert doc["config"]["kernel_backend"] == "reference"
+        assert doc["config"]["broad_phase"] == "bruteforce"
+
+    def test_unknown_backend_or_broad_phase_fail_fast(self):
+        with pytest.raises(ValueError, match="broad_phase"):
+            run_bench(["crazy"], 64, 32, 1, 1, broad_phase="bogus")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            run_bench(["crazy"], 64, 32, 1, 1, kernel_backend="bogus")
 
     def test_scene_entry_contents(self, tiny_doc):
         doc, _ = tiny_doc
@@ -156,12 +176,13 @@ class TestRunBench:
 
 
 def valid_doc():
-    """A minimal schema-valid v3 document for validator tests."""
+    """A minimal schema-valid v4 document for validator tests."""
     return {
         "schema": SCHEMA_NAME,
         "version": SCHEMA_VERSION,
         "config": {"width": 64, "height": 32, "frames": 1,
-                   "detail": 1, "quick": True, "runs": 2, "profile": False},
+                   "detail": 1, "quick": True, "runs": 2, "profile": False,
+                   "kernel_backend": "vectorized", "broad_phase": "lbvh"},
         "stats": {"bootstrap_resamples": 100, "confidence": 0.95},
         "scenes": {
             "crazy": {
@@ -215,6 +236,10 @@ class TestValidator:
         (lambda d: d["config"].update(quick="yes"), "config.quick"),
         (lambda d: d["config"].update(runs=0), "config.runs"),
         (lambda d: d["config"].pop("profile"), "config.profile"),
+        (lambda d: d["config"].pop("kernel_backend"), "config.kernel_backend"),
+        (lambda d: d["config"].update(kernel_backend=""),
+         "config.kernel_backend"),
+        (lambda d: d["config"].update(broad_phase=7), "config.broad_phase"),
         (lambda d: d.pop("stats"), "stats"),
         (lambda d: d["stats"].update(bootstrap_resamples=0),
          "bootstrap_resamples"),

@@ -11,6 +11,7 @@ host, not the model).
 
 import pytest
 
+from repro.gpu import kernels
 from repro.gpu.config import GPUConfig
 from repro.gpu.pipeline import GPU
 from repro.hybrid import HybridCDSystem
@@ -109,6 +110,26 @@ def test_monitoring_is_deterministic_across_repeat_runs():
         render_fingerprint(config, benchmark_frames(config), monitor=monitor)
         fingerprints.append(monitor.latest.deterministic_fingerprint())
     assert fingerprints[0] == fingerprints[1]
+
+
+@pytest.mark.parametrize("backend", list(kernels.available_backends()))
+@pytest.mark.parametrize("workers", [1, 4])
+def test_kernel_backend_matrix_on_live_benchmark_stream(backend, workers):
+    """Kernel backends are interchangeable on the monitored live path.
+
+    The full matrix — reference/vectorized (plus numba when installed)
+    crossed with serial and parallel execution — must reproduce the
+    reference backend's frame fingerprints bit for bit, monitor
+    attached.
+    """
+    reference_config = config_for(1).with_kernel_backend("reference")
+    frames = benchmark_frames(reference_config)
+    want = render_fingerprint(
+        reference_config, frames, monitor=LiveMonitor(window=8)
+    )
+    config = config_for(workers).with_kernel_backend(backend)
+    got = render_fingerprint(config, frames, monitor=LiveMonitor(window=8))
+    assert got == want
 
 
 def test_hybrid_monitoring_changes_nothing():

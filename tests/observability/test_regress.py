@@ -18,7 +18,8 @@ def make_doc(wall_runs=(10.0, 11.0, 12.0), cycles=100.0, gpu_cycles=5000.0,
     """A minimal gate-comparable document (one scene, one stage)."""
     return {
         "config": {"width": 64, "height": 32, "frames": 2, "detail": 1,
-                   "quick": True, "runs": len(wall_runs), "profile": False},
+                   "quick": True, "runs": len(wall_runs), "profile": False,
+                   "kernel_backend": "vectorized", "broad_phase": "lbvh"},
         "scenes": {
             "cap": {
                 "stages": {
@@ -185,6 +186,22 @@ class TestStructuralErrors:
         assert not report.ok
         assert any("config.width" in e for e in report.errors)
         assert not report.comparisons  # refused before comparing anything
+
+    def test_kernel_backend_mismatch_refused(self):
+        # Backends are bit-identical but wall times differ, and wall
+        # time is what the gate tests — such documents never compare.
+        cur = make_doc()
+        cur["config"]["kernel_backend"] = "reference"
+        report = compare_documents(make_doc(), cur)
+        assert not report.ok
+        assert any("config.kernel_backend" in e for e in report.errors)
+
+    def test_broad_phase_mismatch_refused(self):
+        cur = make_doc()
+        cur["config"]["broad_phase"] = "bruteforce"
+        report = compare_documents(make_doc(), cur)
+        assert not report.ok
+        assert any("config.broad_phase" in e for e in report.errors)
 
     def test_runs_may_differ(self):
         # runs is a measurement parameter, not a workload parameter.

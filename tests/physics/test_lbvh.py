@@ -1,0 +1,356 @@
+"""LBVH broad-phase properties: codes, sort, tree, and pair exactness.
+
+Four layers, each testable on its own:
+
+* Morton codes — encode/decode round-trip over the full 10-bit grid,
+  bit-interleaving structure, locality of single-step moves;
+* radix sort — permutation validity, sortedness, and *stability*
+  (byte-for-byte agreement with ``np.argsort(kind="stable")``),
+  including heavy-duplicate key sets;
+* tree structure — every leaf reachable exactly once from the root,
+  parent/child consistency, internal AABBs exactly containing their
+  children, covered leaf ranges partitioning correctly;
+* the end guarantee — the pair set equals brute force *exactly* on
+  randomized clouds and on the degenerate ones that break naive Morton
+  builds (all boxes identical, all disjoint, zero-extent points).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.physics.broadphase import aabb_bruteforce_pairs
+from repro.physics.counters import OpCounter
+from repro.physics.lbvh import (
+    GRID_MAX,
+    build_lbvh,
+    compact_bits_3,
+    expand_bits_3,
+    lbvh_broadphase_pairs,
+    morton_decode,
+    morton_encode,
+    quantize_centroids,
+    radix_argsort,
+)
+
+
+def boxes_from_arrays(lo: np.ndarray, hi: np.ndarray) -> list[AABB]:
+    return [AABB(Vec3(*lo[i]), Vec3(*hi[i])) for i in range(lo.shape[0])]
+
+
+def random_cloud(seed: int, n: int, scale: float = 10.0, extent: float = 1.0):
+    rng = np.random.default_rng(seed)
+    c = rng.uniform(-scale, scale, (n, 3))
+    e = rng.uniform(0.0, extent, (n, 3))
+    return boxes_from_arrays(c - e, c + e)
+
+
+# ---------------------------------------------------------------------------
+# Morton codes
+# ---------------------------------------------------------------------------
+
+
+class TestMorton:
+    def test_round_trip_full_grid_axis(self):
+        v = np.arange(GRID_MAX + 1, dtype=np.uint64)
+        assert np.array_equal(compact_bits_3(expand_bits_3(v)), v)
+
+    @given(
+        ix=st.integers(min_value=0, max_value=GRID_MAX),
+        iy=st.integers(min_value=0, max_value=GRID_MAX),
+        iz=st.integers(min_value=0, max_value=GRID_MAX),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_encode_decode_round_trip(self, ix, iy, iz):
+        dx, dy, dz = morton_decode(morton_encode(
+            np.array([ix]), np.array([iy]), np.array([iz])
+        ))
+        assert (int(dx[0]), int(dy[0]), int(dz[0])) == (ix, iy, iz)
+
+    def test_bit_interleaving_structure(self):
+        # Bit b of axis x lands at code bit 3b+2 (y at 3b+1, z at 3b).
+        for b in range(10):
+            one = np.array([1 << b], dtype=np.uint64)
+            zero = np.array([0], dtype=np.uint64)
+            assert int(morton_encode(one, zero, zero)[0]) == 1 << (3 * b + 2)
+            assert int(morton_encode(zero, one, zero)[0]) == 1 << (3 * b + 1)
+            assert int(morton_encode(zero, zero, one)[0]) == 1 << (3 * b)
+
+    def test_codes_are_30_bit(self):
+        g = np.full(4, GRID_MAX, dtype=np.uint64)
+        assert int(morton_encode(g, g, g)[0]) == (1 << 30) - 1
+
+    def test_quantize_degenerate_extent_collapses_to_zero(self):
+        centers = np.zeros((5, 3))
+        grid = quantize_centroids(centers, np.zeros(3), np.zeros(3))
+        assert np.array_equal(grid, np.zeros((5, 3), dtype=np.int64))
+
+    def test_quantize_bounds_are_inclusive(self):
+        centers = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]])
+        grid = quantize_centroids(centers, np.zeros(3), np.ones(3))
+        assert np.array_equal(grid[0], [0, 0, 0])
+        assert np.array_equal(grid[1], [GRID_MAX] * 3)
+
+
+# ---------------------------------------------------------------------------
+# Radix sort
+# ---------------------------------------------------------------------------
+
+
+class TestRadixSort:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_stable_argsort_random_keys(self, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 1 << 30, size=2000).astype(np.uint64)
+        assert np.array_equal(
+            radix_argsort(keys), np.argsort(keys, kind="stable")
+        )
+
+    def test_matches_stable_argsort_heavy_duplicates(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 4, size=3000).astype(np.uint64)
+        assert np.array_equal(
+            radix_argsort(keys), np.argsort(keys, kind="stable")
+        )
+
+    def test_all_equal_keys_keep_input_order(self):
+        keys = np.full(100, 7, dtype=np.uint64)
+        assert np.array_equal(radix_argsort(keys), np.arange(100))
+
+    def test_empty_and_singleton(self):
+        assert radix_argsort(np.empty(0, dtype=np.uint64)).shape == (0,)
+        assert np.array_equal(
+            radix_argsort(np.array([42], dtype=np.uint64)), [0]
+        )
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 30) - 1), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_stable_argsort_generated(self, values):
+        keys = np.array(values, dtype=np.uint64)
+        assert np.array_equal(
+            radix_argsort(keys), np.argsort(keys, kind="stable")
+        )
+
+    def test_counts_ops_per_pass(self):
+        ops = OpCounter()
+        radix_argsort(np.arange(100, dtype=np.uint64)[::-1].copy(), ops=ops)
+        assert ops.mem > 0 and ops.branch > 0
+
+
+# ---------------------------------------------------------------------------
+# Tree invariants
+# ---------------------------------------------------------------------------
+
+
+def collect_leaves(tree):
+    """DFS from the root; returns sorted-leaf indices in visit order."""
+    leaves = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if tree.is_leaf_node(node):
+            leaves.append(node - tree.num_internal)
+        else:
+            stack.append(tree.left[node])
+            stack.append(tree.right[node])
+    return leaves
+
+
+class TestTreeInvariants:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 64, 130])
+    def test_every_leaf_reachable_exactly_once(self, n):
+        tree = build_lbvh(random_cloud(n, n))
+        assert sorted(collect_leaves(tree)) == list(range(n))
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_internal_boxes_contain_children(self, seed):
+        tree = build_lbvh(random_cloud(seed, 90))
+        for node in range(tree.num_internal):
+            for child in (tree.left[node], tree.right[node]):
+                assert np.all(tree.node_lo[node] <= tree.node_lo[child])
+                assert np.all(tree.node_hi[node] >= tree.node_hi[child])
+                assert tree.parent[child] == node
+
+    def test_root_box_is_scene_box(self):
+        boxes = random_cloud(5, 40)
+        tree = build_lbvh(boxes)
+        lo = np.array([b.lo.to_array() for b in boxes])
+        hi = np.array([b.hi.to_array() for b in boxes])
+        assert np.array_equal(tree.node_lo[tree.root], lo.min(axis=0))
+        assert np.array_equal(tree.node_hi[tree.root], hi.max(axis=0))
+
+    def test_internal_ranges_cover_their_subtrees(self):
+        tree = build_lbvh(random_cloud(11, 75))
+        for node in range(tree.num_internal):
+            subtree = []
+            stack = [node]
+            while stack:
+                cur = stack.pop()
+                if tree.is_leaf_node(cur):
+                    subtree.append(cur - tree.num_internal)
+                else:
+                    stack.append(tree.left[cur])
+                    stack.append(tree.right[cur])
+            assert min(subtree) == tree.first[node]
+            assert max(subtree) == tree.last[node]
+
+    def test_identical_codes_still_build_a_valid_tree(self):
+        # Every centroid on one grid cell: the index tie-break must
+        # keep the radix tree binary and complete.
+        boxes = [AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)) for _ in range(33)]
+        tree = build_lbvh(boxes)
+        assert len(set(tree.codes.tolist())) == 1
+        assert sorted(collect_leaves(tree)) == list(range(33))
+
+    def test_single_box_tree(self):
+        tree = build_lbvh([AABB(Vec3(0, 0, 0), Vec3(1, 2, 3))])
+        assert tree.num_internal == 0
+        assert tree.root == 0 and tree.is_leaf_node(0)
+        assert np.array_equal(tree.node_hi[0], [1.0, 2.0, 3.0])
+
+    def test_zero_boxes_rejected(self):
+        with pytest.raises(ValueError, match="zero boxes"):
+            build_lbvh([])
+
+
+# ---------------------------------------------------------------------------
+# Pair exactness vs brute force
+# ---------------------------------------------------------------------------
+
+
+def pairs_of(boxes, ids):
+    brute = aabb_bruteforce_pairs(boxes, ids, OpCounter())
+    lbvh = lbvh_broadphase_pairs(boxes, ids, OpCounter())
+    return brute.pairs, lbvh.pairs
+
+
+class TestPairExactness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_clouds(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 120))
+        boxes = random_cloud(
+            seed, n,
+            scale=float(rng.uniform(1.0, 20.0)),
+            extent=float(rng.uniform(0.05, 3.0)),
+        )
+        ids = [int(i) for i in rng.permutation(n * 2)[:n]]
+        brute, lbvh = pairs_of(boxes, ids)
+        assert brute == lbvh
+
+    def test_all_overlapping(self):
+        boxes = [AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)) for _ in range(40)]
+        ids = list(range(40))
+        brute, lbvh = pairs_of(boxes, ids)
+        assert brute == lbvh
+        assert len(lbvh) == 40 * 39 // 2
+
+    def test_all_disjoint(self):
+        boxes = [
+            AABB(Vec3(3.0 * i, 0, 0), Vec3(3.0 * i + 1.0, 1, 1))
+            for i in range(40)
+        ]
+        brute, lbvh = pairs_of(boxes, list(range(40)))
+        assert brute == lbvh == []
+
+    def test_zero_extent_points_on_a_spanning_box(self):
+        boxes = [
+            AABB(Vec3(i * 0.5, 0, 0), Vec3(i * 0.5, 0, 0)) for i in range(20)
+        ]
+        boxes.append(AABB(Vec3(0, -1, -1), Vec3(10, 1, 1)))
+        brute, lbvh = pairs_of(boxes, list(range(21)))
+        assert brute == lbvh
+        assert len(lbvh) == 20  # the big box touches every point
+
+    def test_touching_boxes_count_as_overlap(self):
+        # Closed intervals: shared faces are overlaps, as in brute force.
+        boxes = [
+            AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)),
+            AABB(Vec3(1, 0, 0), Vec3(2, 1, 1)),
+        ]
+        brute, lbvh = pairs_of(boxes, [5, 3])
+        assert brute == lbvh == [(3, 5)]
+
+    def test_small_n(self):
+        assert lbvh_broadphase_pairs([], [], OpCounter()).pairs == []
+        one = [AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))]
+        assert lbvh_broadphase_pairs(one, [7], OpCounter()).pairs == []
+
+    def test_id_mismatch_rejected(self):
+        one = [AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))]
+        with pytest.raises(ValueError, match="one id per box"):
+            lbvh_broadphase_pairs(one, [1, 2], OpCounter())
+
+    def test_ops_are_counted(self):
+        boxes = random_cloud(2, 60)
+        ops = OpCounter()
+        lbvh_broadphase_pairs(boxes, list(range(60)), ops)
+        assert ops.cmp > 0 and ops.mem > 0 and ops.branch > 0
+
+    @given(
+        data=st.data(),
+        n=st.integers(min_value=2, max_value=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_generated_clouds_match_bruteforce(self, data, n):
+        # Integer-grid clouds maximize coincident centroids and shared
+        # faces — the cases a quantized-code build is likeliest to miss.
+        coords = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=-4, max_value=4),
+                    st.integers(min_value=-4, max_value=4),
+                    st.integers(min_value=-4, max_value=4),
+                    st.integers(min_value=0, max_value=3),
+                ),
+                min_size=n, max_size=n,
+            )
+        )
+        boxes = [
+            AABB(
+                Vec3(x - e * 0.5, y - e * 0.5, z - e * 0.5),
+                Vec3(x + e * 0.5, y + e * 0.5, z + e * 0.5),
+            )
+            for x, y, z, e in coords
+        ]
+        brute, lbvh = pairs_of(boxes, list(range(n)))
+        assert brute == lbvh
+
+
+# ---------------------------------------------------------------------------
+# World integration
+# ---------------------------------------------------------------------------
+
+
+class TestWorldIntegration:
+    def test_lbvh_is_a_registered_broad_algorithm(self):
+        from repro.physics.world import BROAD_ALGOS, CollisionWorld
+
+        assert "lbvh" in BROAD_ALGOS
+        CollisionWorld("lbvh")  # constructor accepts it
+
+    def test_world_detect_matches_bruteforce_world(self):
+        from repro.geometry.primitives import make_box
+        from repro.geometry.vec import Mat4
+        from repro.physics.world import CollisionWorld
+
+        mesh = make_box(Vec3(0.5, 0.5, 0.5))
+        worlds = {
+            name: CollisionWorld(name) for name in ("bruteforce", "lbvh")
+        }
+        rng = np.random.default_rng(8)
+        for world in worlds.values():
+            for oid in range(12):
+                world.add_object(oid, mesh)
+        for _ in range(3):
+            positions = rng.uniform(-2.0, 2.0, (12, 3))
+            results = {}
+            for name, world in worlds.items():
+                for oid in range(12):
+                    world.set_transform(
+                        oid, Mat4.translation(Vec3(*positions[oid]))
+                    )
+                results[name] = world.detect("broad")
+            assert results["lbvh"].broad_pairs == results["bruteforce"].broad_pairs

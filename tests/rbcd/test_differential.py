@@ -282,3 +282,72 @@ def test_gather_tile_tasks_orders_tiles_and_preserves_arrival():
 def test_empty_soup_yields_no_tasks():
     config = GPUConfig().with_screen(*SCREEN)
     assert gather_tile_tasks(FragmentSoup.empty(), config) == []
+
+
+# ---------------------------------------------------------------------------
+# Kernel-backend matrix
+# ---------------------------------------------------------------------------
+
+from repro.gpu import kernels as _kernels  # noqa: E402
+
+
+def _backend_matrix() -> list[str]:
+    """Every kernel backend runnable here (numba joins when installed)."""
+    return list(_kernels.available_backends())
+
+
+@pytest.mark.parametrize("backend", _backend_matrix())
+@pytest.mark.parametrize("workers", [1, 2, 8])
+def test_backend_matrix_serial_vs_parallel(backend, workers):
+    """serial ≡ vectorized ≡ parallel, for every kernel backend.
+
+    The serial reference always runs the ``reference`` backend; the
+    parallel run uses the backend under test at several worker counts.
+    Fingerprints must agree across the whole matrix, which pins both
+    axes at once: kernel implementation and execution strategy.
+    """
+    soup = random_frame_soup(seed=31)
+    serial_config = (
+        GPUConfig().with_screen(*SCREEN)
+        .with_rbcd(list_length=4)
+        .with_kernel_backend("reference")
+    )
+    serial_unit, _ = run_serial_reference(serial_config, soup)
+
+    config = (
+        serial_config
+        .with_kernel_backend(backend)
+        .with_executor(workers=workers, backend="thread", chunk_tiles=2)
+    )
+    tasks = gather_tile_tasks(soup, config)
+    with ThreadPoolTileExecutor(workers) as executor:
+        results = executor.run(config, tasks)
+    merged = RBCDUnit(config)
+    for result in results:
+        merged.absorb(result)
+    assert unit_fingerprint(merged) == unit_fingerprint(serial_unit)
+
+
+@pytest.mark.parametrize("backend", _backend_matrix())
+def test_backend_matrix_process_pool(backend):
+    """Workers resolve the backend by name from the pickled config."""
+    soup = random_frame_soup(seed=77)
+    serial_config = (
+        GPUConfig().with_screen(*SCREEN)
+        .with_rbcd(list_length=4, spare_entries_per_tile=6)
+        .with_kernel_backend("reference")
+    )
+    serial_unit, _ = run_serial_reference(serial_config, soup)
+
+    config = (
+        serial_config
+        .with_kernel_backend(backend)
+        .with_executor(workers=2, backend="process", chunk_tiles=3)
+    )
+    tasks = gather_tile_tasks(soup, config)
+    with ProcessPoolTileExecutor(2) as executor:
+        results = executor.run(config, tasks)
+    merged = RBCDUnit(config)
+    for result in results:
+        merged.absorb(result)
+    assert unit_fingerprint(merged) == unit_fingerprint(serial_unit)
