@@ -29,9 +29,10 @@ The document layout (checked by :func:`validate_bench_document`):
 
     {
       "schema": "rbcd-bench",          # fixed discriminator
-      "version": 4,
+      "version": 5,
       "config": {width, height, frames, detail, quick, runs, profile,
-                 kernel_backend, broad_phase},     # (schema v4)
+                 kernel_backend, broad_phase,      # (schema v4)
+                 tile_cache},                      # (schema v5)
       "stats": {bootstrap_resamples, confidence},
       "scenes": {
         "<alias>": {
@@ -48,7 +49,13 @@ The document layout (checked by :func:`validate_bench_document`):
           "energy": {gpu: {...}, rbcd: {...},   # joules per component
                      total_j, delay_s, edp_js},
           "cases": {disjoint, crossing, nested,     # Figure-5 histogram
-                    self_filtered, evidence_records}  # (schema v3)
+                    self_filtered, evidence_records},  # (schema v3)
+          "tilecache": {enabled, lookups, hits, misses,   # (schema v5)
+                        collisions, stores, hit_rate,
+                        cycles_saved, signature_cycles,
+                        joules_saved, signature_j,
+                        effective_gpu_cycles, effective_total_j,
+                        per_frame_hits, per_frame_lookups}
         }
       }
     }
@@ -66,6 +73,18 @@ times may move between them — but wall time is exactly what the gate
 tests, so documents produced under different backends must never gate
 against each other silently; recording both keys makes the regress
 layer refuse such comparisons.
+
+Schema v5 adds the **cross-frame tile cache**
+(:mod:`repro.gpu.tilecache`, ``--tile-cache``): the config block gains
+``tile_cache`` and every scene gains a ``tilecache`` block with the
+hit/skip histograms (``per_frame_hits``/``per_frame_lookups``), the
+modelled savings, and the *effective* cycle/joule totals (reported
+total minus savings plus signature overhead).  Replay is exact, so all
+v4-era numbers are identical with the cache on or off; only the new
+block moves.  The validator accepts v4 documents too (additive change),
+but the regress layer treats ``tile_cache`` as a config key — a v4
+baseline (implicitly cache-off) gates cleanly against a cache-off v5
+run and refuses a cache-on one.
 
 ``--quick`` shrinks the run (160x96, 2 frames, detail 1) for CI smoke
 jobs; ``--check FILE`` validates an existing document and exits, so CI
@@ -98,6 +117,7 @@ from repro.scenes.benchmarks import BENCHMARKS, workload_by_alias
 __all__ = [
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
     "REQUIRED_STAGES",
     "BOOTSTRAP_RESAMPLES",
     "CONFIDENCE",
@@ -111,7 +131,12 @@ __all__ = [
 ]
 
 SCHEMA_NAME = "rbcd-bench"
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
+# Older schema versions the validator still accepts: v5 is purely
+# additive over v4, so stored v4 baselines remain valid documents
+# (whether they may *gate* against a v5 run is the regress layer's
+# call, via the config keys).
+SUPPORTED_VERSIONS = (4, 5)
 
 # Per-scene "cases" keys (schema v3): the Figure-5 interference-case
 # histogram from the provenance recorder, deterministic per scene.
@@ -127,6 +152,15 @@ REQUIRED_STAGES = ("frame", "geometry", "raster", "rbcd", "schedule")
 # stored CI bounds are reproducible from the stored samples.
 BOOTSTRAP_RESAMPLES = 2000
 CONFIDENCE = 0.95
+
+# Per-scene "tilecache" keys (schema v5): cross-frame cache telemetry.
+_TILECACHE_INT_KEYS = ("lookups", "hits", "misses", "collisions", "stores")
+_TILECACHE_FLOAT_KEYS = (
+    "hit_rate", "cycles_saved", "signature_cycles",
+    "joules_saved", "signature_j",
+    "effective_gpu_cycles", "effective_total_j",
+)
+_TILECACHE_LIST_KEYS = ("per_frame_hits", "per_frame_lookups")
 
 # Per-scene energy keys the validator requires (mirrors
 # FrameEnergyReport.as_dict()).
@@ -216,6 +250,47 @@ def _make_tracer(profile: bool) -> Tracer:
     return ProfilingTracer() if profile else Tracer()
 
 
+def _tilecache_block(
+    enabled: bool,
+    registry: CounterRegistry | None,
+    per_frame_hits: list[int],
+    per_frame_lookups: list[int],
+    gpu_cycles: float,
+    total_j: float,
+) -> dict[str, Any]:
+    """Assemble one scene's schema-v5 ``tilecache`` block.
+
+    ``effective_gpu_cycles``/``effective_total_j`` are the reported
+    totals minus the modelled replay savings plus the signature
+    compare/store overhead — what the hardware would actually spend.
+    With the cache off they equal the reported totals exactly.
+    """
+    counts = registry.as_dict() if registry is not None else {}
+    hits = int(counts.get("gpu.tilecache.hits", 0))
+    lookups = int(counts.get("gpu.tilecache.lookups", 0))
+    cycles_saved = float(counts.get("gpu.tilecache.cycles_saved", 0.0))
+    signature_cycles = float(counts.get("gpu.tilecache.signature_cycles", 0.0))
+    joules_saved = float(counts.get("gpu.tilecache.joules_saved", 0.0))
+    signature_j = float(counts.get("gpu.tilecache.signature_j", 0.0))
+    return {
+        "enabled": enabled,
+        "lookups": lookups,
+        "hits": hits,
+        "misses": int(counts.get("gpu.tilecache.misses", 0)),
+        "collisions": int(counts.get("gpu.tilecache.collisions", 0)),
+        "stores": int(counts.get("gpu.tilecache.stores", 0)),
+        "hit_rate": hits / lookups if lookups else 0.0,
+        "cycles_saved": cycles_saved,
+        "signature_cycles": signature_cycles,
+        "joules_saved": joules_saved,
+        "signature_j": signature_j,
+        "effective_gpu_cycles": gpu_cycles - cycles_saved + signature_cycles,
+        "effective_total_j": total_j - joules_saved + signature_j,
+        "per_frame_hits": list(per_frame_hits),
+        "per_frame_lookups": list(per_frame_lookups),
+    }
+
+
 def run_scene(
     alias: str,
     config: GPUConfig,
@@ -236,6 +311,7 @@ def run_scene(
     first_totals: dict[str, Any] | None = None
     first_counters: dict[str, Any] | None = None
     first_cases: dict[str, int] | None = None
+    first_tilecache: dict[str, Any] | None = None
     energy: FrameEnergyReport | None = None
 
     with RBCDSystem(
@@ -244,11 +320,18 @@ def run_scene(
         for run in range(runs):
             tracer.reset()
             recorder.reset()
+            # Each run starts cold: a warm cache would replay run 0's
+            # tiles, making runs > 0 legitimately different — the
+            # determinism check below would then misfire.
+            system.reset_tile_cache()
             fragments = 0
             pair_records = 0
             gpu_cycles = 0.0
             pairs: set[tuple[int, int]] = set()
             counters: CounterRegistry | int = 0
+            tc_counters: CounterRegistry | int = 0
+            per_frame_hits: list[int] = []
+            per_frame_lookups: list[int] = []
             run_energy = FrameEnergyReport()
             for t in workload.times(frames):
                 frame = workload.scene.frame_at(float(t), config)
@@ -258,10 +341,21 @@ def run_scene(
                 gpu_cycles += result.stats.gpu_cycles
                 pairs |= result.pairs
                 counters = counters + result.stats.registry()
+                if result.tilecache is not None:
+                    tc_counters = tc_counters + result.tilecache
+                    frame_tc = result.tilecache.as_dict()
+                    per_frame_hits.append(
+                        int(frame_tc.get("gpu.tilecache.hits", 0))
+                    )
+                    per_frame_lookups.append(
+                        int(frame_tc.get("gpu.tilecache.lookups", 0))
+                    )
                 assert result.energy is not None
                 run_energy = run_energy + result.energy
             assert isinstance(counters, CounterRegistry)
             counters = counters + run_energy.registry()
+            if isinstance(tc_counters, CounterRegistry):
+                counters = counters + tc_counters
 
             run_summaries.append(stage_summary(tracer))
             frame_wall_s_runs.append(
@@ -276,19 +370,30 @@ def run_scene(
             cases = dict(recorder.case_histogram())
             cases["self_filtered"] = recorder.self_pairs_filtered
             cases["evidence_records"] = recorder.pairs_recorded
+            tilecache = _tilecache_block(
+                config.tile_cache_enabled,
+                tc_counters if isinstance(tc_counters, CounterRegistry)
+                else None,
+                per_frame_hits, per_frame_lookups,
+                gpu_cycles, run_energy.total_j,
+            )
             if first_totals is None:
                 first_totals = totals
                 first_counters = counters.as_dict()
                 first_cases = cases
+                first_tilecache = tilecache
                 energy = run_energy
             else:
                 # Everything but wall time is a pure function of the
                 # scene; catching drift here is a free differential test
-                # every multi-run bench performs.
+                # every multi-run bench performs.  The tilecache block
+                # participates: each run starts from a cold cache, so
+                # hit patterns must repeat exactly too.
                 if (
                     totals != first_totals
                     or counters.as_dict() != first_counters
                     or cases != first_cases
+                    or tilecache != first_tilecache
                 ):
                     raise RuntimeError(
                         f"scene {alias!r} run {run} produced different "
@@ -297,7 +402,7 @@ def run_scene(
                     )
 
     assert first_totals is not None and first_counters is not None
-    assert first_cases is not None
+    assert first_cases is not None and first_tilecache is not None
     assert energy is not None
     if trace_dir is not None:
         # Traces from the last run (the tracer holds one run at a time).
@@ -324,6 +429,7 @@ def run_scene(
         "counters": first_counters,
         "energy": energy.as_dict(),
         "cases": first_cases,
+        "tilecache": first_tilecache,
     }
 
 
@@ -339,6 +445,7 @@ def run_bench(
     profile: bool = False,
     kernel_backend: str | None = None,
     broad_phase: str = "lbvh",
+    tile_cache: bool | None = None,
     progress=None,
 ) -> dict[str, Any]:
     """Run the bench over ``scenes`` and assemble the full document.
@@ -350,6 +457,9 @@ def run_bench(
     document's CPU-side numbers assume — the bench itself is GPU-side,
     but the key exists for comparability: two documents measured under
     different configurations must never gate against each other.
+    ``tile_cache`` forces the cross-frame tile cache on/off (``None``
+    keeps the config default, i.e. ``REPRO_TILE_CACHE``); the resolved
+    setting is recorded in the config block for the same reason.
     """
     from repro.physics.world import BROAD_ALGOS
 
@@ -358,6 +468,8 @@ def run_bench(
     config = GPUConfig().with_screen(width, height)
     if kernel_backend is not None:
         config = config.with_kernel_backend(kernel_backend)
+    if tile_cache is not None:
+        config = config.with_tile_cache(tile_cache)
     get_kernel_backend(config.kernel_backend)  # fail fast on bad names
     doc: dict[str, Any] = {
         "schema": SCHEMA_NAME,
@@ -372,6 +484,7 @@ def run_bench(
             "profile": profile,
             "kernel_backend": config.kernel_backend,
             "broad_phase": broad_phase,
+            "tile_cache": config.tile_cache_enabled,
         },
         "stats": {
             "bootstrap_resamples": BOOTSTRAP_RESAMPLES,
@@ -450,14 +563,24 @@ def _check_energy(errors, base, energy) -> None:
 
 def validate_bench_document(doc: Any) -> None:
     """Raise ``ValueError`` (listing every problem) if ``doc`` is not a
-    well-formed rbcd-bench v3 document."""
+    well-formed rbcd-bench document.
+
+    Accepts any version in :data:`SUPPORTED_VERSIONS`: v5 is additive
+    over v4 (config ``tile_cache`` + per-scene ``tilecache``), so the
+    new keys are required at v5 and skipped at v4.  Unknown *extra*
+    keys are tolerated at any version — additive schema growth must not
+    invalidate stored baselines.
+    """
     errors: list[str] = []
     if not isinstance(doc, Mapping):
         raise ValueError("bench document must be a JSON object")
     if doc.get("schema") != SCHEMA_NAME:
         _fail(errors, "schema", f"expected {SCHEMA_NAME!r}, got {doc.get('schema')!r}")
-    if doc.get("version") != SCHEMA_VERSION:
-        _fail(errors, "version", f"expected {SCHEMA_VERSION}, got {doc.get('version')!r}")
+    version = doc.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        _fail(errors, "version",
+              f"expected one of {SUPPORTED_VERSIONS}, got {version!r}")
+        version = SCHEMA_VERSION  # check the rest at the current schema
 
     config = doc.get("config")
     runs = None
@@ -473,6 +596,8 @@ def validate_bench_document(doc: Any) -> None:
             value = config.get(key)
             if not isinstance(value, str) or not value:
                 _fail(errors, f"config.{key}", "expected a non-empty string")
+        if version >= 5 and not isinstance(config.get("tile_cache"), bool):
+            _fail(errors, "config.tile_cache", "expected a bool (schema v5)")
         runs = config.get("runs")
 
     stats = doc.get("stats")
@@ -553,6 +678,26 @@ def validate_bench_document(doc: Any) -> None:
             for key in _CASE_KEYS:
                 _check_int(errors, f"{base}.cases.{key}", cases.get(key))
 
+        if version >= 5:
+            tilecache = entry.get("tilecache")
+            tpath = f"{base}.tilecache"
+            if not isinstance(tilecache, Mapping):
+                _fail(errors, tpath, "missing or not an object (schema v5)")
+            else:
+                if not isinstance(tilecache.get("enabled"), bool):
+                    _fail(errors, f"{tpath}.enabled", "expected a bool")
+                for key in _TILECACHE_INT_KEYS:
+                    _check_int(errors, f"{tpath}.{key}", tilecache.get(key))
+                for key in _TILECACHE_FLOAT_KEYS:
+                    _check_number(errors, f"{tpath}.{key}", tilecache.get(key))
+                for key in _TILECACHE_LIST_KEYS:
+                    values = tilecache.get(key)
+                    if not isinstance(values, list):
+                        _fail(errors, f"{tpath}.{key}", "expected a list")
+                        continue
+                    for i, value in enumerate(values):
+                        _check_int(errors, f"{tpath}.{key}[{i}]", value)
+
     if errors:
         raise ValueError(
             "invalid rbcd-bench document:\n  " + "\n  ".join(errors)
@@ -626,6 +771,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="software broad-phase configuration to record in the "
              "document's config block (default: lbvh)",
     )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--tile-cache", dest="tile_cache", action="store_true", default=None,
+        help="enable the cross-frame tile cache (repro.gpu.tilecache); "
+             "replay is exact, so only the v5 tilecache block moves "
+             "(default: the config default, REPRO_TILE_CACHE or off)",
+    )
+    cache_group.add_argument(
+        "--no-tile-cache", dest="tile_cache", action="store_false",
+        help="force the cross-frame tile cache off",
+    )
     parser.add_argument(
         "--profile", action="store_true",
         help="attach cProfile to stage spans; hotspots land in the "
@@ -680,7 +836,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         except (OSError, json.JSONDecodeError, ValueError) as exc:
             print(f"FAIL {args.check}: {exc}", file=sys.stderr)
             return 1
-        print(f"OK {args.check}: valid {SCHEMA_NAME} v{SCHEMA_VERSION} "
+        print(f"OK {args.check}: valid {SCHEMA_NAME} v{doc['version']} "
               f"({len(doc['scenes'])} scenes)")
         return 0
 
@@ -695,7 +851,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.scenes, args.width, args.height, args.frames, args.detail,
         quick=args.quick, runs=args.runs, trace_dir=args.trace_dir,
         profile=args.profile, kernel_backend=args.kernel_backend,
-        broad_phase=args.broad_phase,
+        broad_phase=args.broad_phase, tile_cache=args.tile_cache,
         progress=lambda alias: print(f"bench: {alias} ...", flush=True),
     )
     validate_bench_document(doc)
@@ -712,6 +868,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{energy['total_j'] * 1e3:.3f} mJ, "
             f"EDP {energy['edp_js'] * 1e6:.3f} uJs"
         )
+        tilecache = entry["tilecache"]
+        if tilecache["enabled"]:
+            print(
+                f"    tilecache: {tilecache['hits']}/{tilecache['lookups']} "
+                f"hits ({tilecache['hit_rate']:.0%}), "
+                f"{tilecache['cycles_saved']:.0f} cycles and "
+                f"{tilecache['joules_saved'] * 1e9:.3f} nJ replayed away"
+            )
 
     if args.baseline is not None:
         try:

@@ -19,9 +19,20 @@ from dataclasses import dataclass, field, replace
 KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
 DEFAULT_KERNEL_BACKEND = "vectorized"
 
+# Cross-frame tile-result cache (repro.gpu.tilecache): the env var
+# flips the built-in default for freshly-constructed configs, exactly
+# like the kernel-backend selection above (explicit with_tile_cache()
+# / dataclass arguments always win).
+TILE_CACHE_ENV = "REPRO_TILE_CACHE"
+_TRUTHY = frozenset(("1", "true", "yes", "on"))
+
 
 def _default_kernel_backend() -> str:
     return os.environ.get(KERNEL_BACKEND_ENV, DEFAULT_KERNEL_BACKEND)
+
+
+def _default_tile_cache() -> bool:
+    return os.environ.get(TILE_CACHE_ENV, "").strip().lower() in _TRUTHY
 
 
 @dataclass(frozen=True, slots=True)
@@ -173,11 +184,21 @@ class GPUConfig:
     # time; the default honours REPRO_KERNEL_BACKEND.
     kernel_backend: str = field(default_factory=_default_kernel_backend)
 
+    # Cross-frame tile redundancy elimination (repro.gpu.tilecache):
+    # signature a tile's collisionable inputs and replay the previous
+    # result on a match.  Replay is exact — every deterministic output
+    # is bit-identical with the cache on or off (the differential suite
+    # enforces it) — so the flag only moves modelled savings counters
+    # and host wall time.  Default honours REPRO_TILE_CACHE.
+    tile_cache_enabled: bool = field(default_factory=_default_tile_cache)
+
     def __post_init__(self) -> None:
         if self.screen_width <= 0 or self.screen_height <= 0:
             raise ValueError("screen dimensions must be positive")
         if not isinstance(self.kernel_backend, str) or not self.kernel_backend:
             raise ValueError("kernel_backend must be a non-empty string")
+        if not isinstance(self.tile_cache_enabled, bool):
+            raise ValueError("tile_cache_enabled must be a bool")
         if self.tile_size <= 0:
             raise ValueError("tile size must be positive")
         if self.executor_backend not in ("serial", "thread", "process"):
@@ -225,6 +246,11 @@ class GPUConfig:
     def with_kernel_backend(self, name: str) -> "GPUConfig":
         """Copy with a different kernel backend (see repro.gpu.kernels)."""
         return replace(self, kernel_backend=name)
+
+    def with_tile_cache(self, enabled: bool = True) -> "GPUConfig":
+        """Copy with the cross-frame tile cache switched on or off
+        (see :mod:`repro.gpu.tilecache`)."""
+        return replace(self, tile_cache_enabled=bool(enabled))
 
     def with_executor(
         self,

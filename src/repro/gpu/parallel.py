@@ -64,6 +64,7 @@ __all__ = [
     "make_executor",
     "gather_tile_tasks",
     "chunk_tasks",
+    "run_with_tile_cache",
     "merge_tile_results",
     "tile_stats_of",
     "tile_registry_of",
@@ -270,6 +271,54 @@ def make_executor(config: GPUConfig) -> TileExecutor:
         chunk_tiles=config.executor_chunk_tiles,
     )
     return executor
+
+
+def run_with_tile_cache(
+    executor: TileExecutor,
+    config: GPUConfig,
+    tasks: Sequence[TileTask],
+    cache,
+    tile_keys: dict[int, bytes],
+) -> Iterable[tuple[RBCDTileResult, bool]]:
+    """Run tile tasks through ``executor`` behind a signature cache.
+
+    Yields ``(result, replayed)`` in tile-schedule order: the full task
+    list is first planned against the cache (lookups happen serially,
+    in task order, so the hit/miss pattern is deterministic), then only
+    the misses are dispatched to the executor — at any worker count —
+    and the replayed hits are interleaved back in place.  Because
+    replayed results are the very objects a previous frame computed,
+    the merged stream is bit-identical to a cache-off run; only the
+    host work (and the modelled savings the cache accounts) changes.
+
+    ``cache`` is a :class:`~repro.gpu.tilecache.TileResultCache` (duck
+    typed to avoid a tiling→parallel import knot); ``tile_keys`` maps
+    tile index → canonical signature key, from
+    :func:`~repro.gpu.tilecache.frame_tile_keys`.  Every task's tile
+    must have a key: a tile with collisionable fragments necessarily
+    has collisionable primitives binned to it.
+    """
+    plan: list[tuple[TileTask, RBCDTileResult | None]] = []
+    miss_tasks: list[TileTask] = []
+    for task in tasks:
+        key = tile_keys.get(task.tile_index)
+        if key is None:
+            raise KeyError(
+                f"tile {task.tile_index} has RBCD work but no signature "
+                f"key: the signature layer and the binning disagree"
+            )
+        cached = cache.lookup(task.tile_index, key)
+        plan.append((task, cached))
+        if cached is None:
+            miss_tasks.append(task)
+    miss_results = iter(executor.run(config, miss_tasks))
+    for task, cached in plan:
+        if cached is not None:
+            yield cached, True
+        else:
+            result = next(miss_results)
+            cache.store(task.tile_index, tile_keys[task.tile_index], result)
+            yield result, False
 
 
 def merge_tile_results(

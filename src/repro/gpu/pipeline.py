@@ -51,11 +51,18 @@ from repro.gpu.fragment import (
     fragment_shader_cycles_per_draw,
     shade_fragments,
 )
-from repro.gpu.parallel import TileExecutor, gather_tile_tasks, make_executor
+from repro.gpu.parallel import (
+    TileExecutor,
+    gather_tile_tasks,
+    make_executor,
+    run_with_tile_cache,
+)
 from repro.gpu.raster import FragmentSoup, rasterize
 from repro.gpu.shading import shade_draws, vertex_stage_cycles
 from repro.gpu.stats import GPUStats
+from repro.gpu.tilecache import TileResultCache, frame_tile_keys
 from repro.gpu.tiling import bin_triangles, fetch_tile_lists
+from repro.observability.counters import CounterRegistry
 from repro.observability.tracer import ensure_tracer
 from repro.rbcd.pairs import CollisionReport
 from repro.rbcd.unit import RBCDUnit
@@ -91,6 +98,10 @@ class FrameResult:
     tile_timing: TileTiming | None = None
     fragments: FragmentSoup | None = None  # kept on request (M sweeps)
     energy: FrameEnergyReport | None = None  # modelled joules + EDP
+    # Per-frame gpu.tilecache.* counters when the cross-frame tile
+    # cache is enabled (None otherwise).  Additive-only: nothing in
+    # stats/energy/collisions depends on it.
+    tilecache: CounterRegistry | None = None
 
     @property
     def gpu_cycles(self) -> float:
@@ -236,6 +247,14 @@ class GPU:
         self._executor = executor
         self._owns_executor = executor is None
         self._energy_account: EnergyAccount | None = None
+        # Cross-frame tile-result cache (repro.gpu.tilecache): persists
+        # across render_frame calls so frame N+1 can replay frame N's
+        # unchanged tiles.  Collision-path only, hence gated on RBCD.
+        self._tile_cache: TileResultCache | None = (
+            TileResultCache(self.config)
+            if rbcd_enabled and self.config.tile_cache_enabled
+            else None
+        )
 
     @property
     def energy_account(self) -> "EnergyAccount":
@@ -252,6 +271,21 @@ class GPU:
         if self._executor is None:
             self._executor = make_executor(self.config)
         return self._executor
+
+    @property
+    def tile_cache(self) -> TileResultCache | None:
+        """The cross-frame tile cache (None when disabled)."""
+        return self._tile_cache
+
+    def reset_tile_cache(self) -> None:
+        """Cold-start the tile cache (no-op when disabled).
+
+        Use between independent sequences (e.g. benchmark runs) so the
+        first frame of each sequence misses deterministically instead
+        of hitting against the previous sequence's last frame.
+        """
+        if self._tile_cache is not None:
+            self._tile_cache.reset()
 
     def close(self) -> None:
         """Shut down an owned worker pool (serial backend: no-op)."""
@@ -293,6 +327,14 @@ class GPU:
                 )
             with tracer.span("geometry.bin") as bin_span:
                 binning = bin_triangles(soup, config, stats, tile_cache)
+
+            # Tile signatures are computed where the hardware would
+            # compute them: at binning time, from the binned primitive
+            # stream, before any raster work is spent.
+            tile_keys: dict[int, bytes] | None = None
+            if self._tile_cache is not None:
+                self._tile_cache.begin_frame()
+                tile_keys = frame_tile_keys(soup, binning, config)
 
             vertex_cycles = vertex_stage_cycles(stats, config)
             assembly_cycles = (
@@ -349,7 +391,8 @@ class GPU:
                     self.provenance.begin_frame()
                 unit = RBCDUnit(config, provenance=self.provenance)
                 report = self._run_rbcd(
-                    unit, frags, stats, overlap_cycles, insertion_limit
+                    unit, frags, stats, overlap_cycles, insertion_limit,
+                    tile_keys=tile_keys,
                 )
                 cpu_fallback = unit.wants_cpu_fallback()
                 if cpu_fallback:
@@ -359,6 +402,11 @@ class GPU:
                     pairs=report.pair_records_written,
                     cpu_fallback=cpu_fallback,
                 )
+                if self._tile_cache is not None:
+                    rbcd_span.annotate(
+                        tiles_replayed=unit.tiles_replayed,
+                        tilecache_hit_rate=self._tile_cache.frame_hit_rate,
+                    )
 
         # -- raster pipeline: timing --------------------------------------------
         with tracer.span("schedule") as schedule_span:
@@ -435,6 +483,10 @@ class GPU:
             tile_timing=timing if keep_tile_timing else None,
             fragments=frags if keep_fragments else None,
             energy=energy,
+            tilecache=(
+                self._tile_cache.frame_registry()
+                if self._tile_cache is not None else None
+            ),
         )
         if self.monitor is not None:
             self.monitor.observe(result, wall_s=time.perf_counter() - wall_t0)
@@ -528,6 +580,7 @@ class GPU:
         stats: GPUStats,
         overlap_cycles: np.ndarray,
         insertion_limit: np.ndarray,
+        tile_keys: dict[int, bytes] | None = None,
     ) -> CollisionReport:
         """Feed every collisionable fragment, tile by tile, to the unit.
 
@@ -537,6 +590,12 @@ class GPU:
         and cycle arrays are identical whatever the backend or worker
         count.
 
+        When the cross-frame tile cache is enabled, ``tile_keys``
+        carries the canonical signature keys and only signature misses
+        reach the executor; hits replay the cached result in place,
+        which keeps the absorbed stream — and therefore every output —
+        bit-identical to a cache-off run at any worker count.
+
         Per-tile spans are recorded at absorb time (the merge is where
         the main process first sees a tile), carrying the simulated
         insertion/overlap cycles the worker computed; their wall time is
@@ -545,7 +604,13 @@ class GPU:
         tracer = self.tracer
         tasks = gather_tile_tasks(frags, self.config)
         stats.rbcd_fragments_in += sum(t.fragment_count for t in tasks)
-        for result in self.executor.run(self.config, tasks):
+        if self._tile_cache is not None and tile_keys is not None:
+            stream = run_with_tile_cache(
+                self.executor, self.config, tasks, self._tile_cache, tile_keys
+            )
+        else:
+            stream = ((r, False) for r in self.executor.run(self.config, tasks))
+        for result, replayed in stream:
             with tracer.span(
                 "rbcd.tile", category="tile", tile=result.tile_index
             ) as tile_span:
@@ -558,7 +623,7 @@ class GPU:
                         lists=result.analyzed_lists,
                         elements=result.analyzed_elements,
                     )
-                unit.absorb(result)
+                unit.absorb(result, replayed=replayed)
                 tile_span.cycles = result.insertion_cycles + result.overlap_cycles
             overlap_cycles[result.tile_index] = result.overlap_cycles
             insertion_limit[result.tile_index] = result.insertion_cycles

@@ -41,7 +41,9 @@ __all__ = [
 ]
 
 # Scene-level deterministic metrics gated when present in the baseline:
-# dotted paths into the scene entry.
+# dotted paths into the scene entry.  (The tilecache.effective_* pair is
+# schema v5; v4 baselines simply don't have it, and baseline-missing
+# metrics are skipped.)
 DETERMINISTIC_SCENE_METRICS = (
     "totals.gpu_cycles",
     "counters.gpu.mem.dram_bytes_read",
@@ -50,14 +52,22 @@ DETERMINISTIC_SCENE_METRICS = (
     "energy.rbcd.total_j",
     "energy.total_j",
     "energy.edp_js",
+    "tilecache.effective_gpu_cycles",
+    "tilecache.effective_total_j",
 )
 
 # Workload-config keys that must match for two documents to be
 # comparable at all.
 _CONFIG_KEYS = (
     "width", "height", "frames", "detail", "quick", "scenes",
-    "kernel_backend", "broad_phase",
+    "kernel_backend", "broad_phase", "tile_cache",
 )
+
+# Defaults applied to config keys absent from older-schema documents:
+# a v4 document predates the tile cache, which is exactly what
+# "cache off" means, so it stays comparable to a cache-off v5 run and
+# is refused against a cache-on one.
+_CONFIG_DEFAULTS = {"tile_cache": False}
 
 
 @dataclass(frozen=True, slots=True)
@@ -276,10 +286,13 @@ def compare_documents(
     for key in _CONFIG_KEYS:
         if key == "scenes":
             continue
-        if base_config.get(key) != cur_config.get(key):
+        default = _CONFIG_DEFAULTS.get(key)
+        base_value = base_config.get(key, default)
+        cur_value = cur_config.get(key, default)
+        if base_value != cur_value:
             report.errors.append(
-                f"config.{key} differs (baseline {base_config.get(key)!r}, "
-                f"current {cur_config.get(key)!r}): documents are not "
+                f"config.{key} differs (baseline {base_value!r}, "
+                f"current {cur_value!r}): documents are not "
                 f"comparable"
             )
     if report.errors:

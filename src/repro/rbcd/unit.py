@@ -159,6 +159,7 @@ class RBCDUnit:
         self.elements_read = 0
         self.stack_overflows = 0
         self.unmatched_backfaces = 0
+        self.tiles_replayed = 0
 
     def reset(self) -> None:
         """Clear per-frame state (new frame, fresh report)."""
@@ -170,6 +171,7 @@ class RBCDUnit:
         self.elements_read = 0
         self.stack_overflows = 0
         self.unmatched_backfaces = 0
+        self.tiles_replayed = 0
 
     def process_tile(
         self,
@@ -193,14 +195,24 @@ class RBCDUnit:
         self.absorb(result)
         return result
 
-    def absorb(self, result: RBCDTileResult) -> None:
+    def absorb(self, result: RBCDTileResult, replayed: bool = False) -> None:
         """Fold one tile's result into the per-frame counters and report.
 
         Results must be absorbed in tile-schedule order for the report's
         contact-record ordering to be bit-identical to the serial path;
         every counter is a plain sum, so the order affects only record
         layout, never values.
+
+        ``replayed=True`` marks a result replayed from the cross-frame
+        tile cache (:mod:`repro.gpu.tilecache`) rather than freshly
+        computed.  Replay is exact, so the absorb path is *identical* —
+        same counters, same pair records, same provenance — and the
+        flag only feeds :attr:`tiles_replayed`, which lives outside
+        :meth:`counters` precisely so cache-on output stays
+        bit-identical to cache-off.
         """
+        if replayed:
+            self.tiles_replayed += 1
         self.insertions += result.zeb.insertions
         self.overflow_events += result.zeb.overflow_events
         self.spare_allocations += result.zeb.spare_allocations

@@ -160,6 +160,49 @@ class TestRunBench:
             energy["gpu"]["fragment_j"]
         )
 
+    def test_tile_cache_defaults_off_and_recorded(self, tiny_doc):
+        doc, _ = tiny_doc
+        entry = doc["scenes"]["crazy"]
+        assert doc["config"]["tile_cache"] is False
+        tilecache = entry["tilecache"]
+        assert tilecache["enabled"] is False
+        assert tilecache["lookups"] == 0
+        assert tilecache["per_frame_hits"] == []
+        # With the cache off the effective totals ARE the totals.
+        assert tilecache["effective_gpu_cycles"] == entry["totals"]["gpu_cycles"]
+        assert tilecache["effective_total_j"] == pytest.approx(
+            entry["energy"]["total_j"]
+        )
+        assert not any(
+            name.startswith("gpu.tilecache.") for name in entry["counters"]
+        )
+
+    def test_tile_cache_enabled_records_hits(self):
+        # cap keeps four static collisionable props in view, so a
+        # two-frame run is guaranteed cross-frame signature hits.
+        doc = run_bench(
+            ["cap"], width=160, height=96, frames=2, detail=1,
+            runs=2, tile_cache=True,
+        )
+        validate_bench_document(doc)
+        assert doc["config"]["tile_cache"] is True
+        entry = doc["scenes"]["cap"]
+        tilecache = entry["tilecache"]
+        assert tilecache["enabled"] is True
+        assert tilecache["hits"] > 0
+        assert tilecache["lookups"] == tilecache["hits"] + tilecache["misses"]
+        assert tilecache["collisions"] == 0
+        assert len(tilecache["per_frame_hits"]) == 2
+        assert tilecache["per_frame_hits"][0] == 0  # cold first frame
+        assert sum(tilecache["per_frame_hits"]) == tilecache["hits"]
+        # The modelled savings beat the signature overhead: cache-on
+        # costs strictly fewer effective cycles and joules.
+        assert tilecache["cycles_saved"] > tilecache["signature_cycles"]
+        assert tilecache["effective_gpu_cycles"] < entry["totals"]["gpu_cycles"]
+        assert tilecache["effective_total_j"] < entry["energy"]["total_j"]
+        # The merged counters expose the gpu.tilecache.* namespace.
+        assert entry["counters"]["gpu.tilecache.hits"] == tilecache["hits"]
+
     def test_trace_files_written(self, tiny_doc):
         _, trace_dir = tiny_doc
         ndjson = trace_dir / "trace_crazy.ndjson"
@@ -176,13 +219,14 @@ class TestRunBench:
 
 
 def valid_doc():
-    """A minimal schema-valid v4 document for validator tests."""
+    """A minimal schema-valid v5 document for validator tests."""
     return {
         "schema": SCHEMA_NAME,
         "version": SCHEMA_VERSION,
         "config": {"width": 64, "height": 32, "frames": 1,
                    "detail": 1, "quick": True, "runs": 2, "profile": False,
-                   "kernel_backend": "vectorized", "broad_phase": "lbvh"},
+                   "kernel_backend": "vectorized", "broad_phase": "lbvh",
+                   "tile_cache": False},
         "stats": {"bootstrap_resamples": 100, "confidence": 0.95},
         "scenes": {
             "crazy": {
@@ -215,14 +259,51 @@ def valid_doc():
                 },
                 "cases": {"disjoint": 3, "crossing": 1, "nested": 0,
                           "self_filtered": 0, "evidence_records": 1},
+                "tilecache": {"enabled": False, "lookups": 0, "hits": 0,
+                              "misses": 0, "collisions": 0, "stores": 0,
+                              "hit_rate": 0.0, "cycles_saved": 0.0,
+                              "signature_cycles": 0.0, "joules_saved": 0.0,
+                              "signature_j": 0.0,
+                              "effective_gpu_cycles": 100.0,
+                              "effective_total_j": 1e-3,
+                              "per_frame_hits": [],
+                              "per_frame_lookups": []},
             }
         },
     }
 
 
+def valid_doc_v4():
+    """The same document as a pre-tile-cache schema v4 baseline."""
+    doc = valid_doc()
+    doc["version"] = 4
+    del doc["config"]["tile_cache"]
+    del doc["scenes"]["crazy"]["tilecache"]
+    return doc
+
+
 class TestValidator:
     def test_accepts_valid(self):
         validate_bench_document(valid_doc())
+
+    def test_accepts_v4_document(self):
+        # v5 is additive: stored v4 baselines must stay valid without
+        # the tile_cache config key or the tilecache scene block.
+        validate_bench_document(valid_doc_v4())
+
+    def test_accepts_unknown_extra_keys(self):
+        # Additive schema growth must not invalidate older validators'
+        # output — or this validator's own future documents.
+        doc = valid_doc()
+        doc["config"]["future_knob"] = 7
+        doc["scenes"]["crazy"]["future_block"] = {"x": 1}
+        validate_bench_document(doc)
+
+    def test_v4_document_still_needs_v4_keys(self):
+        doc = valid_doc_v4()
+        del doc["scenes"]["crazy"]["energy"]
+        with pytest.raises(ValueError, match="energy"):
+            validate_bench_document(doc)
 
     def test_rejects_non_object(self):
         with pytest.raises(ValueError):
@@ -278,6 +359,21 @@ class TestValidator:
          "fragment_j"),
         (lambda d: d["scenes"]["crazy"]["energy"]["rbcd"].update(
             insertion_j="lots"), "insertion_j"),
+        (lambda d: d["config"].pop("tile_cache"), "config.tile_cache"),
+        (lambda d: d["config"].update(tile_cache="on"), "config.tile_cache"),
+        (lambda d: d["scenes"]["crazy"].pop("tilecache"), "tilecache"),
+        (lambda d: d["scenes"]["crazy"]["tilecache"].pop("enabled"),
+         "tilecache.enabled"),
+        (lambda d: d["scenes"]["crazy"]["tilecache"].update(hits=-1),
+         "tilecache.hits"),
+        (lambda d: d["scenes"]["crazy"]["tilecache"].update(hits=1.5),
+         "tilecache.hits"),
+        (lambda d: d["scenes"]["crazy"]["tilecache"].update(
+            cycles_saved="many"), "tilecache.cycles_saved"),
+        (lambda d: d["scenes"]["crazy"]["tilecache"].update(
+            per_frame_hits=3), "tilecache.per_frame_hits"),
+        (lambda d: d["scenes"]["crazy"]["tilecache"].update(
+            per_frame_lookups=[1, -2]), r"tilecache.per_frame_lookups\[1\]"),
     ])
     def test_rejects_each_mutation(self, mutate, needle):
         doc = valid_doc()
@@ -333,4 +429,22 @@ class TestCli:
         assert code == 0
         doc = json.loads(out.read_text())
         validate_bench_document(doc)
+        assert doc["config"]["tile_cache"] is False
         assert main(["--check", str(out)]) == 0
+
+    def test_tile_cache_flag_threads_through(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_tc.json"
+        code = main([
+            "--scenes", "cap", "--width", "64", "--height", "32",
+            "--frames", "2", "--detail", "1", "--tile-cache",
+            "--output", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["config"]["tile_cache"] is True
+        assert doc["scenes"]["cap"]["tilecache"]["enabled"] is True
+        assert "tilecache:" in capsys.readouterr().out
+
+    def test_tile_cache_flags_conflict(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--tile-cache", "--no-tile-cache"])

@@ -60,6 +60,51 @@ class TestGateAgainstBaseline:
         assert not report.ok
         assert any("baseline document invalid" in e for e in report.errors)
 
+    def test_effective_cycles_are_gated(self, bench_doc):
+        # tilecache.effective_gpu_cycles is a deterministic metric: a
+        # baseline that spent fewer effective cycles fails the gate.
+        better = copy.deepcopy(bench_doc)
+        better["scenes"]["crazy"]["tilecache"]["effective_gpu_cycles"] *= 0.9
+        report = gate_against_baseline(bench_doc, better)
+        assert not report.ok
+        assert any(
+            c.metric == "tilecache.effective_gpu_cycles" and c.regressed
+            for c in report.comparisons
+        )
+
+    def test_v4_baseline_gates_clean_against_cache_off_v5(self, bench_doc):
+        # A stored pre-tile-cache baseline is implicitly cache-off: it
+        # must keep gating against a cache-off v5 run of the same tree.
+        v4 = copy.deepcopy(bench_doc)
+        v4["version"] = 4
+        del v4["config"]["tile_cache"]
+        for scene in v4["scenes"].values():
+            del scene["tilecache"]
+        report = gate_against_baseline(bench_doc, v4)
+        assert report.ok, report.render()
+
+    def test_v4_baseline_refuses_cache_on_v5(self, bench_doc):
+        # ... but never against a cache-on run: the documents were
+        # measured under different configurations.
+        v4 = copy.deepcopy(bench_doc)
+        v4["version"] = 4
+        del v4["config"]["tile_cache"]
+        for scene in v4["scenes"].values():
+            del scene["tilecache"]
+        cached = copy.deepcopy(bench_doc)
+        cached["config"]["tile_cache"] = True
+        report = gate_against_baseline(cached, v4)
+        assert not report.ok
+        assert any("config.tile_cache" in e for e in report.errors)
+
+    def test_cache_on_vs_cache_off_refused_both_ways(self, bench_doc):
+        cached = copy.deepcopy(bench_doc)
+        cached["config"]["tile_cache"] = True
+        for first, second in ((bench_doc, cached), (cached, bench_doc)):
+            report = gate_against_baseline(first, second)
+            assert not report.ok
+            assert any("config.tile_cache" in e for e in report.errors)
+
 
 class TestGateCli:
     def test_unchanged_tree_exits_zero(self, tmp_path, baseline_file, capsys):
