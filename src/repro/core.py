@@ -134,6 +134,14 @@ class RBCDSystem:
         windows, latency quantiles, watchdog rules) without changing
         any result — the same strictly-observational contract as the
         tracer and the provenance recorder.
+    tile_profiler:
+        Optional :class:`repro.observability.tileprofile.TileProfiler`;
+        every detected frame then accumulates per-tile
+        cycle/energy/activity/cache-hit grids (the schema-v6
+        ``tile_profile`` bench block and the attribution engine's
+        spatial layer).  Strictly observational: results, counters,
+        and cycles are bit-identical with the profiler on or off, at
+        any worker count.
     tile_cache:
         Cross-frame tile redundancy elimination
         (:mod:`repro.gpu.tilecache`): ``True``/``False`` force the
@@ -156,6 +164,7 @@ class RBCDSystem:
         provenance=None,
         monitor=None,
         tile_cache: bool | None = None,
+        tile_profiler=None,
     ) -> None:
         if config is None:
             width, height = resolution
@@ -173,7 +182,7 @@ class RBCDSystem:
         self.config = config
         self._gpu = GPU(
             config, rbcd_enabled=True, tracer=tracer, provenance=provenance,
-            monitor=monitor,
+            monitor=monitor, tile_profiler=tile_profiler,
         )
         log_event(
             _LOG, "rbcd.system.created", level=logging.DEBUG,

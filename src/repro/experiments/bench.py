@@ -29,10 +29,11 @@ The document layout (checked by :func:`validate_bench_document`):
 
     {
       "schema": "rbcd-bench",          # fixed discriminator
-      "version": 5,
+      "version": 6,
       "config": {width, height, frames, detail, quick, runs, profile,
                  kernel_backend, broad_phase,      # (schema v4)
-                 tile_cache},                      # (schema v5)
+                 tile_cache,                       # (schema v5)
+                 tile_profile},                    # (schema v6)
       "stats": {bootstrap_resamples, confidence},
       "scenes": {
         "<alias>": {
@@ -55,7 +56,11 @@ The document layout (checked by :func:`validate_bench_document`):
                         cycles_saved, signature_cycles,
                         joules_saved, signature_j,
                         effective_gpu_cycles, effective_total_j,
-                        per_frame_hits, per_frame_lookups}
+                        per_frame_hits, per_frame_lookups},
+          "tile_profile": {enabled,                     # (schema v6)
+                           tiles_x, tiles_y, frames,    # when enabled
+                           cycles, energy_j, activity,  # flat per-tile
+                           hits, lookups}               # grids
         }
       }
     }
@@ -86,6 +91,25 @@ but the regress layer treats ``tile_cache`` as a config key — a v4
 baseline (implicitly cache-off) gates cleanly against a cache-off v5
 run and refuses a cache-on one.
 
+Schema v6 adds **per-tile spatial profiles**
+(:class:`~repro.observability.tileprofile.TileProfiler`,
+``--tile-profile``): the config block gains ``tile_profile`` and every
+scene gains a ``tile_profile`` block with flat per-tile
+cycle/energy/activity/cache-hit grids.  Profiling is strictly
+observational (differential-tested), so all other numbers are
+identical with it on or off; the regress layer treats ``tile_profile``
+as a config key like ``tile_cache``, so profiled and unprofiled
+documents never gate against each other silently.  The grids feed the
+regression **attribution** engine
+(:mod:`repro.observability.attribution`): ``--explain`` prints the
+top-k attributed causes when ``--gate`` fails (``--explain-json``
+additionally writes the full attribution report for CI artifacts), and
+every gate failure emits a machine-greppable ``GATE-FAIL`` line.
+
+``--append-history`` appends a one-line ndjson summary per run to
+``benchmarks/history/HISTORY.ndjson`` (or a given file), building the
+longitudinal record the attribution workflow starts from.
+
 ``--quick`` shrinks the run (160x96, 2 frames, detail 1) for CI smoke
 jobs; ``--check FILE`` validates an existing document and exits, so CI
 can assert the artifact it just produced is well-formed without any
@@ -109,8 +133,10 @@ from repro.observability.counters import CounterRegistry
 from repro.observability.export import write_chrome_trace, write_ndjson
 from repro.observability.profile import ProfilingTracer
 from repro.observability.provenance import ProvenanceRecorder
+from repro.observability.attribution import attribute_documents
 from repro.observability.regress import GatePolicy, GateReport, compare_documents
 from repro.observability.stats import bootstrap_ci
+from repro.observability.tileprofile import GRID_NAMES, TileProfiler
 from repro.observability.tracer import Tracer
 from repro.scenes.benchmarks import BENCHMARKS, workload_by_alias
 
@@ -121,22 +147,28 @@ __all__ = [
     "REQUIRED_STAGES",
     "BOOTSTRAP_RESAMPLES",
     "CONFIDENCE",
+    "HISTORY_PATH",
     "run_bench",
     "run_scene",
     "stage_summary",
     "aggregate_stage_runs",
     "gate_against_baseline",
     "validate_bench_document",
+    "history_line",
+    "append_history",
     "main",
 ]
 
 SCHEMA_NAME = "rbcd-bench"
-SCHEMA_VERSION = 5
-# Older schema versions the validator still accepts: v5 is purely
-# additive over v4, so stored v4 baselines remain valid documents
-# (whether they may *gate* against a v5 run is the regress layer's
-# call, via the config keys).
-SUPPORTED_VERSIONS = (4, 5)
+SCHEMA_VERSION = 6
+# Older schema versions the validator still accepts: v5 and v6 are
+# purely additive over v4, so stored v4/v5 baselines remain valid
+# documents (whether they may *gate* against a v6 run is the regress
+# layer's call, via the config keys).
+SUPPORTED_VERSIONS = (4, 5, 6)
+
+# Default history file for --append-history (repo-relative).
+HISTORY_PATH = Path("benchmarks/history/HISTORY.ndjson")
 
 # Per-scene "cases" keys (schema v3): the Figure-5 interference-case
 # histogram from the provenance recorder, deterministic per scene.
@@ -291,6 +323,20 @@ def _tilecache_block(
     }
 
 
+def _tile_profile_block(
+    enabled: bool, profiler: TileProfiler | None
+) -> dict[str, Any]:
+    """Assemble one scene's schema-v6 ``tile_profile`` block.
+
+    Disabled runs record ``{"enabled": False}`` only — no grids — so
+    the block stays tiny in the common case while remaining present
+    (and therefore part of the cross-run determinism check) always.
+    """
+    if not enabled or profiler is None:
+        return {"enabled": False}
+    return {"enabled": True, **profiler.as_dict()}
+
+
 def run_scene(
     alias: str,
     config: GPUConfig,
@@ -299,6 +345,7 @@ def run_scene(
     runs: int = 1,
     trace_dir: Path | None = None,
     profile: bool = False,
+    tile_profile: bool = False,
 ) -> dict[str, Any]:
     """Render one workload ``runs`` times through a traced system."""
     if runs < 1:
@@ -306,20 +353,25 @@ def run_scene(
     workload = workload_by_alias(alias, detail=detail)
     tracer = _make_tracer(profile)
     recorder = ProvenanceRecorder()
+    profiler = TileProfiler() if tile_profile else None
     run_summaries: list[dict] = []
     frame_wall_s_runs: list[float] = []
     first_totals: dict[str, Any] | None = None
     first_counters: dict[str, Any] | None = None
     first_cases: dict[str, int] | None = None
     first_tilecache: dict[str, Any] | None = None
+    first_tile_profile: dict[str, Any] | None = None
     energy: FrameEnergyReport | None = None
 
     with RBCDSystem(
-        config=config, tracer=tracer, provenance=recorder
+        config=config, tracer=tracer, provenance=recorder,
+        tile_profiler=profiler,
     ) as system:
         for run in range(runs):
             tracer.reset()
             recorder.reset()
+            if profiler is not None:
+                profiler.reset()
             # Each run starts cold: a warm cache would replay run 0's
             # tiles, making runs > 0 legitimately different — the
             # determinism check below would then misfire.
@@ -377,23 +429,27 @@ def run_scene(
                 per_frame_hits, per_frame_lookups,
                 gpu_cycles, run_energy.total_j,
             )
+            profile_block = _tile_profile_block(tile_profile, profiler)
             if first_totals is None:
                 first_totals = totals
                 first_counters = counters.as_dict()
                 first_cases = cases
                 first_tilecache = tilecache
+                first_tile_profile = profile_block
                 energy = run_energy
             else:
                 # Everything but wall time is a pure function of the
                 # scene; catching drift here is a free differential test
-                # every multi-run bench performs.  The tilecache block
-                # participates: each run starts from a cold cache, so
-                # hit patterns must repeat exactly too.
+                # every multi-run bench performs.  The tilecache and
+                # tile_profile blocks participate: each run starts from
+                # a cold cache and a reset profiler, so hit patterns
+                # and grids must repeat exactly too.
                 if (
                     totals != first_totals
                     or counters.as_dict() != first_counters
                     or cases != first_cases
                     or tilecache != first_tilecache
+                    or profile_block != first_tile_profile
                 ):
                     raise RuntimeError(
                         f"scene {alias!r} run {run} produced different "
@@ -403,7 +459,7 @@ def run_scene(
 
     assert first_totals is not None and first_counters is not None
     assert first_cases is not None and first_tilecache is not None
-    assert energy is not None
+    assert first_tile_profile is not None and energy is not None
     if trace_dir is not None:
         # Traces from the last run (the tracer holds one run at a time).
         trace_dir.mkdir(parents=True, exist_ok=True)
@@ -430,6 +486,7 @@ def run_scene(
         "energy": energy.as_dict(),
         "cases": first_cases,
         "tilecache": first_tilecache,
+        "tile_profile": first_tile_profile,
     }
 
 
@@ -446,6 +503,7 @@ def run_bench(
     kernel_backend: str | None = None,
     broad_phase: str = "lbvh",
     tile_cache: bool | None = None,
+    tile_profile: bool = False,
     progress=None,
 ) -> dict[str, Any]:
     """Run the bench over ``scenes`` and assemble the full document.
@@ -460,6 +518,11 @@ def run_bench(
     ``tile_cache`` forces the cross-frame tile cache on/off (``None``
     keeps the config default, i.e. ``REPRO_TILE_CACHE``); the resolved
     setting is recorded in the config block for the same reason.
+    ``tile_profile`` attaches a per-scene
+    :class:`~repro.observability.tileprofile.TileProfiler` and stores
+    its grids in the schema-v6 ``tile_profile`` blocks — strictly
+    observational, but recorded in the config block so profiled and
+    unprofiled documents never gate against each other.
     """
     from repro.physics.world import BROAD_ALGOS
 
@@ -485,6 +548,7 @@ def run_bench(
             "kernel_backend": config.kernel_backend,
             "broad_phase": broad_phase,
             "tile_cache": config.tile_cache_enabled,
+            "tile_profile": tile_profile,
         },
         "stats": {
             "bootstrap_resamples": BOOTSTRAP_RESAMPLES,
@@ -498,6 +562,7 @@ def run_bench(
         doc["scenes"][alias] = run_scene(
             alias, config, frames, detail,
             runs=runs, trace_dir=trace_dir, profile=profile,
+            tile_profile=tile_profile,
         )
     return doc
 
@@ -561,15 +626,51 @@ def _check_energy(errors, base, energy) -> None:
         _check_number(errors, f"{base}.energy.{key}", energy.get(key))
 
 
+def _check_tile_profile(errors, base, profile) -> None:
+    """Schema-v6 per-scene ``tile_profile`` block: ``{"enabled": False}``
+    alone when disabled; dimensions + full-length grids when enabled."""
+    ppath = f"{base}.tile_profile"
+    if not isinstance(profile, Mapping):
+        _fail(errors, ppath, "missing or not an object (schema v6)")
+        return
+    enabled = profile.get("enabled")
+    if not isinstance(enabled, bool):
+        _fail(errors, f"{ppath}.enabled", "expected a bool")
+        return
+    if not enabled:
+        return
+    for key in ("tiles_x", "tiles_y", "frames"):
+        _check_int(errors, f"{ppath}.{key}", profile.get(key), minimum=1)
+    tiles_x = profile.get("tiles_x")
+    tiles_y = profile.get("tiles_y")
+    expected = (
+        tiles_x * tiles_y
+        if isinstance(tiles_x, int) and isinstance(tiles_y, int)
+        else None
+    )
+    for name in GRID_NAMES:
+        grid = profile.get(name)
+        if not isinstance(grid, list):
+            _fail(errors, f"{ppath}.{name}", "expected a list")
+            continue
+        if expected is not None and len(grid) != expected:
+            _fail(errors, f"{ppath}.{name}",
+                  f"expected {expected} cells (tiles_x*tiles_y), "
+                  f"got {len(grid)}")
+        for i, value in enumerate(grid):
+            _check_number(errors, f"{ppath}.{name}[{i}]", value)
+
+
 def validate_bench_document(doc: Any) -> None:
     """Raise ``ValueError`` (listing every problem) if ``doc`` is not a
     well-formed rbcd-bench document.
 
     Accepts any version in :data:`SUPPORTED_VERSIONS`: v5 is additive
-    over v4 (config ``tile_cache`` + per-scene ``tilecache``), so the
-    new keys are required at v5 and skipped at v4.  Unknown *extra*
-    keys are tolerated at any version — additive schema growth must not
-    invalidate stored baselines.
+    over v4 (config ``tile_cache`` + per-scene ``tilecache``) and v6
+    over v5 (config ``tile_profile`` + per-scene ``tile_profile``), so
+    the new keys are required at their version and skipped below it.
+    Unknown *extra* keys are tolerated at any version — additive schema
+    growth must not invalidate stored baselines.
     """
     errors: list[str] = []
     if not isinstance(doc, Mapping):
@@ -598,6 +699,8 @@ def validate_bench_document(doc: Any) -> None:
                 _fail(errors, f"config.{key}", "expected a non-empty string")
         if version >= 5 and not isinstance(config.get("tile_cache"), bool):
             _fail(errors, "config.tile_cache", "expected a bool (schema v5)")
+        if version >= 6 and not isinstance(config.get("tile_profile"), bool):
+            _fail(errors, "config.tile_profile", "expected a bool (schema v6)")
         runs = config.get("runs")
 
     stats = doc.get("stats")
@@ -698,6 +801,9 @@ def validate_bench_document(doc: Any) -> None:
                     for i, value in enumerate(values):
                         _check_int(errors, f"{tpath}.{key}[{i}]", value)
 
+        if version >= 6:
+            _check_tile_profile(errors, base, entry.get("tile_profile"))
+
     if errors:
         raise ValueError(
             "invalid rbcd-bench document:\n  " + "\n  ".join(errors)
@@ -730,6 +836,49 @@ def gate_against_baseline(
     if report.errors:
         return report
     return compare_documents(baseline, current, policy)
+
+
+def history_line(doc: Mapping[str, Any]) -> str:
+    """One ndjson line summarizing a bench document for the history log.
+
+    One JSON object per *scene* field inside a single line per run:
+    schema version, workload config fingerprint, and per-scene
+    gpu_cycles / total_j / effective totals — enough to plot a metric's
+    trajectory or pick two runs to feed the attribution engine, small
+    enough to append forever.  No timestamps: the append order is the
+    history.
+    """
+    config = doc.get("config", {})
+    record: dict[str, Any] = {
+        "version": doc.get("version"),
+        "config": {
+            key: config.get(key)
+            for key in ("width", "height", "frames", "detail", "runs",
+                        "kernel_backend", "broad_phase", "tile_cache",
+                        "tile_profile")
+        },
+        "scenes": {},
+    }
+    for alias, entry in doc.get("scenes", {}).items():
+        totals = entry.get("totals", {})
+        energy = entry.get("energy", {})
+        tilecache = entry.get("tilecache", {})
+        record["scenes"][alias] = {
+            "gpu_cycles": totals.get("gpu_cycles"),
+            "total_j": energy.get("total_j"),
+            "edp_js": energy.get("edp_js"),
+            "effective_gpu_cycles": tilecache.get("effective_gpu_cycles"),
+            "effective_total_j": tilecache.get("effective_total_j"),
+        }
+    return json.dumps(record, sort_keys=True)
+
+
+def append_history(doc: Mapping[str, Any], path: Path) -> Path:
+    """Append :func:`history_line` to ``path`` (created with parents)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(history_line(doc) + "\n")
+    return path
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -783,6 +932,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="force the cross-frame tile cache off",
     )
     parser.add_argument(
+        "--tile-profile", action="store_true",
+        help="record per-tile cycle/energy/activity grids into the "
+             "schema-v6 tile_profile blocks (strictly observational; "
+             "enables the attribution engine's spatial layer)",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="attach cProfile to stage spans; hotspots land in the "
              "exported traces (document is marked and cannot gate)",
@@ -819,6 +974,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"significance level for wall-time tests (default: {_DEFAULT_POLICY.alpha})",
     )
     parser.add_argument(
+        "--explain", action="store_true",
+        help="on gate failure, run the attribution engine against the "
+             "baseline and print the top attributed causes "
+             "(requires --baseline)",
+    )
+    parser.add_argument(
+        "--explain-json", type=Path, default=None, metavar="FILE",
+        help="also write the full attribution report as JSON on gate "
+             "failure (CI artifact; implies --explain)",
+    )
+    parser.add_argument(
+        "--append-history", nargs="?", type=Path, const=HISTORY_PATH,
+        default=None, metavar="FILE",
+        help="append a one-line ndjson summary of this run to FILE "
+             f"(default: {HISTORY_PATH})",
+    )
+    parser.add_argument(
         "--check", type=Path, default=None, metavar="FILE",
         help="validate an existing bench document and exit",
     )
@@ -842,6 +1014,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.gate and args.baseline is None:
         parser.error("--gate requires --baseline")
+    if args.explain_json is not None:
+        args.explain = True
+    if args.explain and args.baseline is None:
+        parser.error("--explain requires --baseline")
 
     if args.quick:
         args.width, args.height = 160, 96
@@ -852,11 +1028,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         quick=args.quick, runs=args.runs, trace_dir=args.trace_dir,
         profile=args.profile, kernel_backend=args.kernel_backend,
         broad_phase=args.broad_phase, tile_cache=args.tile_cache,
+        tile_profile=args.tile_profile,
         progress=lambda alias: print(f"bench: {alias} ...", flush=True),
     )
     validate_bench_document(doc)
     args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
+    if args.append_history is not None:
+        append_history(doc, args.append_history)
+        print(f"appended history line to {args.append_history}")
     for alias, entry in doc["scenes"].items():
         totals = entry["totals"]
         throughput = entry["throughput"]
@@ -891,6 +1071,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"baseline: {args.baseline}")
         print(report.render())
         if not report.ok:
+            print(report.failure_line(), file=sys.stderr)
+            if args.explain:
+                _explain_failure(
+                    report, baseline, doc, args.alpha, args.explain_json
+                )
             if args.gate:
                 print("gate: FAILED", file=sys.stderr)
                 return 1
@@ -899,6 +1084,45 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             print("gate: ok")
     return 0
+
+
+def _explain_failure(
+    report: GateReport,
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    alpha: float,
+    json_path: Path | None,
+) -> None:
+    """Attribute a failed gate: print top causes per regressed metric
+    (falling back to the global ranking on structural failures) and
+    optionally write the full attribution report for CI to upload."""
+    attribution = attribute_documents(baseline, current, alpha=alpha)
+    printed = 0
+    for regression in report.regressions:
+        causes = attribution.explain(regression.scene, regression.metric)
+        if not causes:
+            continue
+        print(f"explain [{regression.scene}] {regression.metric}:",
+              file=sys.stderr)
+        for cause in causes:
+            note = f" — {cause['note']}" if cause["note"] else ""
+            print(
+                f"  {cause['path']}: {cause['baseline']:.6g} -> "
+                f"{cause['current']:.6g} ({cause['delta']:+.6g}, "
+                f"{cause['share']:+.1%}){note}",
+                file=sys.stderr,
+            )
+            printed += 1
+    if printed == 0:
+        # Structural failure or no tree covers the gated metric: the
+        # global ranking is still the best available pointer.
+        for line in attribution.render_text(top_k=10).splitlines():
+            print(f"explain: {line}", file=sys.stderr)
+    if json_path is not None:
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(attribution.to_json() + "\n")
+        print(f"explain: wrote attribution report to {json_path}",
+              file=sys.stderr)
 
 
 if __name__ == "__main__":

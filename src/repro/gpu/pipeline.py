@@ -188,6 +188,7 @@ class GPU:
         tracer=None,
         provenance=None,
         monitor=None,
+        tile_profiler=None,
     ) -> None:
         """``rendering_mode``:
 
@@ -225,6 +226,13 @@ class GPU:
         energy, cycle and wall timings) feeding the live windows and
         watchdogs.  Strictly observational, like the tracer and the
         provenance recorder.
+
+        ``tile_profiler`` accepts a
+        :class:`repro.observability.tileprofile.TileProfiler`; every
+        RBCD frame then accumulates per-tile cycle/energy/activity/
+        cache-hit grids, recorded at absorb time in tile-schedule order
+        (so the grids are identical at any worker count).  Strictly
+        observational, same contract as the recorders above.
         """
         if rendering_mode not in ("tbr", "tbdr", "imr"):
             raise ValueError('rendering_mode must be "tbr", "tbdr" or "imr"')
@@ -244,6 +252,7 @@ class GPU:
         self.tracer = ensure_tracer(tracer)
         self.provenance = provenance
         self.monitor = monitor
+        self.tile_profiler = tile_profiler
         self._executor = executor
         self._owns_executor = executor is None
         self._energy_account: EnergyAccount | None = None
@@ -610,6 +619,11 @@ class GPU:
             )
         else:
             stream = ((r, False) for r in self.executor.run(self.config, tasks))
+        profiler = self.tile_profiler
+        rbcd_energy_model = None
+        if profiler is not None:
+            profiler.begin_frame(self.config)
+            rbcd_energy_model = self.energy_account.rbcd_model
         for result, replayed in stream:
             with tracer.span(
                 "rbcd.tile", category="tile", tile=result.tile_index
@@ -625,6 +639,14 @@ class GPU:
                     )
                 unit.absorb(result, replayed=replayed)
                 tile_span.cycles = result.insertion_cycles + result.overlap_cycles
+            if profiler is not None:
+                # Absorb time is where the main process first sees the
+                # tile, in tile-schedule order — recording here makes
+                # the grids deterministic at any worker count, exactly
+                # like the provenance hook inside absorb().
+                profiler.record_tile(
+                    result, replayed=replayed, energy_model=rbcd_energy_model
+                )
             overlap_cycles[result.tile_index] = result.overlap_cycles
             insertion_limit[result.tile_index] = result.insertion_cycles
 

@@ -45,13 +45,24 @@ from repro.observability.window import (
     SlidingWindow,
     WindowAggregate,
 )
+from repro.observability.attribution import (
+    AttributionReport,
+    DeltaNode,
+    SceneAttribution,
+    SpatialDelta,
+    attribute_documents,
+    cross_check_document,
+)
 from repro.observability.export import (
+    heatmap_csv,
     provenance_instant_events,
+    render_heatmap_ascii,
     span_record,
     to_chrome_trace,
     to_ndjson,
     to_provenance_ndjson,
     write_chrome_trace,
+    write_heatmap_csv,
     write_ndjson,
     write_provenance_ndjson,
 )
@@ -70,6 +81,7 @@ from repro.observability.provenance import (
 # triggers no cycle either, but a package-level ``from ... import``
 # at init time would.
 from repro.observability.regress import (
+    CONFIG_TABLE,
     GatePolicy,
     GateReport,
     MetricComparison,
@@ -78,10 +90,13 @@ from repro.observability.regress import (
 from repro.observability.stats import (
     MannWhitneyResult,
     SampleSummary,
+    SignificanceResult,
     bootstrap_ci,
     mann_whitney_u,
+    significance_of,
     summarize,
 )
+from repro.observability.tileprofile import GRID_NAMES, TileProfiler
 from repro.observability.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -119,10 +134,25 @@ __all__ = [
     "bootstrap_ci",
     "mann_whitney_u",
     "MannWhitneyResult",
+    "SignificanceResult",
+    "significance_of",
+    "CONFIG_TABLE",
     "GatePolicy",
     "GateReport",
     "MetricComparison",
     "compare_documents",
+    # regression attribution + tile profiles
+    "AttributionReport",
+    "DeltaNode",
+    "SceneAttribution",
+    "SpatialDelta",
+    "attribute_documents",
+    "cross_check_document",
+    "GRID_NAMES",
+    "TileProfiler",
+    "heatmap_csv",
+    "write_heatmap_csv",
+    "render_heatmap_ascii",
     # live telemetry
     "LiveMonitor",
     "MetricSnapshot",

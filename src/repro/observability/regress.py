@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from repro.observability.stats import bootstrap_ci, mann_whitney_u, summarize
+from repro.observability.stats import significance_of, summarize
 
 __all__ = [
     "GatePolicy",
@@ -38,6 +38,7 @@ __all__ = [
     "GateReport",
     "compare_documents",
     "DETERMINISTIC_SCENE_METRICS",
+    "CONFIG_TABLE",
 ]
 
 # Scene-level deterministic metrics gated when present in the baseline:
@@ -57,17 +58,29 @@ DETERMINISTIC_SCENE_METRICS = (
 )
 
 # Workload-config keys that must match for two documents to be
-# comparable at all.
-_CONFIG_KEYS = (
-    "width", "height", "frames", "detail", "quick", "scenes",
-    "kernel_backend", "broad_phase", "tile_cache",
+# comparable at all, each with the default assumed when the key is
+# absent from an older-schema document (None = the key has existed
+# since schema v2, absence is a mismatch in its own right).  A v4
+# document predates the tile cache, which is exactly what "cache off"
+# means, so it stays comparable to a cache-off v5 run and is refused
+# against a cache-on one; likewise pre-v6 documents are implicitly
+# tile-profile-off.
+CONFIG_TABLE = (
+    ("width", None),
+    ("height", None),
+    ("frames", None),
+    ("detail", None),
+    ("quick", None),
+    ("kernel_backend", None),
+    ("broad_phase", None),
+    ("tile_cache", False),
+    ("tile_profile", False),
 )
 
-# Defaults applied to config keys absent from older-schema documents:
-# a v4 document predates the tile cache, which is exactly what
-# "cache off" means, so it stays comparable to a cache-off v5 run and
-# is refused against a cache-on one.
-_CONFIG_DEFAULTS = {"tile_cache": False}
+_CONFIG_KEYS = tuple(key for key, _ in CONFIG_TABLE)
+_CONFIG_DEFAULTS = {
+    key: default for key, default in CONFIG_TABLE if default is not None
+}
 
 
 @dataclass(frozen=True, slots=True)
@@ -134,6 +147,28 @@ class GateReport:
     @property
     def ok(self) -> bool:
         return not self.errors and not self.regressions
+
+    def failure_line(self) -> str:
+        """One machine-greppable line naming the first failure.
+
+        ``GATE-FAIL scene=<s> metric=<path> kind=<k> baseline=<b>
+        current=<c> ratio=<r>`` for the first regressed comparison, or
+        ``GATE-FAIL error="<first error>"`` when the gate failed
+        structurally before comparing.  Empty string when the gate
+        passed.  The fixed ``GATE-FAIL`` prefix is the contract: CI
+        log scrapers grep for it and get the offending metric path and
+        both values without parsing the full report.
+        """
+        if self.regressions:
+            first = self.regressions[0]
+            return (
+                f"GATE-FAIL scene={first.scene} metric={first.metric} "
+                f"kind={first.kind} baseline={first.baseline:.6g} "
+                f"current={first.current:.6g} ratio={first.ratio:.6g}"
+            )
+        if self.errors:
+            return f'GATE-FAIL error="{self.errors[0]}"'
+        return ""
 
     def render(self) -> str:
         """Human-readable multi-line report (what the CLI prints)."""
@@ -204,22 +239,12 @@ def _compare_wall(
     significant = False
     detail = ""
     if big_regression or big_improvement:
-        base_ci = bootstrap_ci(base_samples, confidence=policy.confidence)
-        cur_ci = bootstrap_ci(cur_samples, confidence=policy.confidence)
-        disjoint = cur_ci[0] > base_ci[1] or base_ci[0] > cur_ci[1]
-        if len(base_samples) > 1 and len(cur_samples) > 1:
-            test = mann_whitney_u(cur_samples, base_samples)
-            significant = disjoint or test.significant(policy.alpha)
-            detail = (
-                f"CI {'disjoint' if disjoint else 'overlaps'}, "
-                f"Mann-Whitney p={test.p_value:.3g} ({test.method})"
-            )
-        else:
-            # Single-run documents: CI bounds degenerate to the sample
-            # itself, so disjointness is just "the values differ" —
-            # still gate, but say the evidence is thin.
-            significant = disjoint
-            detail = "single-run samples (no significance test)"
+        evidence = significance_of(
+            base_samples, cur_samples,
+            alpha=policy.alpha, confidence=policy.confidence,
+        )
+        significant = evidence.significant
+        detail = evidence.detail
     return MetricComparison(
         scene=scene,
         metric=f"stages.{stage}.wall_ms",
@@ -284,8 +309,6 @@ def compare_documents(
         report.errors.append("both documents need a scenes block")
         return report
     for key in _CONFIG_KEYS:
-        if key == "scenes":
-            continue
         default = _CONFIG_DEFAULTS.get(key)
         base_value = base_config.get(key, default)
         cur_value = cur_config.get(key, default)

@@ -36,6 +36,8 @@ __all__ = [
     "bootstrap_ci",
     "mann_whitney_u",
     "MannWhitneyResult",
+    "SignificanceResult",
+    "significance_of",
 ]
 
 # Exact Mann-Whitney enumeration is C(n+m, n) evaluations; 12 pooled
@@ -197,3 +199,53 @@ def mann_whitney_u(
 
 def _normal_cdf(x: float) -> float:
     return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True, slots=True)
+class SignificanceResult:
+    """Outcome of one wall-sample significance check.
+
+    ``detail`` is the human-readable evidence string the regression
+    gate and the attribution engine both print (CI disjointness plus
+    the Mann-Whitney p-value, or the single-run caveat).
+    """
+
+    significant: bool
+    detail: str
+
+
+def significance_of(
+    base_samples: Sequence[float],
+    cur_samples: Sequence[float],
+    alpha: float = 0.05,
+    confidence: float = 0.95,
+) -> SignificanceResult:
+    """Decide whether two wall-time samples differ significantly.
+
+    The shared evidence rule of the regression gate and the attribution
+    engine: the samples differ when their bootstrap CIs are disjoint or
+    the two-sided Mann-Whitney test rejects at ``alpha``.  Single-run
+    samples degenerate to "the CIs (i.e. the values) differ" — still a
+    verdict, with the thin evidence called out in ``detail``.
+    """
+    if not base_samples or not cur_samples:
+        raise ValueError("both samples must be non-empty")
+    base_ci = bootstrap_ci(base_samples, confidence=confidence)
+    cur_ci = bootstrap_ci(cur_samples, confidence=confidence)
+    disjoint = cur_ci[0] > base_ci[1] or base_ci[0] > cur_ci[1]
+    if len(base_samples) > 1 and len(cur_samples) > 1:
+        test = mann_whitney_u(cur_samples, base_samples)
+        return SignificanceResult(
+            significant=disjoint or test.significant(alpha),
+            detail=(
+                f"CI {'disjoint' if disjoint else 'overlaps'}, "
+                f"Mann-Whitney p={test.p_value:.3g} ({test.method})"
+            ),
+        )
+    # Single-run documents: CI bounds degenerate to the sample itself,
+    # so disjointness is just "the values differ" — still a verdict,
+    # but say the evidence is thin.
+    return SignificanceResult(
+        significant=disjoint,
+        detail="single-run samples (no significance test)",
+    )

@@ -1,0 +1,189 @@
+"""Per-tile spatial profiles: opt-in, strictly observational grids.
+
+The paper's Figures 10-14 argue spatially: RBCD cycles and energy
+concentrate in the tiles the colliding geometry covers.  A
+:class:`TileProfiler` makes that observable for any run — attached to a
+:class:`~repro.gpu.pipeline.GPU` (or threaded through
+:class:`~repro.core.RBCDSystem`) it accumulates screen-shaped grids of
+
+* ``cycles``   — simulated RBCD work per tile (ZEB insertion + Z-Overlap),
+* ``energy_j`` — *dynamic* RBCD joules per tile (static leakage accrues
+  with frame time, not per tile; see
+  :meth:`~repro.energy.rbcd_power.RBCDEnergyModel.tile_breakdown`),
+* ``activity`` — collisionable fragments inserted per tile,
+* ``hits``     — tile-cache replays per tile (cross-frame cache, PR 7),
+* ``lookups``  — times the tile carried RBCD work at all,
+
+summed over every recorded frame.  The bench harness stores the grids
+in the schema-v6 ``tile_profile`` block, and the attribution engine
+(:mod:`repro.observability.attribution`) diffs two such blocks to
+localize a cycle/energy regression to screen regions.
+
+Contract (the same one the tracer, provenance recorder, and
+:class:`~repro.observability.live.LiveMonitor` obey, differential-tested
+by ``tests/integration/test_tileprofile_differential.py``):
+
+* **zero feedback** — recording reads tile results and writes only the
+  profiler's own grids, so every detection output is bit-identical with
+  the profiler attached or not;
+* **deterministic at any worker count** — tiles are recorded at absorb
+  time in tile-schedule order on the main process, and every grid cell
+  is a plain per-tile sum, so any shard grouping (see
+  :func:`repro.gpu.parallel.tile_profile_of`) merges to the same grids
+  the serial path records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["GRID_NAMES", "TileProfiler"]
+
+# The grids a profiler records, in stored order.  All are per-tile sums
+# (floats in the document; ``activity``/``hits``/``lookups`` happen to
+# be integral), so merging shards is plain elementwise addition.
+GRID_NAMES = ("cycles", "energy_j", "activity", "hits", "lookups")
+
+
+class TileProfiler:
+    """Accumulates per-tile RBCD activity grids across frames.
+
+    Attach via ``GPU(tile_profiler=...)`` or
+    ``RBCDSystem(tile_profiler=...)``; the pipeline calls
+    :meth:`begin_frame` once per RBCD frame and :meth:`record_tile`
+    once per absorbed tile.  Grid dimensions are fixed by the first
+    frame's config — a profiler never spans screen configurations.
+    """
+
+    def __init__(self) -> None:
+        self._tiles_x = 0
+        self._tiles_y = 0
+        self.frames = 0
+        self._grids: dict[str, list[float]] = {}
+
+    @property
+    def tiles_x(self) -> int:
+        return self._tiles_x
+
+    @property
+    def tiles_y(self) -> int:
+        return self._tiles_y
+
+    @property
+    def tile_count(self) -> int:
+        return self._tiles_x * self._tiles_y
+
+    def reset(self) -> None:
+        """Drop every grid and the frame count (dimensions too)."""
+        self._tiles_x = self._tiles_y = 0
+        self.frames = 0
+        self._grids = {}
+
+    def begin_frame(self, config) -> None:
+        """Start recording one frame under ``config`` (a ``GPUConfig``)."""
+        if self._tiles_x == 0:
+            self._tiles_x = config.tiles_x
+            self._tiles_y = config.tiles_y
+            self._grids = {
+                name: [0.0] * self.tile_count for name in GRID_NAMES
+            }
+        elif (config.tiles_x, config.tiles_y) != (self._tiles_x, self._tiles_y):
+            raise ValueError(
+                f"tile profiler recorded {self._tiles_x}x{self._tiles_y} "
+                f"tiles but this frame has {config.tiles_x}x"
+                f"{config.tiles_y}: reset() between configurations"
+            )
+        self.frames += 1
+
+    def record_tile(self, result, replayed: bool = False,
+                    energy_model=None) -> None:
+        """Absorb one tile's :class:`~repro.rbcd.unit.RBCDTileResult`.
+
+        ``energy_model`` is a
+        :class:`~repro.energy.rbcd_power.RBCDEnergyModel` (duck-typed:
+        anything with ``tile_breakdown``); when omitted the energy grid
+        stays zero.  Purely observational: reads the result, mutates
+        only this profiler.
+        """
+        if not self._grids:
+            raise RuntimeError("record_tile() before begin_frame()")
+        idx = result.tile_index
+        self._grids["cycles"][idx] += (
+            result.insertion_cycles + result.overlap_cycles
+        )
+        if energy_model is not None:
+            self._grids["energy_j"][idx] += (
+                energy_model.tile_breakdown(result).total_j
+            )
+        self._grids["activity"][idx] += result.zeb.insertions
+        if replayed:
+            self._grids["hits"][idx] += 1
+        self._grids["lookups"][idx] += 1
+
+    def grid(self, name: str) -> list[float]:
+        """One grid, row-major ``tiles_y`` x ``tiles_x`` (flat copy)."""
+        if name not in GRID_NAMES:
+            raise KeyError(f"unknown grid {name!r} (have {GRID_NAMES})")
+        if not self._grids:
+            return []
+        return list(self._grids[name])
+
+    def merge(self, other: "TileProfiler") -> "TileProfiler":
+        """Fold another profiler's grids into this one (shard merge).
+
+        Elementwise addition — associative and commutative, so any
+        grouping of per-tile shards merges to the serial result.  An
+        empty side is the identity.
+        """
+        if not other._grids:
+            return self
+        if not self._grids:
+            self._tiles_x = other._tiles_x
+            self._tiles_y = other._tiles_y
+            self._grids = {
+                name: list(values) for name, values in other._grids.items()
+            }
+            self.frames += other.frames
+            return self
+        if (self._tiles_x, self._tiles_y) != (other._tiles_x, other._tiles_y):
+            raise ValueError(
+                "cannot merge tile profiles with different dimensions"
+            )
+        for name in GRID_NAMES:
+            mine = self._grids[name]
+            theirs = other._grids[name]
+            for i, value in enumerate(theirs):
+                mine[i] += value
+        self.frames += other.frames
+        return self
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready view: dimensions, frame count, and every grid."""
+        out: dict[str, Any] = {
+            "tiles_x": self._tiles_x,
+            "tiles_y": self._tiles_y,
+            "frames": self.frames,
+        }
+        for name in GRID_NAMES:
+            out[name] = self.grid(name)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TileProfiler":
+        """Rebuild a profiler from :meth:`as_dict` output (or the bench
+        document's ``tile_profile`` block)."""
+        profiler = cls()
+        profiler._tiles_x = int(data.get("tiles_x", 0))
+        profiler._tiles_y = int(data.get("tiles_y", 0))
+        profiler.frames = int(data.get("frames", 0))
+        if profiler.tile_count:
+            profiler._grids = {}
+            for name in GRID_NAMES:
+                values = [float(v) for v in data.get(name, ())]
+                if len(values) != profiler.tile_count:
+                    raise ValueError(
+                        f"grid {name!r} has {len(values)} cells, expected "
+                        f"{profiler.tile_count}"
+                    )
+                profiler._grids[name] = values
+        return profiler

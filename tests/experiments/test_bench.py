@@ -203,6 +203,47 @@ class TestRunBench:
         # The merged counters expose the gpu.tilecache.* namespace.
         assert entry["counters"]["gpu.tilecache.hits"] == tilecache["hits"]
 
+    def test_tile_profile_defaults_off_and_recorded(self, tiny_doc):
+        doc, _ = tiny_doc
+        assert doc["config"]["tile_profile"] is False
+        # Disabled runs carry the tiny sentinel block only: no grids.
+        assert doc["scenes"]["crazy"]["tile_profile"] == {"enabled": False}
+
+    def test_tile_profile_enabled_records_grids(self):
+        doc = run_bench(
+            ["crazy"], width=64, height=32, frames=1, detail=1,
+            runs=2, tile_profile=True,
+        )
+        validate_bench_document(doc)
+        assert doc["config"]["tile_profile"] is True
+        entry = doc["scenes"]["crazy"]
+        profile = entry["tile_profile"]
+        assert profile["enabled"] is True
+        tile_count = profile["tiles_x"] * profile["tiles_y"]
+        for name in ("cycles", "energy_j", "activity", "hits", "lookups"):
+            assert len(profile[name]) == tile_count
+        # The grids are a spatial decomposition of frame totals: tile
+        # cycles sum to the rbcd.tile stage, tile activity to the ZEB
+        # insertion counter, and dynamic tile energy to the rbcd
+        # component joules minus static leakage.
+        assert sum(profile["cycles"]) == pytest.approx(
+            entry["stages"]["rbcd.tile"]["cycles"]
+        )
+        assert sum(profile["activity"]) == pytest.approx(
+            entry["counters"]["gpu.rbcd.zeb_insertions"]
+        )
+        rbcd_j = entry["energy"]["rbcd"]
+        assert sum(profile["energy_j"]) == pytest.approx(
+            rbcd_j["insertion_j"] + rbcd_j["overlap_j"] + rbcd_j["output_j"]
+        )
+        # Everything the v5 schema had is untouched by profiling: the
+        # profiler is strictly observational.
+        bare = run_bench(
+            ["crazy"], width=64, height=32, frames=1, detail=1, runs=1,
+        )
+        assert bare["scenes"]["crazy"]["totals"] == entry["totals"]
+        assert bare["scenes"]["crazy"]["counters"] == entry["counters"]
+
     def test_trace_files_written(self, tiny_doc):
         _, trace_dir = tiny_doc
         ndjson = trace_dir / "trace_crazy.ndjson"
@@ -219,14 +260,14 @@ class TestRunBench:
 
 
 def valid_doc():
-    """A minimal schema-valid v5 document for validator tests."""
+    """A minimal schema-valid v6 document for validator tests."""
     return {
         "schema": SCHEMA_NAME,
         "version": SCHEMA_VERSION,
         "config": {"width": 64, "height": 32, "frames": 1,
                    "detail": 1, "quick": True, "runs": 2, "profile": False,
                    "kernel_backend": "vectorized", "broad_phase": "lbvh",
-                   "tile_cache": False},
+                   "tile_cache": False, "tile_profile": False},
         "stats": {"bootstrap_resamples": 100, "confidence": 0.95},
         "scenes": {
             "crazy": {
@@ -268,14 +309,36 @@ def valid_doc():
                               "effective_total_j": 1e-3,
                               "per_frame_hits": [],
                               "per_frame_lookups": []},
+                "tile_profile": {"enabled": False},
             }
         },
     }
 
 
+def valid_doc_profiled():
+    """The same document with an enabled 2x1 tile_profile block."""
+    doc = valid_doc()
+    doc["config"]["tile_profile"] = True
+    doc["scenes"]["crazy"]["tile_profile"] = {
+        "enabled": True, "tiles_x": 2, "tiles_y": 1, "frames": 1,
+        "cycles": [8.0, 2.0], "energy_j": [1e-5, 2e-6],
+        "activity": [5.0, 1.0], "hits": [0.0, 0.0], "lookups": [1.0, 1.0],
+    }
+    return doc
+
+
+def valid_doc_v5():
+    """The same document as a pre-tile-profile schema v5 baseline."""
+    doc = valid_doc()
+    doc["version"] = 5
+    del doc["config"]["tile_profile"]
+    del doc["scenes"]["crazy"]["tile_profile"]
+    return doc
+
+
 def valid_doc_v4():
     """The same document as a pre-tile-cache schema v4 baseline."""
-    doc = valid_doc()
+    doc = valid_doc_v5()
     doc["version"] = 4
     del doc["config"]["tile_cache"]
     del doc["scenes"]["crazy"]["tilecache"]
@@ -290,6 +353,32 @@ class TestValidator:
         # v5 is additive: stored v4 baselines must stay valid without
         # the tile_cache config key or the tilecache scene block.
         validate_bench_document(valid_doc_v4())
+
+    def test_accepts_v5_document(self):
+        # v6 is additive: stored v5 baselines must stay valid without
+        # the tile_profile config key or the tile_profile scene block.
+        validate_bench_document(valid_doc_v5())
+
+    def test_accepts_enabled_tile_profile(self):
+        validate_bench_document(valid_doc_profiled())
+
+    @pytest.mark.parametrize("mutate,needle", [
+        (lambda d: d["scenes"]["crazy"]["tile_profile"].update(tiles_x=0),
+         "tile_profile.tiles_x"),
+        (lambda d: d["scenes"]["crazy"]["tile_profile"].pop("frames"),
+         "tile_profile.frames"),
+        (lambda d: d["scenes"]["crazy"]["tile_profile"].update(
+            cycles=[1.0]), "tile_profile.cycles"),
+        (lambda d: d["scenes"]["crazy"]["tile_profile"].update(
+            energy_j=[1e-5, "hot"]), r"tile_profile.energy_j\[1\]"),
+        (lambda d: d["scenes"]["crazy"]["tile_profile"].update(
+            hits="none"), "tile_profile.hits"),
+    ])
+    def test_rejects_bad_enabled_tile_profile(self, mutate, needle):
+        doc = valid_doc_profiled()
+        mutate(doc)
+        with pytest.raises(ValueError, match=needle):
+            validate_bench_document(doc)
 
     def test_accepts_unknown_extra_keys(self):
         # Additive schema growth must not invalidate older validators'
@@ -374,6 +463,12 @@ class TestValidator:
             per_frame_hits=3), "tilecache.per_frame_hits"),
         (lambda d: d["scenes"]["crazy"]["tilecache"].update(
             per_frame_lookups=[1, -2]), r"tilecache.per_frame_lookups\[1\]"),
+        (lambda d: d["config"].pop("tile_profile"), "config.tile_profile"),
+        (lambda d: d["config"].update(tile_profile="on"),
+         "config.tile_profile"),
+        (lambda d: d["scenes"]["crazy"].pop("tile_profile"), "tile_profile"),
+        (lambda d: d["scenes"]["crazy"]["tile_profile"].pop("enabled"),
+         "tile_profile.enabled"),
     ])
     def test_rejects_each_mutation(self, mutate, needle):
         doc = valid_doc()
@@ -448,3 +543,44 @@ class TestCli:
     def test_tile_cache_flags_conflict(self, capsys):
         with pytest.raises(SystemExit):
             main(["--tile-cache", "--no-tile-cache"])
+
+    def test_explain_requires_baseline(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--explain"])
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_tile_profile_flag_threads_through(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_tp.json"
+        code = main([
+            "--scenes", "crazy", "--width", "64", "--height", "32",
+            "--frames", "1", "--detail", "1", "--tile-profile",
+            "--output", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["config"]["tile_profile"] is True
+        assert doc["scenes"]["crazy"]["tile_profile"]["enabled"] is True
+
+    def test_append_history_writes_ndjson_line(self, tmp_path):
+        out = tmp_path / "BENCH_h.json"
+        history = tmp_path / "hist" / "HISTORY.ndjson"
+        argv = [
+            "--scenes", "crazy", "--width", "64", "--height", "32",
+            "--frames", "1", "--detail", "1",
+            "--output", str(out), "--append-history", str(history),
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0  # appends, never truncates
+        lines = history.read_text().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["version"] == SCHEMA_VERSION
+        assert record["config"]["width"] == 64
+        scene = record["scenes"]["crazy"]
+        doc = json.loads(out.read_text())
+        entry = doc["scenes"]["crazy"]
+        assert scene["gpu_cycles"] == entry["totals"]["gpu_cycles"]
+        assert scene["total_j"] == entry["energy"]["total_j"]
+        assert scene["effective_gpu_cycles"] == (
+            entry["tilecache"]["effective_gpu_cycles"]
+        )

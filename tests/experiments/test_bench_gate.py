@@ -190,3 +190,76 @@ class TestGateCli:
             "--wall-tol", "1000.0",
         ])
         assert code == 0, capsys.readouterr().out
+
+
+class TestTileProfileComparability:
+    def test_profiled_vs_unprofiled_refused_both_ways(self, bench_doc):
+        profiled = copy.deepcopy(bench_doc)
+        profiled["config"]["tile_profile"] = True
+        for first, second in ((bench_doc, profiled), (profiled, bench_doc)):
+            report = gate_against_baseline(first, second)
+            assert not report.ok
+            assert any("config.tile_profile" in e for e in report.errors)
+
+    def test_profile_off_vs_off_gates_clean(self, bench_doc):
+        # Both sides off (the v6 default) is the normal CI path and
+        # must stay comparable — including against stored v5 baselines
+        # that predate the key entirely.
+        v5 = copy.deepcopy(bench_doc)
+        v5["version"] = 5
+        del v5["config"]["tile_profile"]
+        for scene in v5["scenes"].values():
+            del scene["tile_profile"]
+        report = gate_against_baseline(bench_doc, v5)
+        assert report.ok, report.render()
+
+
+class TestExplainOnFailure:
+    def consistently_faster_baseline(self, bench_doc, tmp_path, factor=0.9):
+        """A baseline whose rasterizer was cheaper, with every counter
+        identity intact so the attribution engine's cross-checks pass."""
+        fast = copy.deepcopy(bench_doc)
+        scene = fast["scenes"]["crazy"]
+        delta = scene["counters"]["gpu.raster.raster_pipeline_cycles"] * (1 - factor)
+        for key in ("gpu.raster.raster_cycles",
+                    "gpu.raster.raster_pipeline_cycles", "gpu.gpu_cycles"):
+            scene["counters"][key] -= delta
+        scene["totals"]["gpu_cycles"] -= delta
+        scene["tilecache"]["effective_gpu_cycles"] -= delta
+        path = tmp_path / "fast.json"
+        path.write_text(json.dumps(fast))
+        return path
+
+    def test_gate_failure_emits_greppable_line(self, tmp_path, bench_doc,
+                                               capsys):
+        path = self.consistently_faster_baseline(bench_doc, tmp_path)
+        assert run_gate(tmp_path, path) == 1
+        err = capsys.readouterr().err
+        line = next(l for l in err.splitlines() if l.startswith("GATE-FAIL"))
+        assert "scene=crazy" in line
+        assert "metric=" in line and "ratio=" in line
+
+    def test_explain_names_the_regressed_stage(self, tmp_path, bench_doc,
+                                               capsys):
+        """The ISSUE acceptance: on a forced regression, --explain must
+        attribute the gated delta to the right subtree (the injected
+        slowdown lives entirely in the raster pipeline)."""
+        path = self.consistently_faster_baseline(bench_doc, tmp_path)
+        json_path = tmp_path / "attribution.json"
+        assert run_gate(
+            tmp_path, path, "--explain", "--explain-json", str(json_path)
+        ) == 1
+        err = capsys.readouterr().err
+        assert "explain" in err
+        assert "raster" in err
+        # The machine artifact CI uploads on failure.
+        data = json.loads(json_path.read_text())
+        assert data["schema"] == "rbcd-attribution"
+        assert data["ranked_causes"]
+        top_paths = [c["path"] for c in data["ranked_causes"][:3]]
+        assert any("raster" in p for p in top_paths), top_paths
+
+    def test_explain_requires_baseline_flag(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["--explain", "--output", str(tmp_path / "x.json")])
+        assert "--baseline" in capsys.readouterr().err

@@ -1,0 +1,132 @@
+"""Tile profiling is purely observational: attaching it changes nothing.
+
+The acceptance bar for the schema-v6 spatial layer, mirroring the
+tracer/provenance/live-monitor differential tests: with a
+:class:`TileProfiler` attached, every frame must produce bit-identical
+collision pairs, contact records, counters, and simulated cycles, at
+any worker count — across all four benchmark scenes — and the
+profiler's own grids must be bit-identical between workers 1 and 4
+(they are simulated-hardware sums, so there is no wall-clock exclusion
+at all).
+"""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.pipeline import GPU
+from repro.observability.tileprofile import GRID_NAMES, TileProfiler
+from repro.observability.tracer import Tracer
+from repro.scenes.benchmarks import BENCHMARKS, workload_by_alias
+from tests.conftest import two_boxes_frame
+from tests.gpu.test_parallel import frame_fingerprint
+
+
+def render_fingerprint(config: GPUConfig, frames, profiler=None):
+    gpu = GPU(config, rbcd_enabled=True, tile_profiler=profiler)
+    try:
+        return [frame_fingerprint(gpu.render_frame(f)) for f in frames]
+    finally:
+        gpu.close()
+
+
+def config_for(workers: int) -> GPUConfig:
+    config = GPUConfig().with_screen(160, 96)
+    if workers != 1:
+        config = config.with_executor(workers=workers, backend="thread")
+    return config
+
+
+def benchmark_frames(config: GPUConfig, alias="cap", count=2):
+    workload = workload_by_alias(alias, detail=1)
+    return [
+        workload.scene.frame_at(float(t), config)
+        for t in workload.times(count)
+    ]
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_profiling_changes_nothing(workers):
+    config = config_for(workers)
+    for separation in (0.8, 1.4):
+        frames = [two_boxes_frame(config, separation)]
+        unprofiled = render_fingerprint(config, frames)
+        profiled = render_fingerprint(
+            config, frames, profiler=TileProfiler()
+        )
+        assert profiled == unprofiled
+
+
+@pytest.mark.parametrize("alias", list(BENCHMARKS))
+@pytest.mark.parametrize("workers", [1, 4])
+def test_profiling_changes_nothing_on_benchmark_scenes(alias, workers):
+    """TileProfiler on/off x workers 1/4 is bit-identical on all four
+    quick scenes — the ISSUE's differential acceptance matrix."""
+    config = config_for(workers)
+    frames = benchmark_frames(config, alias=alias)
+    unprofiled = render_fingerprint(config, frames)
+    profiled = render_fingerprint(config, frames, profiler=TileProfiler())
+    assert profiled == unprofiled
+
+
+def test_grids_bit_identical_across_worker_counts():
+    """Workers 1 and 4 accumulate the exact same grids: per-tile sums
+    absorbed in tile-schedule order carry no scheduling noise."""
+    profilers = {}
+    for workers in (1, 4):
+        config = config_for(workers)
+        profiler = TileProfiler()
+        render_fingerprint(
+            config, benchmark_frames(config), profiler=profiler
+        )
+        profilers[workers] = profiler
+    one, four = profilers[1], profilers[4]
+    assert one.frames == four.frames == 2
+    assert (one.tiles_x, one.tiles_y) == (four.tiles_x, four.tiles_y)
+    for name in GRID_NAMES:
+        assert one.grid(name) == four.grid(name), name
+
+
+def test_grids_deterministic_across_repeat_runs():
+    grids = []
+    for _ in range(2):
+        config = config_for(1)
+        profiler = TileProfiler()
+        render_fingerprint(
+            config, benchmark_frames(config), profiler=profiler
+        )
+        grids.append(profiler.as_dict())
+    assert grids[0] == grids[1]
+
+
+def test_tile_cycles_sum_to_rbcd_stage_cycles():
+    """The cycles grid is an exact spatial decomposition: summed over
+    tiles it reproduces the traced rbcd.tile span cycles."""
+    config = config_for(1)
+    profiler = TileProfiler()
+    tracer = Tracer()
+    gpu = GPU(config, rbcd_enabled=True, tracer=tracer,
+              tile_profiler=profiler)
+    try:
+        for frame in benchmark_frames(config):
+            gpu.render_frame(frame)
+    finally:
+        gpu.close()
+    traced = sum(span.cycles for span in tracer.by_name("rbcd.tile"))
+    assert sum(profiler.grid("cycles")) == pytest.approx(traced)
+
+
+def test_tile_energy_sums_to_dynamic_rbcd_energy():
+    """The energy grid reproduces the dynamic (non-static) RBCD joules:
+    static leakage accrues with time, not per tile, and is excluded."""
+    config = config_for(1)
+    profiler = TileProfiler()
+    gpu = GPU(config, rbcd_enabled=True, tile_profiler=profiler)
+    try:
+        dynamic = 0.0
+        for frame in benchmark_frames(config):
+            result = gpu.render_frame(frame)
+            rbcd = result.energy.rbcd
+            dynamic += rbcd.insertion_j + rbcd.overlap_j + rbcd.output_j
+    finally:
+        gpu.close()
+    assert sum(profiler.grid("energy_j")) == pytest.approx(dynamic)

@@ -255,3 +255,40 @@ class TestRendering:
 
     def test_empty_report_is_ok(self):
         assert GateReport().ok
+
+
+class TestFailureLine:
+    def test_regression_produces_greppable_line(self):
+        base = make_doc(energy_total=1e-3)
+        cur = make_doc(energy_total=2e-3)
+        line = compare_documents(base, cur).failure_line()
+        assert line.startswith("GATE-FAIL ")
+        assert "scene=cap" in line
+        assert "metric=energy.gpu.total_j" in line
+        assert "kind=deterministic" in line
+        assert "baseline=0.0008" in line
+        assert "current=0.0016" in line
+        assert "ratio=2" in line
+        assert "\n" not in line
+
+    def test_structural_error_produces_error_line(self):
+        base = make_doc()
+        other = make_doc()
+        other["config"]["width"] = 999
+        line = compare_documents(base, other).failure_line()
+        assert line.startswith('GATE-FAIL error="')
+        assert "config.width" in line
+
+    def test_first_regression_wins_and_pass_is_empty(self):
+        base = make_doc()
+        assert compare_documents(base, copy.deepcopy(base)).failure_line() == ""
+        report = GateReport(comparisons=[
+            MetricComparison(scene="cap", metric="a", kind="deterministic",
+                             baseline=1.0, current=2.0, regressed=True,
+                             improved=False),
+            MetricComparison(scene="cap", metric="b", kind="deterministic",
+                             baseline=1.0, current=3.0, regressed=True,
+                             improved=False),
+        ])
+        assert "metric=a" in report.failure_line()
+        assert report.regressions == report.comparisons
