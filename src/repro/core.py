@@ -150,6 +150,14 @@ class RBCDSystem:
         detection output is bit-identical either way — so the switch
         only moves the modelled-savings counters surfaced on
         :attr:`RBCDFrameResult.tilecache`.
+    executor:
+        An already-built :class:`~repro.gpu.parallel.TileExecutor` to
+        run per-tile work on, instead of building one from the config.
+        The system does **not** own an injected executor — :meth:`close`
+        leaves it running — which is how the serving frontend
+        (:mod:`repro.serve`) shares one worker pool across every
+        tenant's system.  Results are unchanged: any executor produces
+        bit-identical collisions, stats, and cycles.
     """
 
     def __init__(
@@ -165,6 +173,7 @@ class RBCDSystem:
         monitor=None,
         tile_cache: bool | None = None,
         tile_profiler=None,
+        executor=None,
     ) -> None:
         if config is None:
             width, height = resolution
@@ -181,8 +190,9 @@ class RBCDSystem:
             config = config.with_tile_cache(tile_cache)
         self.config = config
         self._gpu = GPU(
-            config, rbcd_enabled=True, tracer=tracer, provenance=provenance,
-            monitor=monitor, tile_profiler=tile_profiler,
+            config, rbcd_enabled=True, executor=executor, tracer=tracer,
+            provenance=provenance, monitor=monitor,
+            tile_profiler=tile_profiler,
         )
         log_event(
             _LOG, "rbcd.system.created", level=logging.DEBUG,

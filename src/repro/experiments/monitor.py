@@ -39,6 +39,7 @@ from repro.observability.live import (
     default_rules,
 )
 from repro.observability.log import configure_json_logging
+from repro.observability.netutil import linger, write_port_file
 from repro.scenes.benchmarks import BENCHMARKS, workload_by_alias
 
 __all__ = ["main", "run_stream"]
@@ -181,8 +182,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     with MetricsServer(monitor, host=args.host, port=args.port) as server:
         if args.port_file:
-            with open(args.port_file, "w", encoding="utf-8") as fh:
-                fh.write(f"{server.port}\n")
+            write_port_file(args.port_file, server.port)
         print(
             f"serving {server.url}  "
             f"(endpoints: /metrics /healthz /snapshot.json)",
@@ -194,11 +194,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             rendered = run_stream(
                 system, workload, args.frames, interval_s=args.interval
             )
-        if args.frames != 0 and args.linger > 0.0:
-            try:
-                time.sleep(args.linger)
-            except KeyboardInterrupt:
-                pass
+        if args.frames != 0:
+            linger(args.linger)
 
     status = "ok" if monitor.healthy else "failing"
     print(

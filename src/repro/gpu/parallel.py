@@ -43,6 +43,7 @@ Determinism argument (tested by ``tests/gpu/test_parallel.py`` and
 from __future__ import annotations
 
 import logging
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -215,23 +216,31 @@ class _PooledTileExecutor(TileExecutor):
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self._pool: Executor | None = None
+        # Guards lazy pool creation: an executor shared across host
+        # threads (the serving frontend injects one pool into every
+        # tenant's GPU) must not double-create or leak a pool when two
+        # first frames race.
+        self._pool_lock = threading.Lock()
 
     def _make_pool(self) -> Executor:
         raise NotImplementedError
 
     def _map_chunks(self, config, chunks):
-        if self._pool is None:
-            self._pool = self._make_pool()
-            log_event(
-                _LOG, "executor.pool.started", level=logging.DEBUG,
-                backend=self.backend, workers=self.workers,
-            )
-        return self._pool.map(_run_chunk, [(config, chunk) for chunk in chunks])
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._make_pool()
+                log_event(
+                    _LOG, "executor.pool.started", level=logging.DEBUG,
+                    backend=self.backend, workers=self.workers,
+                )
+            pool = self._pool
+        return pool.map(_run_chunk, [(config, chunk) for chunk in chunks])
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
             log_event(
                 _LOG, "executor.pool.closed", level=logging.DEBUG,
                 backend=self.backend, workers=self.workers,

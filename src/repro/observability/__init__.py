@@ -31,6 +31,11 @@ from repro.observability.log import (
     get_logger,
     log_event,
 )
+from repro.observability.netutil import (
+    linger,
+    read_port_file,
+    write_port_file,
+)
 from repro.observability.openmetrics import (
     MetricFamily,
     Sample,
@@ -177,4 +182,8 @@ __all__ = [
     "get_logger",
     "log_event",
     "configure_json_logging",
+    # serving net helpers
+    "write_port_file",
+    "read_port_file",
+    "linger",
 ]

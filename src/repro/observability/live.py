@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Iterable, Mapping
 
+from repro.observability.counters import CounterRegistry
 from repro.observability.log import get_logger, log_event
 from repro.observability.openmetrics import (
     MetricFamily,
@@ -263,7 +264,7 @@ class LiveMonitor:
         self._latest: MetricSnapshot | None = None
         # Cumulative totals (deterministic).
         self._total_counters: dict[str, int | float] = {}
-        self._counter_kinds: dict[str, str] = {}
+        self._counter_specs: dict = {}
         self._total_wall_s = 0.0
         self._total_sim_s = 0.0
         # Per-frame series windows (raw numerators/denominators, so
@@ -336,7 +337,7 @@ class LiveMonitor:
             self.frames += 1
             self._latest = snapshot
             for name, spec in ((s.name, s) for s in registry.specs()):
-                self._counter_kinds.setdefault(name, spec.kind)
+                self._counter_specs.setdefault(name, spec)
                 self._total_counters[name] = (
                     self._total_counters.get(name, 0) + counters[name]
                 )
@@ -458,6 +459,24 @@ class LiveMonitor:
         """Cumulative counters over every observed frame."""
         with self._lock:
             return dict(self._total_counters)
+
+    def totals_registry(self) -> CounterRegistry:
+        """Cumulative counters as a real :class:`CounterRegistry`.
+
+        Kinds are retained from the first frame that produced each
+        counter, so per-tenant monitor shards merge into a global
+        registry through the exact ``CounterAlgebra`` — summing the
+        shards in any order reproduces the registry a single global
+        monitor would hold, bit for bit (the serving frontend's
+        tenant-merge contract, asserted by
+        ``tests/observability/test_tenant_merge.py``).
+        """
+        with self._lock:
+            registry = CounterRegistry()
+            for name, value in self._total_counters.items():
+                registry.register(self._counter_specs[name])
+                registry.set(name, value)
+            return registry
 
     def snapshot_dict(self) -> dict[str, Any]:
         """The ``/snapshot.json`` document."""

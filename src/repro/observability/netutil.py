@@ -1,0 +1,85 @@
+"""Small networking helpers shared by the serving CLIs.
+
+Both ``python -m repro.experiments.monitor`` and
+``python -m repro.experiments.loadgen`` bind an ephemeral port
+(``--port 0``), publish the bound port through ``--port-file`` so
+scripts can find the endpoint, and optionally keep the endpoint up for
+``--linger`` seconds after the stream ends so a scraper can collect
+the final state.  This module is that shared plumbing.
+
+The port-file handoff has a classic race: a reader polling the path
+can observe the file after ``open(..., "w")`` created it but before
+the port number hit the disk, and parse an empty string.
+:func:`write_port_file` closes the race by writing to a temporary file
+in the same directory and ``os.replace``-ing it into place — the
+rename is atomic on POSIX, so any reader that sees the path at all
+sees the complete contents.  :func:`read_port_file` is the matching
+polling reader.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+__all__ = [
+    "write_port_file",
+    "read_port_file",
+    "linger",
+]
+
+
+def write_port_file(path: str | os.PathLike, port: int) -> Path:
+    """Atomically publish ``port`` to ``path`` (write-temp + rename).
+
+    Readers polling ``path`` never observe a partial write: the file
+    either does not exist yet or contains the full ``"{port}\\n"``.
+    Returns the path written.
+    """
+    target = Path(path)
+    if not isinstance(port, int) or isinstance(port, bool) or port <= 0:
+        raise ValueError(f"port must be a positive integer, got {port!r}")
+    tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+    tmp.write_text(f"{port}\n", encoding="utf-8")
+    os.replace(tmp, target)
+    return target
+
+
+def read_port_file(
+    path: str | os.PathLike,
+    timeout_s: float = 0.0,
+    poll_s: float = 0.02,
+) -> int:
+    """Read a port published by :func:`write_port_file`.
+
+    With ``timeout_s > 0`` the reader polls until the file appears (or
+    raises ``TimeoutError``); with the default 0 it reads exactly once.
+    Raises ``ValueError`` if the contents are not a valid port — which,
+    against an atomic writer, means the file was produced some other
+    way.
+    """
+    target = Path(path)
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            text = target.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"port file {target} never appeared")
+            time.sleep(poll_s)
+            continue
+        stripped = text.strip()
+        if not stripped.isdigit() or int(stripped) <= 0:
+            raise ValueError(f"port file {target} holds {text!r}, not a port")
+        return int(stripped)
+
+
+def linger(seconds: float) -> None:
+    """Sleep ``seconds`` (Ctrl-C cuts the linger short, not the run)."""
+    if seconds <= 0.0:
+        return
+    try:
+        time.sleep(seconds)
+    except KeyboardInterrupt:
+        pass

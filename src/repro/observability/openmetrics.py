@@ -133,6 +133,9 @@ class MetricFamily:
     samples: list[Sample] = field(default_factory=list)
 
     def add(self, value, suffix: str = "", **labels) -> "MetricFamily":
+        for key in labels:
+            if not _LABEL_NAME_RE.match(key):
+                raise ValueError(f"invalid label name {key!r}")
         self.samples.append(
             Sample(value=value, suffix=suffix, labels=tuple(sorted(labels.items())))
         )
@@ -154,6 +157,7 @@ def render_families(families: list[MetricFamily]) -> str:
         if family.help:
             lines.append(f"# HELP {family.name} {_escape(family.help)}")
         lines.append(f"# TYPE {family.name} {family.mtype}")
+        series_seen: set[tuple] = set()
         for sample in family.samples:
             if sample.suffix not in _TYPE_SUFFIXES[family.mtype]:
                 raise ValueError(
@@ -164,11 +168,26 @@ def render_families(families: list[MetricFamily]) -> str:
             label_str = ""
             if sample.labels:
                 parts = []
+                label_names_seen: set[str] = set()
                 for key, value in sample.labels:
                     if not _LABEL_NAME_RE.match(key):
                         raise ValueError(f"invalid label name {key!r}")
+                    if key in label_names_seen:
+                        raise ValueError(
+                            f"{name}: duplicate label name {key!r} in one sample"
+                        )
+                    label_names_seen.add(key)
                     parts.append(f'{key}="{_escape(str(value))}"')
                 label_str = "{" + ",".join(parts) + "}"
+            series = (name, tuple(sorted(
+                (k, str(v)) for k, v in sample.labels
+            )))
+            if series in series_seen:
+                raise ValueError(
+                    f"{family.name}: duplicate series {name}"
+                    f"{label_str or '{}'}"
+                )
+            series_seen.add(series)
             lines.append(f"{name}{label_str} {_format_value(sample.value)}")
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
@@ -201,6 +220,8 @@ def _split_labels(raw: str) -> list[tuple[str, str]]:
                 j += 1
         if j >= n:
             raise ValueError(f"label {name!r} value missing closing quote")
+        if any(name == seen for seen, _ in pairs):
+            raise ValueError(f"duplicate label name {name!r} in one sample")
         pairs.append((name, _unescape(raw[eq + 2 : j])))
         i = j + 1
         if i < n:
@@ -248,7 +269,7 @@ def parse_openmetrics(text: str) -> dict[str, dict]:
             if not _NAME_RE.match(name):
                 raise ValueError(f"line {lineno}: invalid metric name {name!r}")
             entry = families.setdefault(
-                name, {"type": None, "help": "", "samples": []}
+                name, {"type": None, "help": "", "samples": [], "series": set()}
             )
             if entry["samples"]:
                 raise ValueError(
@@ -308,8 +329,17 @@ def parse_openmetrics(text: str) -> dict[str, dict]:
             ) from None
         if math.isnan(value) or math.isinf(value):
             raise ValueError(f"line {lineno}: non-finite value {raw_value!r}")
+        series = (sample_name, tuple(sorted(labels.items())))
+        if series in entry["series"]:
+            raise ValueError(
+                f"line {lineno}: duplicate series {sample_name!r} with "
+                f"labels {dict(series[1])!r}"
+            )
+        entry["series"].add(series)
         entry["samples"].append((sample_name, labels, value))
         last_family = family
+    for entry in families.values():
+        entry.pop("series")
     return families
 
 

@@ -98,6 +98,7 @@ class Tracer:
         self._clock = clock
         self.spans: list[Span] = []
         self._stack: list[Span] = []
+        self._context: dict = {}
         self._epoch = clock()
 
     @contextmanager
@@ -107,6 +108,23 @@ class Tracer:
             yield sp
         finally:
             self.end(sp)
+
+    @contextmanager
+    def context(self, **attrs):
+        """Request-scoped span attributes: every span started while the
+        context is active carries ``attrs`` (explicit span attrs win on
+        key collision).  Contexts nest — inner contexts layer over, and
+        restore, the outer ones — which is how the serving frontend
+        stamps ``tenant`` / ``stream`` / ``frame_seq`` onto every span
+        of a frame, including the per-tile spans recorded at absorb
+        time after the executor merge.
+        """
+        saved = self._context
+        self._context = {**saved, **attrs}
+        try:
+            yield
+        finally:
+            self._context = saved
 
     def start(self, name: str, category: str = "stage", **attrs) -> Span:
         """Open a span explicitly (prefer the ``span`` context manager)."""
@@ -118,7 +136,7 @@ class Tracer:
             parent=parent.index if parent is not None else -1,
             depth=len(self._stack),
             t_start=self._clock() - self._epoch,
-            attrs=dict(attrs),
+            attrs={**self._context, **attrs} if self._context else dict(attrs),
         )
         self.spans.append(sp)
         self._stack.append(sp)
@@ -209,6 +227,10 @@ class NullTracer:
     @contextmanager
     def span(self, name: str, category: str = "stage", **attrs):
         yield _NULL_SPAN
+
+    @contextmanager
+    def context(self, **attrs):
+        yield
 
     def start(self, name: str, category: str = "stage", **attrs) -> _NullSpan:
         return _NULL_SPAN

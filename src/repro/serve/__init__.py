@@ -1,0 +1,36 @@
+"""Collision detection as a service: multi-tenant serving frontend.
+
+``repro.serve`` turns the simulator into the thing the paper says the
+hardware is — a collision service many clients offload queries to.
+:class:`CollisionService` multiplexes N tenant scene streams onto one
+shared tile-executor pool with watchdog-rule admission control;
+:class:`ServiceMetricsServer` exposes the labelled OpenMetrics /
+health endpoints; ``python -m repro.experiments.loadgen`` drives it
+with simulated clients and measures the saturation point.
+
+The two contracts everything here is tested against:
+
+* **tenant isolation** — each tenant's per-frame results are
+  bit-identical to running its stream solo, at any worker count
+  (``tests/serve/test_tenant_isolation.py``);
+* **exact telemetry merge** — per-tenant counter shards sum to the
+  global registry through the associative/commutative
+  ``CounterAlgebra``, whatever interleave the batching produced
+  (``tests/observability/test_tenant_merge.py``).
+"""
+
+from repro.serve.http import ServiceMetricsServer
+from repro.serve.service import (
+    AdmissionError,
+    CollisionService,
+    ServedFrame,
+    TenantSession,
+)
+
+__all__ = [
+    "AdmissionError",
+    "CollisionService",
+    "ServedFrame",
+    "TenantSession",
+    "ServiceMetricsServer",
+]

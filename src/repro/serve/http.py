@@ -1,0 +1,150 @@
+"""HTTP exposition for the multi-tenant collision service.
+
+The serving twin of :class:`~repro.observability.live.MetricsServer`:
+a stdlib ``ThreadingHTTPServer`` on a background daemon thread, bound
+to a :class:`~repro.serve.service.CollisionService` instead of a
+single :class:`LiveMonitor`.  Endpoints:
+
+* ``/metrics`` — the labelled OpenMetrics exposition (``tenant="..."``
+  series, strictly valid);
+* ``/healthz`` — global verdict (503 while any tenant is in breach);
+* ``/healthz/<tenant>`` — one tenant's verdict (503 while breached,
+  404 for unknown tenants);
+* ``/snapshot.json`` — global + per-tenant state dump.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.observability.live import OPENMETRICS_CONTENT_TYPE
+from repro.observability.log import get_logger, log_event
+from repro.serve.service import CollisionService
+
+__all__ = ["ServiceMetricsServer"]
+
+_LOG = get_logger(__name__)
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes the serving endpoints to the bound CollisionService."""
+
+    server_version = "repro-serve/1.0"
+    service: CollisionService  # bound via the handler subclass
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0]
+        service = self.service
+        if path == "/metrics":
+            body = service.to_openmetrics().encode("utf-8")
+            self._respond(200, OPENMETRICS_CONTENT_TYPE, body)
+        elif path == "/healthz" or path.startswith("/healthz/"):
+            tenant = path[len("/healthz/"):] if path != "/healthz" else None
+            try:
+                health = service.health_dict(tenant)
+            except KeyError:
+                self._json(404, {"error": f"unknown tenant {tenant!r}"})
+                return
+            status = 200 if health["status"] == "ok" else 503
+            self._json(status, health)
+        elif path == "/snapshot.json":
+            self._json(200, service.snapshot_dict())
+        else:
+            self._json(404, {
+                "error": "not found",
+                "endpoints": [
+                    "/metrics", "/healthz", "/healthz/<tenant>",
+                    "/snapshot.json",
+                ],
+            })
+
+    def _json(self, status: int, doc) -> None:
+        body = (json.dumps(doc, indent=2) + "\n").encode("utf-8")
+        self._respond(status, "application/json; charset=utf-8", body)
+
+    def _respond(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        log_event(
+            _LOG, "http.request", level=logging.DEBUG,
+            client=self.client_address[0], line=format % args,
+        )
+
+
+class ServiceMetricsServer:
+    """Background-thread HTTP endpoint over a :class:`CollisionService`.
+
+    Same lifecycle contract as
+    :class:`~repro.observability.live.MetricsServer`: ``port=0`` binds
+    an ephemeral port (read :attr:`port` after :meth:`start`), usable
+    as a context manager, daemon server thread, clean :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        service: CollisionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceMetricsServer":
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        handler = type(
+            "BoundServiceHandler", (_ServiceHandler,),
+            {"service": self.service},
+        )
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve-server",
+            daemon=True,
+        )
+        self._thread.start()
+        log_event(
+            _LOG, "serve.server.started", host=self.host, port=self.port,
+        )
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        log_event(_LOG, "serve.server.stopped", host=self.host)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "ServiceMetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -20,6 +20,12 @@ SUBMODULES = (
     "repro.observability.log",
     "repro.observability.openmetrics",
     "repro.observability.live",
+    "repro.observability.netutil",
+)
+
+SERVE_SUBMODULES = (
+    "repro.serve.service",
+    "repro.serve.http",
 )
 
 
@@ -82,6 +88,7 @@ class TestObservabilityExports:
                 "repro.observability.window",
                 "repro.observability.log",
                 "repro.observability.openmetrics",
+                "repro.observability.netutil",
             ):
                 assert hasattr(obs, name), (
                     f"{module_name}.{name} not re-exported"
@@ -92,6 +99,50 @@ class TestObservabilityExports:
         # package __init__ must not import it (cycle), so its names are
         # intentionally absent from the package namespace.
         assert not hasattr(obs, "DivergenceReport")
+
+
+class TestServeExports:
+    def test_all_names_resolve(self):
+        import repro.serve as serve
+
+        missing = [
+            name for name in serve.__all__ if not hasattr(serve, name)
+        ]
+        assert missing == [], f"__all__ names missing attributes: {missing}"
+        assert len(serve.__all__) == len(set(serve.__all__))
+
+    def test_service_names_importable_from_package(self):
+        from repro.serve import (
+            AdmissionError,
+            CollisionService,
+            ServedFrame,
+            ServiceMetricsServer,
+            TenantSession,
+        )
+
+        for name in (
+            AdmissionError, CollisionService, ServedFrame,
+            ServiceMetricsServer, TenantSession,
+        ):
+            assert name is not None
+
+    @pytest.mark.parametrize("module_name", SERVE_SUBMODULES)
+    def test_submodule_all_is_reexported_by_package(self, module_name):
+        import repro.serve as serve
+
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), f"{module_name} missing __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+            assert hasattr(serve, name), (
+                f"{module_name}.{name} not re-exported by repro.serve"
+            )
+
+    def test_loadgen_public_surface(self):
+        from repro.experiments import loadgen
+
+        for name in loadgen.__all__:
+            assert hasattr(loadgen, name), f"loadgen.{name} missing"
 
 
 class TestTopLevelExports:

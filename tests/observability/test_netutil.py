@@ -1,0 +1,118 @@
+"""Port-file handoff: atomicity under a concurrently polling reader."""
+
+import threading
+
+import pytest
+
+from repro.observability.netutil import linger, read_port_file, write_port_file
+
+
+class TestWritePortFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "port"
+        written = write_port_file(path, 43815)
+        assert written == path
+        assert path.read_text() == "43815\n"
+        assert read_port_file(path) == 43815
+
+    def test_rejects_non_ports(self, tmp_path):
+        path = tmp_path / "port"
+        for bad in (0, -1, 1.5, True, "80"):
+            with pytest.raises(ValueError):
+                write_port_file(path, bad)
+
+    def test_overwrites_previous_port(self, tmp_path):
+        path = tmp_path / "port"
+        write_port_file(path, 1000)
+        write_port_file(path, 2000)
+        assert read_port_file(path) == 2000
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "port"
+        write_port_file(path, 5000)
+        assert [p.name for p in tmp_path.iterdir()] == ["port"]
+
+
+class TestReadPortFile:
+    def test_missing_file_without_timeout_raises(self, tmp_path):
+        with pytest.raises(TimeoutError):
+            read_port_file(tmp_path / "absent")
+
+    def test_missing_file_with_timeout_raises_after_deadline(self, tmp_path):
+        with pytest.raises(TimeoutError):
+            read_port_file(tmp_path / "absent", timeout_s=0.05, poll_s=0.01)
+
+    def test_garbage_contents_raise(self, tmp_path):
+        path = tmp_path / "port"
+        for garbage in ("", "nope\n", "-1\n", "0\n", "12.5\n"):
+            path.write_text(garbage)
+            with pytest.raises(ValueError):
+                read_port_file(path)
+
+    def test_polls_until_writer_lands(self, tmp_path):
+        path = tmp_path / "port"
+        timer = threading.Timer(0.05, write_port_file, args=(path, 7777))
+        timer.start()
+        try:
+            assert read_port_file(path, timeout_s=5.0, poll_s=0.005) == 7777
+        finally:
+            timer.cancel()
+
+
+class TestPortFileRace:
+    def test_reader_never_observes_partial_write(self, tmp_path):
+        """The race the helper exists to close.
+
+        A naive ``open(path, "w"); write(port)`` creates the path
+        *empty* before the port lands, so a poller can read garbage.
+        :func:`write_port_file` goes through a same-directory temp file
+        plus an atomic rename: hammer the handoff from a writer thread
+        while a reader polls, and assert the reader only ever sees a
+        complete port number — never an empty or truncated file.
+        """
+        path = tmp_path / "port"
+        rounds = 200
+        failures = []
+        start = threading.Barrier(2)
+
+        def writer():
+            start.wait()
+            for i in range(rounds):
+                write_port_file(path, 10000 + i)
+
+        def reader():
+            start.wait()
+            seen = 0
+            while seen < rounds // 2:
+                try:
+                    port = read_port_file(path, timeout_s=5.0, poll_s=0.0)
+                except ValueError as exc:
+                    failures.append(str(exc))
+                    return
+                if not (10000 <= port < 10000 + rounds):
+                    failures.append(f"impossible port {port}")
+                    return
+                seen += 1
+
+        threads = [
+            threading.Thread(target=writer),
+            threading.Thread(target=reader),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert failures == []
+
+
+class TestLinger:
+    def test_nonpositive_returns_immediately(self):
+        linger(0.0)
+        linger(-1.0)
+
+    def test_sleeps_roughly_the_requested_time(self):
+        import time
+
+        t0 = time.perf_counter()
+        linger(0.05)
+        assert time.perf_counter() - t0 >= 0.04

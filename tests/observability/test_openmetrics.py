@@ -4,6 +4,7 @@ import pytest
 
 from repro.observability.openmetrics import (
     MetricFamily,
+    Sample,
     metric_name_of,
     parse_openmetrics,
     render_families,
@@ -202,4 +203,98 @@ class TestValidatorRejections:
             "# EOF\n"
         )
         with pytest.raises(ValueError, match="no TYPE"):
+            validate_openmetrics(text)
+
+
+class TestLabeledSeries:
+    """Tenant-labelled exposition: the serving frontend's contract."""
+
+    def test_add_validates_label_names_eagerly(self):
+        family = MetricFamily("repro_g", "gauge")
+        with pytest.raises(ValueError, match="invalid label name"):
+            family.add(1, **{"0tenant": "a"})
+        assert family.samples == []  # the bad sample never landed
+
+    def test_same_name_different_labels_round_trips(self):
+        text = render_families([
+            MetricFamily("repro_tenant_frames", "counter")
+            .add(3, suffix="_total", tenant="alice")
+            .add(5, suffix="_total", tenant="bob"),
+        ])
+        families = parse_openmetrics(text)
+        samples = families["repro_tenant_frames"]["samples"]
+        assert ("repro_tenant_frames_total", {"tenant": "alice"}, 3.0) in samples
+        assert ("repro_tenant_frames_total", {"tenant": "bob"}, 5.0) in samples
+        assert validate_openmetrics(text) == 2
+
+    def test_label_values_escape_round_trip(self):
+        tricky = 'quo"te\nnew\\slash'
+        text = render_families([
+            MetricFamily("repro_g", "gauge").add(1, tenant=tricky),
+        ])
+        samples = parse_openmetrics(text)["repro_g"]["samples"]
+        assert samples == [("repro_g", {"tenant": tricky}, 1.0)]
+
+    def test_render_rejects_duplicate_label_names_in_one_sample(self):
+        family = MetricFamily("repro_g", "gauge")
+        # MetricFamily.add cannot produce this (kwargs dedupe), so a
+        # hand-built Sample models a buggy producer.
+        family.samples.append(
+            Sample(value=1, labels=(("tenant", "a"), ("tenant", "b")))
+        )
+        with pytest.raises(ValueError, match="duplicate label name"):
+            render_families([family])
+
+    def test_render_rejects_duplicate_series(self):
+        with pytest.raises(ValueError, match="duplicate series"):
+            render_families([
+                MetricFamily("repro_g", "gauge")
+                .add(1, tenant="a")
+                .add(2, tenant="a"),
+            ])
+        # ...even when the duplicate is the bare unlabelled series.
+        with pytest.raises(ValueError, match="duplicate series"):
+            render_families([
+                MetricFamily("repro_g", "gauge").add(1).add(2),
+            ])
+
+    def test_distinct_suffixes_are_distinct_series(self):
+        text = render_families([
+            MetricFamily("repro_lat", "summary")
+            .add(0.5, quantile="0.5")
+            .add(0.9, quantile="0.95")
+            .add(2, suffix="_count")
+            .add(1.0, suffix="_sum"),
+        ])
+        assert validate_openmetrics(text) == 4
+
+    def test_parser_rejects_duplicate_label_names(self):
+        text = (
+            "# TYPE repro_g gauge\n"
+            'repro_g{tenant="a",tenant="b"} 1\n'
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match="duplicate label name"):
+            validate_openmetrics(text)
+
+    def test_parser_rejects_duplicate_series(self):
+        text = (
+            "# TYPE repro_g gauge\n"
+            'repro_g{tenant="a"} 1\n'
+            'repro_g{tenant="a"} 2\n'
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match="duplicate series"):
+            validate_openmetrics(text)
+
+    def test_parser_accepts_label_order_as_identity(self):
+        # {a=,b=} and {b=,a=} are the SAME series: order must not
+        # smuggle a duplicate past the validator.
+        text = (
+            "# TYPE repro_g gauge\n"
+            'repro_g{a="1",b="2"} 1\n'
+            'repro_g{b="2",a="1"} 2\n'
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match="duplicate series"):
             validate_openmetrics(text)
