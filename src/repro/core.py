@@ -158,6 +158,16 @@ class RBCDSystem:
         (:mod:`repro.serve`) shares one worker pool across every
         tenant's system.  Results are unchanged: any executor produces
         bit-identical collisions, stats, and cycles.
+    recorder:
+        Optional :class:`repro.observability.FlightRecorder`; the
+        system then fingerprints its config into the recorder, routes
+        a tracer through it (a recorder-owned bounded tracer when the
+        ``tracer`` parameter is ``None``), and — when a ``monitor`` is
+        also given — subscribes the recorder to its snapshots and
+        watchdog transitions.  Always-on black-box recording with the
+        same strictly-observational contract as every other observer:
+        results are bit-identical with the recorder on or off
+        (``tests/integration/test_flightrecorder_differential.py``).
     """
 
     def __init__(
@@ -174,6 +184,7 @@ class RBCDSystem:
         tile_cache: bool | None = None,
         tile_profiler=None,
         executor=None,
+        recorder=None,
     ) -> None:
         if config is None:
             width, height = resolution
@@ -189,6 +200,12 @@ class RBCDSystem:
         if tile_cache is not None:
             config = config.with_tile_cache(tile_cache)
         self.config = config
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.attach_config(config)
+            tracer = recorder.attach_tracer(tracer)
+            if monitor is not None:
+                recorder.attach_monitor(monitor)
         self._gpu = GPU(
             config, rbcd_enabled=True, executor=executor, tracer=tracer,
             provenance=provenance, monitor=monitor,

@@ -850,6 +850,7 @@ def history_line(doc: Mapping[str, Any]) -> str:
     """
     config = doc.get("config", {})
     record: dict[str, Any] = {
+        "schema": doc.get("schema"),
         "version": doc.get("version"),
         "config": {
             key: config.get(key)

@@ -32,7 +32,19 @@ the serving number future performance PRs move.
 Like ``repro.experiments.bench``, the emitted document is
 schema-validated (:func:`validate_serve_bench_document`) and the
 deterministic ``workload`` section must reproduce bit-exactly across
-runs (``--selfcheck`` runs it twice and diffs).
+runs (``--selfcheck`` runs it twice and diffs).  ``--append-history``
+appends a one-line ndjson summary to the same trend log bench uses
+(``benchmarks/history/HISTORY.ndjson``); serve lines are tagged
+``"schema": "rbcd-serve-bench"`` so the two conventions share one
+file.
+
+``--flight-recorder DIR`` attaches an always-on
+:class:`~repro.observability.FlightRecorder` to the service: per-tenant
+ring buffers of spans, snapshots, alerts and rejections, with a
+post-mortem dump written to DIR on the first watchdog alert or
+admission rejection (inspect with
+``python -m repro.experiments.postmortem``).  One recorder spans the
+whole run, including every saturation step.
 """
 
 from __future__ import annotations
@@ -46,7 +58,9 @@ import time
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+from repro.experiments.bench import HISTORY_PATH
 from repro.gpu.config import GPUConfig
+from repro.observability.flightrecorder import FlightRecorder
 from repro.observability.live import PAPER_ACTIVITY_ENVELOPE, default_rules
 from repro.observability.log import configure_json_logging
 from repro.observability.netutil import linger, write_port_file
@@ -56,12 +70,15 @@ from repro.serve import AdmissionError, CollisionService, ServiceMetricsServer
 __all__ = [
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
+    "HISTORY_PATH",
     "TenantPlan",
     "plan_tenants",
     "run_closed_loop",
     "run_open_loop",
     "run_saturation",
     "build_document",
+    "history_line",
+    "append_history",
     "validate_serve_bench_document",
     "main",
 ]
@@ -108,7 +125,8 @@ def plan_tenants(count: int, detail: int, seed: int) -> list[TenantPlan]:
 
 
 def _make_service(
-    args_like: Mapping[str, Any], rules, admit_unhealthy: bool = False
+    args_like: Mapping[str, Any], rules, admit_unhealthy: bool = False,
+    recorder=None,
 ) -> CollisionService:
     config = GPUConfig().with_screen(
         args_like["width"], args_like["height"]
@@ -121,6 +139,7 @@ def _make_service(
         rules=rules,
         max_pending=args_like["max_pending"],
         admit_unhealthy=admit_unhealthy,
+        recorder=recorder,
     )
 
 
@@ -263,6 +282,7 @@ def run_saturation(
     plans_factory,
     rates: Sequence[float],
     rules_factory,
+    recorder=None,
 ) -> dict[str, Any]:
     """Ramp the offered per-tenant rate; find the sustained maximum.
 
@@ -271,11 +291,17 @@ def run_saturation(
     latency-SLO alerts and zero rejections.  ``max_sustained_fps`` is
     the aggregate served rate of the fastest sustained step (0.0 when
     even the slowest step breaches — a valid, visible result).
+
+    The optional flight ``recorder`` is shared across every step (its
+    dump index is monotonic, so step dumps never collide); each step's
+    fresh monitors re-attach to the same per-tenant rings.
     """
     steps = []
     max_sustained = 0.0
     for rate in rates:
-        with _make_service(args_like, rules_factory()) as service:
+        with _make_service(
+            args_like, rules_factory(), recorder=recorder
+        ) as service:
             plans = plans_factory()
             outcome = run_open_loop(
                 service, plans, args_like["frames"], rate
@@ -345,6 +371,54 @@ def build_document(
 def deterministic_sections(doc: Mapping[str, Any]) -> dict[str, Any]:
     """The slice of a document the cross-run determinism gate covers."""
     return {"config": doc["config"], "workload": doc["workload"]}
+
+
+def history_line(doc: Mapping[str, Any]) -> str:
+    """One ndjson line summarizing a serve-bench document.
+
+    Same convention as ``repro.experiments.bench.history_line`` — a
+    sorted-key JSON object per run, no timestamps (append order *is*
+    the history) — tagged ``"schema": "rbcd-serve-bench"`` so serve
+    lines and scene-bench lines can share one trend file.  Carries the
+    workload totals and the ``max_sustained_fps`` headline, the serving
+    number future performance PRs move.
+    """
+    config = doc.get("config", {})
+    workload = doc.get("workload", {})
+    saturation = doc.get("saturation")
+    record: dict[str, Any] = {
+        "schema": doc.get("schema"),
+        "version": doc.get("version"),
+        "config": {
+            key: config.get(key)
+            for key in ("tenants", "frames", "width", "height", "detail",
+                        "workers", "backend", "max_frame_ms")
+        },
+        "workload": {
+            "frames_served": workload.get("frames_served"),
+            "batches": workload.get("batches"),
+            "pairs_total": sum(
+                record.get("pairs_total", 0)
+                for record in workload.get("tenants", [])
+                if isinstance(record, Mapping)
+            ),
+        },
+        "saturation": None,
+    }
+    if isinstance(saturation, Mapping):
+        record["saturation"] = {
+            "max_sustained_fps": saturation.get("max_sustained_fps"),
+            "steps": len(saturation.get("steps", [])),
+        }
+    return json.dumps(record, sort_keys=True)
+
+
+def append_history(doc: Mapping[str, Any], path: Path) -> Path:
+    """Append :func:`history_line` to ``path`` (created with parents)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(history_line(doc) + "\n")
+    return path
 
 
 def _fail(errors: list[str], path: str, message: str) -> None:
@@ -623,6 +697,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the rbcd-serve-bench JSON document here",
     )
     parser.add_argument(
+        "--append-history", nargs="?", type=Path, const=HISTORY_PATH,
+        default=None, metavar="PATH",
+        help="append a one-line ndjson summary to the shared trend log "
+             f"(default file: {HISTORY_PATH})",
+    )
+    parser.add_argument(
+        "--flight-recorder", default=None, metavar="DIR",
+        help="attach an always-on flight recorder to the service; a "
+             "post-mortem dump is written to DIR on the first watchdog "
+             "alert or admission rejection (inspect it with "
+             "python -m repro.experiments.postmortem)",
+    )
+    parser.add_argument(
         "--check", type=Path, default=None, metavar="PATH",
         help="validate an existing document and exit",
     )
@@ -679,10 +766,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     def plans_factory():
         return plan_tenants(args.tenants, args.detail, args.seed)
 
+    recorder = None
+    if args.flight_recorder is not None:
+        recorder = FlightRecorder(dump_dir=args.flight_recorder)
+
     def run_workload() -> dict[str, Any]:
         closed_loop = args.rate is None
         with _make_service(
-            args_like, rules_factory(), admit_unhealthy=closed_loop
+            args_like, rules_factory(), admit_unhealthy=closed_loop,
+            recorder=recorder,
         ) as service:
             server = ServiceMetricsServer(
                 service, host=args.host, port=args.port
@@ -710,65 +802,91 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     alerts_total = 0
     saturation = None
-    if args.rate is not None and not args.saturation:
-        outcome = run_workload()
-        print(
-            f"open-loop at {args.rate:g} Hz/tenant: served "
-            f"{outcome['frames_served']}/{outcome['frames_offered']} frames, "
-            f"{outcome['frames_rejected']} rejected, "
-            f"{outcome['achieved_fps']:.1f} fps aggregate, "
-            f"{outcome['alerts_total']} alert(s)",
-            flush=True,
-        )
-        alerts_total = outcome["alerts_total"]
-        doc = None
-    else:
-        workload = run_workload()
-        alerts_total = sum(len(a) for a in workload["alerts"].values())
-        print(
-            f"served {workload['frames_served']} frames for "
-            f"{len(workload['tenants'])} tenants in {workload['batches']} "
-            f"batches ({workload['wall_s']:.2f}s): {alerts_total} alert(s)",
-            flush=True,
-        )
-        if args.selfcheck:
-            with _make_service(
-                args_like, rules_factory(), admit_unhealthy=True
-            ) as service:
-                repeat = run_closed_loop(service, plans_factory(), args.frames)
-            first = build_document(args_like, workload, None)
-            second = build_document(args_like, repeat, None)
-            if deterministic_sections(first) != deterministic_sections(second):
-                print("DETERMINISM FAILURE: gated sections differ across "
-                      "runs", file=sys.stderr)
-                return 1
-            print("selfcheck OK: gated sections bit-identical across runs",
-                  flush=True)
-        if args.saturation:
-            rates = [float(r) for r in args.rates.split(",") if r.strip()]
-            if rates != sorted(rates) or len(set(rates)) != len(rates):
-                print("--rates must be strictly ascending", file=sys.stderr)
-                return 2
-            saturation = run_saturation(
-                args_like, plans_factory, rates, rules_factory
-            )
+    try:
+        if args.rate is not None and not args.saturation:
+            outcome = run_workload()
             print(
-                f"saturation: max sustained "
-                f"{saturation['max_sustained_fps']:.1f} fps aggregate over "
-                f"{len(saturation['steps'])} step(s)",
+                f"open-loop at {args.rate:g} Hz/tenant: served "
+                f"{outcome['frames_served']}/{outcome['frames_offered']} "
+                f"frames, {outcome['frames_rejected']} rejected, "
+                f"{outcome['achieved_fps']:.1f} fps aggregate, "
+                f"{outcome['alerts_total']} alert(s)",
                 flush=True,
             )
-        doc = build_document(args_like, workload, saturation)
-        validate_serve_bench_document(doc)
-        if args.output is not None:
-            args.output.parent.mkdir(parents=True, exist_ok=True)
-            args.output.write_text(
-                json.dumps(doc, indent=2, sort_keys=True) + "\n",
-                encoding="utf-8",
+            alerts_total = outcome["alerts_total"]
+            doc = None
+        else:
+            workload = run_workload()
+            alerts_total = sum(len(a) for a in workload["alerts"].values())
+            print(
+                f"served {workload['frames_served']} frames for "
+                f"{len(workload['tenants'])} tenants in {workload['batches']} "
+                f"batches ({workload['wall_s']:.2f}s): {alerts_total} alert(s)",
+                flush=True,
             )
-            print(f"wrote {args.output}", flush=True)
+            if args.selfcheck:
+                with _make_service(
+                    args_like, rules_factory(), admit_unhealthy=True
+                ) as service:
+                    repeat = run_closed_loop(
+                        service, plans_factory(), args.frames
+                    )
+                first = build_document(args_like, workload, None)
+                second = build_document(args_like, repeat, None)
+                if (deterministic_sections(first)
+                        != deterministic_sections(second)):
+                    print("DETERMINISM FAILURE: gated sections differ across "
+                          "runs", file=sys.stderr)
+                    return 1
+                print("selfcheck OK: gated sections bit-identical across "
+                      "runs", flush=True)
+            if args.saturation:
+                rates = [float(r) for r in args.rates.split(",") if r.strip()]
+                if rates != sorted(rates) or len(set(rates)) != len(rates):
+                    print("--rates must be strictly ascending",
+                          file=sys.stderr)
+                    return 2
+                saturation = run_saturation(
+                    args_like, plans_factory, rates, rules_factory,
+                    recorder=recorder,
+                )
+                print(
+                    f"saturation: max sustained "
+                    f"{saturation['max_sustained_fps']:.1f} fps aggregate "
+                    f"over {len(saturation['steps'])} step(s)",
+                    flush=True,
+                )
+            doc = build_document(args_like, workload, saturation)
+            validate_serve_bench_document(doc)
+            if args.output is not None:
+                args.output.parent.mkdir(parents=True, exist_ok=True)
+                args.output.write_text(
+                    json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8",
+                )
+                print(f"wrote {args.output}", flush=True)
+            if args.append_history is not None:
+                append_history(doc, args.append_history)
+                print(f"appended history line to {args.append_history}",
+                      flush=True)
+    finally:
+        if recorder is not None:
+            recorder.close()
 
     if args.fail_on_alert and alerts_total:
+        print(
+            f"loadgen: FAILING — {alerts_total} watchdog alert(s) across "
+            f"{args.tenants} tenant(s)",
+            file=sys.stderr, flush=True,
+        )
+        if recorder is not None and recorder.dump_paths:
+            dump = recorder.dump_paths[-1]
+            print(f"  post-mortem dump: {dump}", file=sys.stderr, flush=True)
+            print(
+                f"  inspect with: python -m repro.experiments.postmortem "
+                f"{dump}",
+                file=sys.stderr, flush=True,
+            )
         return 1
     return 0
 

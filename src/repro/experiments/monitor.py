@@ -32,6 +32,7 @@ from typing import Sequence
 
 from repro.core import RBCDSystem
 from repro.gpu.config import GPUConfig
+from repro.observability.flightrecorder import FlightRecorder
 from repro.observability.live import (
     PAPER_ACTIVITY_ENVELOPE,
     LiveMonitor,
@@ -155,6 +156,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-frame-ms", type=float, default=None, metavar="MS",
         help="opt-in latency SLO on p95 host frame time (default: off)",
     )
+    parser.add_argument(
+        "--flight-recorder", default=None, metavar="DIR",
+        help="attach an always-on flight recorder; a post-mortem dump "
+             "is written to DIR on the first watchdog alert (inspect "
+             "it with python -m repro.experiments.postmortem)",
+    )
     return parser
 
 
@@ -179,23 +186,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         max_frame_ms=args.max_frame_ms,
     )
     monitor = LiveMonitor(window=args.window, rules=rules)
+    recorder = None
+    if args.flight_recorder is not None:
+        recorder = FlightRecorder(dump_dir=args.flight_recorder)
 
-    with MetricsServer(monitor, host=args.host, port=args.port) as server:
-        if args.port_file:
-            write_port_file(args.port_file, server.port)
-        print(
-            f"serving {server.url}  "
-            f"(endpoints: /metrics /healthz /snapshot.json)",
-            flush=True,
-        )
-        with RBCDSystem(
-            config=config, workers=args.workers, monitor=monitor
-        ) as system:
-            rendered = run_stream(
-                system, workload, args.frames, interval_s=args.interval
+    try:
+        with MetricsServer(monitor, host=args.host, port=args.port) as server:
+            if args.port_file:
+                write_port_file(args.port_file, server.port)
+            print(
+                f"serving {server.url}  "
+                f"(endpoints: /metrics /healthz /snapshot.json)",
+                flush=True,
             )
-        if args.frames != 0:
-            linger(args.linger)
+            with RBCDSystem(
+                config=config, workers=args.workers, monitor=monitor,
+                recorder=recorder,
+            ) as system:
+                rendered = run_stream(
+                    system, workload, args.frames, interval_s=args.interval
+                )
+            if args.frames != 0:
+                linger(args.linger)
+    finally:
+        if recorder is not None:
+            recorder.close()
 
     status = "ok" if monitor.healthy else "failing"
     print(
@@ -206,6 +221,31 @@ def main(argv: Sequence[str] | None = None) -> int:
     for alert in monitor.alerts:
         print(f"  {alert.message}", flush=True)
     if args.fail_on_alert and monitor.alerts:
+        # Actionable exit diagnostics on stderr: which rule breached,
+        # with what window stats behind it, and where the post-mortem
+        # evidence landed.
+        print(
+            f"monitor: FAILING — {len(monitor.alerts)} watchdog "
+            f"alert(s) over {rendered} frames of {args.scene!r}",
+            file=sys.stderr, flush=True,
+        )
+        for alert in monitor.alerts:
+            print(
+                f"  breached rule {alert.rule!r}: {alert.metric} = "
+                f"{alert.value:.6g} {alert.op} threshold "
+                f"{alert.threshold:.6g} at frame {alert.frame}",
+                file=sys.stderr, flush=True,
+            )
+        for key, value in sorted(monitor.window_values().items()):
+            print(f"  window {key} = {value:.6g}", file=sys.stderr, flush=True)
+        if recorder is not None and recorder.dump_paths:
+            dump = recorder.dump_paths[-1]
+            print(f"  post-mortem dump: {dump}", file=sys.stderr, flush=True)
+            print(
+                f"  inspect with: python -m repro.experiments.postmortem "
+                f"{dump}",
+                file=sys.stderr, flush=True,
+            )
         return 1
     return 0
 

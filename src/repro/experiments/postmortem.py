@@ -1,0 +1,314 @@
+"""Reconstruct an incident timeline from flight-recorder dumps.
+
+``python -m repro.experiments.postmortem`` loads one or more
+``rbcd-postmortem`` documents (written by the
+:class:`~repro.observability.FlightRecorder` on a watchdog alert,
+admission rejection, crash, or explicit dump), validates them, and
+renders a single correlated timeline: tracer spans, metric snapshots,
+structured log events, watchdog transitions and admission rejections,
+merged and ordered by the recorder's monotonic sequence numbers::
+
+    $ PYTHONPATH=src python -m repro.experiments.postmortem \\
+          postmortems/postmortem-0000-alert.json
+    postmortem postmortems/postmortem-0000-alert.json (trigger: alert)
+      stream t00-cap: 14 spans, 3 snapshots, 1 alert, 0 rejections
+    timeline:
+      [seq 000000] t00-cap    span      frame=0  frame (cycles=123456)
+      ...
+      [seq 000031] t00-cap    alert     frame=2  frame-latency-slo: ...
+    alert cross-checks:
+      [t00-cap] frame-latency-slo @ frame 2: reproduced (...)
+
+Filter with ``--tenant`` and ``--frames A:B``; ``--format json`` emits
+the merged timeline as one JSON document for scripting; ``--check``
+validates the documents and exits.
+
+Every alert in a dump is cross-checked by replaying the recorded
+snapshot stream through the *same* window/EWMA/sketch aggregation the
+live monitor ran (:func:`~repro.observability.flightrecorder.verify_alert_record`)
+— the recomputed value must equal the recorded one exactly, by the
+counter algebra.  A mismatch (tampered or corrupt dump) exits 3; a
+ring that underran the metric's replay window is reported as
+unverifiable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.observability.flightrecorder import (
+    validate_postmortem_document,
+    verify_alert_record,
+)
+
+__all__ = [
+    "main",
+    "load_document",
+    "timeline_events",
+    "frame_of",
+    "stream_of",
+    "verify_document_alerts",
+]
+
+
+def load_document(path: str | Path) -> dict:
+    """Read + validate one dump; raises ``ValueError`` when invalid."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    validate_postmortem_document(doc)
+    return doc
+
+
+def timeline_events(doc: Mapping[str, Any]) -> list[dict]:
+    """Every recorded event of one dump, ordered by sequence number."""
+    events: list[dict] = []
+    for stream_name in sorted(doc["streams"]):
+        stream = doc["streams"][stream_name]
+        for ring in ("spans", "snapshots", "alerts", "rejections"):
+            events.extend(stream[ring])
+    events.extend(doc["logs"])
+    events.sort(key=lambda record: record["seq"])
+    return events
+
+
+def frame_of(record: Mapping[str, Any]):
+    """The frame an event correlates to, or None (e.g. service logs)."""
+    if "frame" in record:
+        return record["frame"]
+    attrs = record.get("attrs")
+    if isinstance(attrs, Mapping):
+        for key in ("frame_seq", "frame"):
+            if key in attrs:
+                return attrs[key]
+    if "frame_seq" in record:
+        return record["frame_seq"]
+    return None
+
+
+def stream_of(record: Mapping[str, Any]):
+    """The tenant/stream an event belongs to, or None (global logs)."""
+    if "stream" in record:
+        return record["stream"]
+    # Log events carry the tenant as a structured field when the
+    # serving frontend emitted them.
+    return record.get("tenant")
+
+
+def verify_document_alerts(doc: Mapping[str, Any]) -> list[dict]:
+    """Replay-verify every alert in a dump; returns verdict dicts."""
+    verdicts: list[dict] = []
+    for stream_name in sorted(doc["streams"]):
+        stream = doc["streams"][stream_name]
+        meta = stream.get("monitor")
+        for record in stream["alerts"]:
+            if record["kind"] != "alert":
+                continue
+            if meta is None:
+                verdicts.append({
+                    "stream": stream_name,
+                    "rule": record.get("rule"),
+                    "metric": record.get("metric"),
+                    "frame": record.get("frame"),
+                    "expected": record.get("value"),
+                    "recomputed": None,
+                    "status": "unverifiable",
+                    "reason": "dump carries no monitor parameters",
+                })
+                continue
+            verdict = verify_alert_record(record, stream["snapshots"], meta)
+            verdicts.append({"stream": stream_name, **verdict})
+    return verdicts
+
+
+def _describe(record: Mapping[str, Any]) -> str:
+    kind = record["kind"]
+    if kind == "span":
+        attrs = record.get("attrs") or {}
+        extra = f" stream={attrs['stream']}" if "stream" in attrs else ""
+        return f"{record['name']} (cycles={record['cycles']:g}{extra})"
+    if kind == "snapshot":
+        counters = record.get("counters") or {}
+        derived = record.get("derived") or {}
+        return (
+            f"gpu_cycles={record['gpu_cycles']:g} "
+            f"pairs={counters.get('gpu.rbcd.collision_pairs_emitted', 0):g} "
+            f"activity={derived.get('rbcd.activity_ratio', 0.0):.4g} "
+            f"energy={derived.get('energy.joules', 0.0):.4g}J"
+        )
+    if kind == "alert":
+        return (
+            f"{record['rule']}: {record['metric']} = "
+            f"{record['value']:.6g} {record['op']} {record['threshold']:.6g}"
+        )
+    if kind == "recovery":
+        return f"{record['rule']} recovered ({record['metric']})"
+    if kind == "rejection":
+        detail = record.get("detail")
+        suffix = f" ({detail})" if detail else ""
+        return f"admission refused: {record['reason']}{suffix}"
+    if kind == "log":
+        return (
+            f"{record['level']} {record['event']} ({record['logger']})"
+        )
+    return repr(record)  # pragma: no cover - validator forbids other kinds
+
+
+def _parse_frames(spec: str) -> tuple[int, int]:
+    try:
+        lo_text, hi_text = spec.split(":", 1)
+        lo, hi = int(lo_text), int(hi_text)
+    except ValueError:
+        raise ValueError(
+            f"--frames expects A:B (two integers), got {spec!r}"
+        ) from None
+    if hi < lo:
+        raise ValueError(f"--frames window is empty: {lo} > {hi}")
+    return lo, hi
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.postmortem",
+        description="Render a correlated incident timeline from one or "
+                    "more rbcd-postmortem flight-recorder dumps, and "
+                    "cross-check every alert against the recorded "
+                    "snapshots.",
+    )
+    parser.add_argument(
+        "dumps", nargs="+", metavar="DUMP",
+        help="rbcd-postmortem JSON file(s), merged in argument order",
+    )
+    parser.add_argument(
+        "--tenant", default=None, metavar="ID",
+        help="only events for this tenant/stream",
+    )
+    parser.add_argument(
+        "--frames", default=None, metavar="A:B",
+        help="only events correlated to frames A..B inclusive "
+             "(events with no frame attribution are dropped)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate the documents against the schema and exit",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the alert-replay cross-check",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    window = None
+    if args.frames is not None:
+        try:
+            window = _parse_frames(args.frames)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    docs = [(path, load_document(path)) for path in args.dumps]
+    if args.check:
+        for path, doc in docs:
+            print(
+                f"valid rbcd-postmortem v{doc['version']}: {path}",
+                flush=True,
+            )
+        return 0
+
+    merged: list[tuple[int, dict]] = []
+    for index, (_, doc) in enumerate(docs):
+        for record in timeline_events(doc):
+            merged.append((index, record))
+    merged.sort(key=lambda item: (item[0], item[1]["seq"]))
+
+    def keep(record: Mapping[str, Any]) -> bool:
+        if args.tenant is not None and stream_of(record) != args.tenant:
+            return False
+        if window is not None:
+            frame = frame_of(record)
+            if frame is None or not (window[0] <= frame <= window[1]):
+                return False
+        return True
+
+    selected = [(i, r) for i, r in merged if keep(r)]
+    verdicts: list[dict] = []
+    if not args.no_verify:
+        for _, doc in docs:
+            verdicts.extend(verify_document_alerts(doc))
+    mismatches = [v for v in verdicts if v["status"] == "mismatch"]
+
+    if args.format == "json":
+        print(json.dumps({
+            "dumps": [str(path) for path, _ in docs],
+            "events": [
+                {"dump": index, **record} for index, record in selected
+            ],
+            "verdicts": verdicts,
+            "ok": not mismatches,
+        }, indent=2, sort_keys=True, default=str))
+        return 3 if mismatches else 0
+
+    for path, doc in docs:
+        trigger = doc["trigger"]
+        print(f"postmortem {path} (trigger: {trigger['kind']})", flush=True)
+        for stream_name in sorted(doc["streams"]):
+            stream = doc["streams"][stream_name]
+            alerts = sum(
+                1 for r in stream["alerts"] if r["kind"] == "alert"
+            )
+            config = stream.get("config") or {}
+            token = config.get("token")
+            suffix = f" (config {token[:12]})" if token else ""
+            print(
+                f"  stream {stream_name}: {len(stream['spans'])} spans, "
+                f"{len(stream['snapshots'])} snapshots, {alerts} alerts, "
+                f"{len(stream['rejections'])} rejections{suffix}",
+                flush=True,
+            )
+    print("timeline:", flush=True)
+    for index, record in selected:
+        prefix = f"dump{index} " if len(docs) > 1 else ""
+        stream = stream_of(record) or "-"
+        frame = frame_of(record)
+        frame_text = f"frame={frame}" if frame is not None else "-"
+        print(
+            f"  {prefix}[seq {record['seq']:06d}] {stream:<12} "
+            f"{record['kind']:<9} {frame_text:<9} {_describe(record)}",
+            flush=True,
+        )
+    if not selected:
+        print("  (no events match the filters)", flush=True)
+    if verdicts:
+        print("alert cross-checks:", flush=True)
+        for verdict in verdicts:
+            line = (
+                f"  [{verdict['stream']}] {verdict['rule']} @ frame "
+                f"{verdict['frame']}: {verdict['status']}"
+            )
+            if verdict["status"] == "reproduced":
+                line += f" (value {verdict['recomputed']:.6g})"
+            else:
+                line += f" ({verdict.get('reason')})"
+            print(line, flush=True)
+    if mismatches:
+        print(
+            f"error: {len(mismatches)} alert(s) failed replay "
+            f"verification — the dump does not reproduce its own "
+            f"window stats",
+            file=sys.stderr, flush=True,
+        )
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,12 +17,29 @@ from repro.observability.counters import (
     CounterSpec,
     registry_from_counters,
 )
+from repro.observability.flightrecorder import (
+    DEFAULT_STREAM,
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    WALL_FIELDS,
+    FlightRecorder,
+    RingBuffer,
+    config_fingerprint,
+    deterministic_event,
+    deterministic_events,
+    validate_postmortem_document,
+    verify_alert_record,
+    window_values_from_snapshots,
+)
 from repro.observability.live import (
+    PAPER_ACTIVITY_ENVELOPE,
+    WINDOW_SERIES,
     Alert,
     LiveMonitor,
     MetricSnapshot,
     MetricsServer,
     WatchdogRule,
+    aggregate_window_values,
     default_rules,
 )
 from repro.observability.log import (
@@ -32,6 +49,7 @@ from repro.observability.log import (
     log_event,
 )
 from repro.observability.netutil import (
+    atomic_write_text,
     linger,
     read_port_file,
     write_port_file,
@@ -165,6 +183,22 @@ __all__ = [
     "WatchdogRule",
     "Alert",
     "default_rules",
+    "aggregate_window_values",
+    "PAPER_ACTIVITY_ENVELOPE",
+    "WINDOW_SERIES",
+    # flight recorder / post-mortem
+    "FlightRecorder",
+    "RingBuffer",
+    "DEFAULT_STREAM",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "WALL_FIELDS",
+    "config_fingerprint",
+    "deterministic_event",
+    "deterministic_events",
+    "validate_postmortem_document",
+    "verify_alert_record",
+    "window_values_from_snapshots",
     # streaming aggregation
     "SlidingWindow",
     "Ewma",
@@ -183,6 +217,7 @@ __all__ = [
     "log_event",
     "configure_json_logging",
     # serving net helpers
+    "atomic_write_text",
     "write_port_file",
     "read_port_file",
     "linger",

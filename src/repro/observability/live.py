@@ -56,7 +56,9 @@ __all__ = [
     "LiveMonitor",
     "MetricsServer",
     "default_rules",
+    "aggregate_window_values",
     "PAPER_ACTIVITY_ENVELOPE",
+    "WINDOW_SERIES",
 ]
 
 _LOG = get_logger(__name__)
@@ -71,6 +73,15 @@ OPENMETRICS_CONTENT_TYPE = (
 )
 
 _QUANTILES = (0.5, 0.95, 0.99)
+
+# The per-frame series every monitor pushes into its sliding windows.
+# The flight recorder's post-mortem replay rebuilds the same windows
+# from recorded snapshots, so the set is part of the public contract.
+WINDOW_SERIES = (
+    "rbcd_cycles", "gpu_cycles", "zeb_overflow_events",
+    "zeb_insertions", "ff_stack_overflows", "zeb_lists_analyzed",
+    "energy_j", "wall_ms", "sim_ms", "pairs",
+)
 
 _OPS = {
     "gt": lambda a, b: a > b,
@@ -231,6 +242,51 @@ def default_rules(
     return rules
 
 
+def aggregate_window_values(
+    windows: Mapping[str, SlidingWindow],
+    ewmas: Mapping[str, Ewma],
+    sketches: Mapping[str, QuantileSketch],
+) -> dict[str, float]:
+    """Window aggregates, EWMAs and quantiles from raw series state.
+
+    This is *the* aggregation: :meth:`LiveMonitor.window_values` calls
+    it on the live windows, and the flight recorder's post-mortem
+    replay calls it on windows rebuilt from recorded snapshots — the
+    shared implementation is what makes an alert's window stats exactly
+    reproducible from a dump (same ``SlidingWindow.sum`` left-to-right
+    summation, same sketch bucketing), not merely approximately.
+    """
+    w = windows
+
+    def ratio(num: str, den: str) -> float:
+        total = w[den].sum()
+        return w[num].sum() / total if total > 0.0 else 0.0
+
+    frames = len(w["gpu_cycles"])
+    values = {
+        "window.frames": float(frames),
+        "window.rbcd.activity_ratio": ratio("rbcd_cycles", "gpu_cycles"),
+        "window.zeb.overflow_rate":
+            ratio("zeb_overflow_events", "zeb_insertions"),
+        "window.ffstack.overflow_rate":
+            ratio("ff_stack_overflows", "zeb_lists_analyzed"),
+        "window.energy.joules_per_frame": w["energy_j"].mean(),
+        "window.frame.wall_ms.mean": w["wall_ms"].mean(),
+        "window.frame.wall_ms.max": w["wall_ms"].max(),
+        "window.frame.sim_ms.mean": w["sim_ms"].mean(),
+        "window.pairs.per_frame": w["pairs"].mean(),
+        "ewma.frame.wall_ms": ewmas["frame.wall_ms"].value,
+        "ewma.rbcd.activity_ratio": ewmas["rbcd.activity_ratio"].value,
+    }
+    for series, sketch in sketches.items():
+        for q in _QUANTILES:
+            quantile = sketch.quantile(q)
+            if quantile is not None:
+                key = f"quantile.{series}.p{int(q * 100)}"
+                values[key] = quantile
+    return values
+
+
 class LiveMonitor:
     """Streaming telemetry over a sequence of rendered frames.
 
@@ -256,8 +312,11 @@ class LiveMonitor:
         if len(names) != len(set(names)):
             raise ValueError(f"duplicate watchdog rule names in {names}")
         self.window_size = window
+        self.sketch_accuracy = sketch_accuracy
+        self.ewma_alpha = ewma_alpha
         self._log = logger if logger is not None else _LOG
         self._lock = threading.Lock()
+        self._listeners: list = []
         self.frames = 0
         self.alerts: list[Alert] = []
         self._active_rules: set[str] = set()
@@ -270,12 +329,7 @@ class LiveMonitor:
         # Per-frame series windows (raw numerators/denominators, so
         # windowed rates are ratios of window sums).
         self._windows: dict[str, SlidingWindow] = {
-            name: SlidingWindow(window)
-            for name in (
-                "rbcd_cycles", "gpu_cycles", "zeb_overflow_events",
-                "zeb_insertions", "ff_stack_overflows", "zeb_lists_analyzed",
-                "energy_j", "wall_ms", "sim_ms", "pairs",
-            )
+            name: SlidingWindow(window) for name in WINDOW_SERIES
         }
         self._ewma = {
             "frame.wall_ms": Ewma(ewma_alpha),
@@ -286,6 +340,21 @@ class LiveMonitor:
             "frame.sim_ms": QuantileSketch(sketch_accuracy),
             "rbcd.activity_ratio": QuantileSketch(sketch_accuracy),
         }
+
+    def add_listener(self, fn) -> None:
+        """Call ``fn(kind, payload)`` after each ingested frame:
+        ``("snapshot", MetricSnapshot)`` for every frame, then
+        ``("alert", Alert)`` / ``("recovery", dict)`` for watchdog
+        transitions, in occurrence order.  Listeners run *outside* the
+        monitor lock (so they may call readers like :meth:`totals`)
+        and must be strictly observational.
+        """
+        self._listeners.append(fn)
+
+    def _notify(self, events: list) -> None:
+        for fn in self._listeners:
+            for kind, payload in events:
+                fn(kind, payload)
 
     # -- ingestion -----------------------------------------------------------
 
@@ -366,15 +435,22 @@ class LiveMonitor:
             self._sketches["rbcd.activity_ratio"].add(
                 derived["rbcd.activity_ratio"]
             )
-            self._evaluate_rules(snapshot.frame)
+            events = [("snapshot", snapshot)]
+            events.extend(self._evaluate_rules(snapshot.frame))
+        self._notify(events)
         return snapshot
 
     # -- watchdogs -----------------------------------------------------------
 
-    def _evaluate_rules(self, frame: int) -> None:
-        """Edge-triggered rule evaluation (caller holds the lock)."""
+    def _evaluate_rules(self, frame: int) -> list:
+        """Edge-triggered rule evaluation (caller holds the lock).
+
+        Returns the transition events for listener dispatch after the
+        lock is released.
+        """
         values = self._window_values_locked()
         frames_in_window = len(self._windows["gpu_cycles"])
+        events: list = []
         for rule in self.rules:
             breached = rule.breached(values, frames_in_window)
             if breached and rule.name not in self._active_rules:
@@ -388,16 +464,21 @@ class LiveMonitor:
                     frame=frame,
                 )
                 self.alerts.append(alert)
+                events.append(("alert", alert))
                 log_event(
                     self._log, "watchdog.alert", level=logging.WARNING,
                     **alert.as_dict(),
                 )
             elif not breached and rule.name in self._active_rules:
                 self._active_rules.discard(rule.name)
+                events.append(("recovery", {
+                    "rule": rule.name, "metric": rule.metric, "frame": frame,
+                }))
                 log_event(
                     self._log, "watchdog.recovered", level=logging.INFO,
                     rule=rule.name, metric=rule.metric, frame=frame,
                 )
+        return events
 
     @property
     def active_alerts(self) -> list[str]:
@@ -414,36 +495,9 @@ class LiveMonitor:
     # -- reading -------------------------------------------------------------
 
     def _window_values_locked(self) -> dict[str, float]:
-        w = self._windows
-
-        def ratio(num: str, den: str) -> float:
-            total = w[den].sum()
-            return w[num].sum() / total if total > 0.0 else 0.0
-
-        frames = len(w["gpu_cycles"])
-        values = {
-            "window.frames": float(frames),
-            "window.rbcd.activity_ratio": ratio("rbcd_cycles", "gpu_cycles"),
-            "window.zeb.overflow_rate":
-                ratio("zeb_overflow_events", "zeb_insertions"),
-            "window.ffstack.overflow_rate":
-                ratio("ff_stack_overflows", "zeb_lists_analyzed"),
-            "window.energy.joules_per_frame": w["energy_j"].mean(),
-            "window.frame.wall_ms.mean": w["wall_ms"].mean(),
-            "window.frame.wall_ms.max": w["wall_ms"].max(),
-            "window.frame.sim_ms.mean": w["sim_ms"].mean(),
-            "window.pairs.per_frame": w["pairs"].mean(),
-            "ewma.frame.wall_ms": self._ewma["frame.wall_ms"].value,
-            "ewma.rbcd.activity_ratio":
-                self._ewma["rbcd.activity_ratio"].value,
-        }
-        for series, sketch in self._sketches.items():
-            for q in _QUANTILES:
-                quantile = sketch.quantile(q)
-                if quantile is not None:
-                    key = f"quantile.{series}.p{int(q * 100)}"
-                    values[key] = quantile
-        return values
+        return aggregate_window_values(
+            self._windows, self._ewma, self._sketches
+        )
 
     def window_values(self) -> dict[str, float]:
         """Current window aggregates, EWMAs and quantiles by metric key."""

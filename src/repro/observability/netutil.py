@@ -24,10 +24,29 @@ import time
 from pathlib import Path
 
 __all__ = [
+    "atomic_write_text",
     "write_port_file",
     "read_port_file",
     "linger",
 ]
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> Path:
+    """Atomically publish ``text`` to ``path`` (write-temp + rename).
+
+    The temporary file lives in the target's directory so the
+    ``os.replace`` is a same-filesystem rename — atomic on POSIX.  Any
+    reader that sees ``path`` at all sees the complete contents; a
+    crash mid-write leaves the previous version (or nothing) in place.
+    The flight recorder routes its post-mortem dumps through here so a
+    half-written incident document can never be mistaken for evidence.
+    Returns the path written.
+    """
+    target = Path(path)
+    tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, target)
+    return target
 
 
 def write_port_file(path: str | os.PathLike, port: int) -> Path:
@@ -37,13 +56,9 @@ def write_port_file(path: str | os.PathLike, port: int) -> Path:
     either does not exist yet or contains the full ``"{port}\\n"``.
     Returns the path written.
     """
-    target = Path(path)
     if not isinstance(port, int) or isinstance(port, bool) or port <= 0:
         raise ValueError(f"port must be a positive integer, got {port!r}")
-    tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
-    tmp.write_text(f"{port}\n", encoding="utf-8")
-    os.replace(tmp, target)
-    return target
+    return atomic_write_text(path, f"{port}\n")
 
 
 def read_port_file(

@@ -90,16 +90,31 @@ class Tracer:
     ``with`` exits; call :meth:`reset` to start a fresh trace (e.g. per
     frame), or keep accumulating across frames and group by the
     ``frame`` attribute downstream.
+
+    With ``keep_spans=False`` the span list is cleared each time the
+    stack empties (a root span closes): listeners still see every
+    completed span, but the tracer itself holds at most one frame's
+    tree — the mode the flight recorder uses to stay bounded while
+    always on.  Span indices then restart per root, which keeps
+    parent/child indices consistent within each retained tree.
     """
 
     enabled = True
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    def __init__(self, clock=time.perf_counter, keep_spans: bool = True) -> None:
         self._clock = clock
+        self.keep_spans = keep_spans
         self.spans: list[Span] = []
         self._stack: list[Span] = []
         self._context: dict = {}
+        self._listeners: list = []
         self._epoch = clock()
+
+    def add_listener(self, fn) -> None:
+        """Call ``fn(span)`` each time a span closes (in close order,
+        children before parents).  Listeners must be observational —
+        the span is live bookkeeping, not a copy."""
+        self._listeners.append(fn)
 
     @contextmanager
     def span(self, name: str, category: str = "stage", **attrs):
@@ -150,6 +165,10 @@ class Tracer:
             )
         sp.t_end = self._clock() - self._epoch
         self._stack.pop()
+        for fn in self._listeners:
+            fn(sp)
+        if not self.keep_spans and not self._stack:
+            self.spans = []
 
     @property
     def current(self) -> Span | None:
@@ -223,6 +242,10 @@ class NullTracer:
 
     enabled = False
     spans: list = []
+    keep_spans = False
+
+    def add_listener(self, fn) -> None:
+        pass
 
     @contextmanager
     def span(self, name: str, category: str = "stage", **attrs):

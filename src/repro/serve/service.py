@@ -174,6 +174,19 @@ class CollisionService:
         breach has new frames refused ("unhealthy") until the stream
         recovers.  Rejection is the only feedback admission control is
         allowed: admitted frames are never altered.
+    recorder:
+        Optional :class:`~repro.observability.FlightRecorder` black
+        box.  The service then records every tenant's completed spans
+        (routed by the ``tenant`` span attribute), metric snapshots,
+        watchdog transitions and admission rejections into the
+        recorder's per-stream rings, fingerprints each tenant's
+        config, and fires the recorder's triggers on watchdog alerts,
+        rejections, and unhandled exceptions in :meth:`step` — so a
+        post-mortem dump lands on disk the moment an incident starts.
+        When no ``tracer`` was passed, a recorder-owned bounded tracer
+        is created so span recording is on without unbounded growth.
+        Strictly observational: results are bit-identical with the
+        recorder attached or not.
     """
 
     def __init__(
@@ -186,6 +199,7 @@ class CollisionService:
         tracer=None,
         max_pending: int = 8,
         admit_unhealthy: bool = False,
+        recorder=None,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -199,6 +213,9 @@ class CollisionService:
         self.executor: TileExecutor = make_executor(pool_config)
         self.window = window
         self._rules = rules
+        self.recorder = recorder
+        if recorder is not None:
+            tracer = recorder.attach_tracer(tracer)
         self.tracer = tracer
         self.max_pending = max_pending
         self.admit_unhealthy = admit_unhealthy
@@ -270,6 +287,9 @@ class CollisionService:
             provenance=provenance,
             tile_profiler=tile_profiler,
         )
+        if self.recorder is not None:
+            self.recorder.attach_monitor(monitor, stream=tenant)
+            self.recorder.attach_config(system.config, stream=tenant)
         session = TenantSession(
             tenant=tenant,
             system=system,
@@ -334,6 +354,10 @@ class CollisionService:
             _LOG, "serve.frame.rejected", level=logging.WARNING,
             tenant=tenant, stream=stream, reason=reason, detail=detail,
         )
+        if self.recorder is not None:
+            self.recorder.record_rejection(
+                tenant, reason, detail=detail, stream_name=stream
+            )
         raise AdmissionError(tenant, reason, detail)
 
     # -- batching ------------------------------------------------------------
@@ -373,6 +397,10 @@ class CollisionService:
                     else:
                         result = session.system.detect_frame(frame)
                 except BaseException as exc:  # demux failures per frame
+                    if self.recorder is not None:
+                        self.recorder.record_exception(
+                            session.tenant, exc, frame_seq=seq
+                        )
                     future.set_exception(exc)
                     continue
                 with self._lock:
@@ -537,6 +565,26 @@ class CollisionService:
                 if name in counters:
                     family.add(counters[name], suffix="_total", tenant=tenant)
             families.append(family)
+
+        if self.recorder is not None:
+            stats = self.recorder.stats()
+            dumps = MetricFamily(
+                "repro_flightrecorder_dumps", "counter",
+                help="Post-mortem documents written by the flight recorder.",
+            ).add(stats["dumps_written"], suffix="_total")
+            suppressed = MetricFamily(
+                "repro_flightrecorder_dumps_suppressed", "counter",
+                help="Triggered dumps suppressed by the dump limit.",
+            ).add(stats["dumps_suppressed"], suffix="_total")
+            depth = MetricFamily(
+                "repro_flightrecorder_ring_depth", "gauge",
+                help="Events currently buffered per flight-recorder ring.",
+            )
+            for stream in sorted(stats["streams"]):
+                for ring, depth_now in sorted(stats["streams"][stream].items()):
+                    depth.add(depth_now, stream=stream, ring=ring)
+            depth.add(stats["logs"], stream="_service", ring="logs")
+            families.extend([dumps, suppressed, depth])
         return families
 
     def to_openmetrics(self) -> str:

@@ -574,7 +574,8 @@ class TestCli:
         lines = history.read_text().splitlines()
         assert len(lines) == 2
         record = json.loads(lines[0])
-        assert record["version"] == SCHEMA_VERSION
+        assert record["schema"] == "rbcd-bench"  # tags lines in the
+        assert record["version"] == SCHEMA_VERSION  # shared trend file
         assert record["config"]["width"] == 64
         scene = record["scenes"]["crazy"]
         doc = json.loads(out.read_text())

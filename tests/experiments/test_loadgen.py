@@ -17,6 +17,7 @@ import pytest
 from repro.experiments.loadgen import (
     SCHEMA_NAME,
     SCHEMA_VERSION,
+    history_line,
     main,
     plan_tenants,
     validate_serve_bench_document,
@@ -132,6 +133,75 @@ class TestClosedLoopCli:
         assert scraped["status"] == 200
         assert 'tenant="t00-cap"' in scraped["body"]
         assert 'tenant="t01-crazy"' in scraped["body"]
+
+
+class TestHistoryAppend:
+    def test_appended_line_round_trips_history_line(self, capsys, tmp_path):
+        out_path = tmp_path / "serve.json"
+        history = tmp_path / "hist" / "HISTORY.ndjson"
+        argv = SMALL + [
+            "--output", str(out_path), "--append-history", str(history),
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0  # appends, never truncates
+        assert "appended history line to" in capsys.readouterr().out
+        doc = json.loads(out_path.read_text())
+        lines = history.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert line == history_line(doc)
+        record = json.loads(lines[0])
+        assert record["schema"] == SCHEMA_NAME  # disambiguates bench lines
+        assert record["version"] == SCHEMA_VERSION
+        assert record["config"]["tenants"] == 2
+        assert record["workload"]["frames_served"] == 4
+        assert record["workload"]["pairs_total"] == sum(
+            t["pairs_total"] for t in doc["workload"]["tenants"]
+        )
+        assert record["saturation"] is None
+
+    def test_history_line_summarizes_saturation(self):
+        doc = good_document()
+        record = json.loads(history_line(doc))
+        assert record["saturation"] == {
+            "max_sustained_fps": 30.0, "steps": 2,
+        }
+
+
+class TestFlightRecorderCli:
+    def test_forced_slo_breach_writes_exactly_one_dump(
+        self, capsys, tmp_path
+    ):
+        """The CI postmortem-smoke recipe: an impossibly tight p95 SLO
+        breaches on the first window, the closed loop still serves
+        every frame, and the recorder writes exactly one valid dump."""
+        from repro.experiments.postmortem import main as postmortem_main
+
+        dump_dir = tmp_path / "black-box"
+        code = main(SMALL + [
+            "--max-frame-ms", "1e-6", "--fail-on-alert",
+            "--flight-recorder", str(dump_dir),
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "served 4 frames" in captured.out  # breach did not reject
+        assert "loadgen: FAILING" in captured.err
+        dumps = sorted(dump_dir.glob("postmortem-*.json"))
+        assert len(dumps) == 1  # dump storm protection: one per run
+        assert str(dumps[0]) in captured.err
+        assert postmortem_main([str(dumps[0]), "--check"]) == 0
+        assert postmortem_main([str(dumps[0])]) == 0
+        out = capsys.readouterr().out
+        assert "frame-latency-slo" in out
+        assert "reproduced" in out
+
+    def test_healthy_run_writes_no_dump(self, tmp_path):
+        dump_dir = tmp_path / "black-box"
+        code = main(SMALL + [
+            "--fail-on-alert", "--flight-recorder", str(dump_dir),
+        ])
+        assert code == 0
+        assert not list(dump_dir.glob("*.json")) if dump_dir.exists() else True
 
 
 class TestOpenLoopAndSaturationCli:

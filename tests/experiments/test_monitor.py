@@ -96,6 +96,48 @@ class TestMonitorCli:
         ])
         assert code == 0
 
+    def test_fail_on_alert_prints_actionable_diagnostics(self, capsys):
+        """A failing exit names the breaching rule, its window stats,
+        and nothing about a dump when no recorder was attached."""
+        code = main(TINY + [
+            "--scene", "cap", "--frames", "2",
+            "--max-joules-per-frame", "1e-12", "--fail-on-alert",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "monitor: FAILING" in err
+        assert "breached rule 'energy-budget'" in err
+        assert "window.energy.joules_per_frame" in err
+        assert "gt threshold 1e-12" in err
+        # The full window state behind the verdict is on stderr too.
+        assert "window window.frames = 2" in err
+        assert "post-mortem dump" not in err
+
+    def test_fail_on_alert_with_flight_recorder_names_the_dump(
+        self, capsys, tmp_path
+    ):
+        """End to end: breach -> exit 1 -> one dump, path on stderr,
+        and the named file is a valid, inspectable post-mortem."""
+        from repro.experiments.postmortem import main as postmortem_main
+
+        dump_dir = tmp_path / "black-box"
+        code = main(TINY + [
+            "--scene", "cap", "--frames", "2",
+            "--max-joules-per-frame", "1e-12", "--fail-on-alert",
+            "--flight-recorder", str(dump_dir),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "post-mortem dump: " in err
+        assert "inspect with: python -m repro.experiments.postmortem" in err
+        (dump,) = sorted(dump_dir.glob("postmortem-*.json"))
+        assert str(dump) in err
+        assert postmortem_main([str(dump), "--check"]) == 0
+        assert postmortem_main([str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "alert cross-checks:" in out
+        assert "energy-budget @ frame 0: reproduced" in out
+
 
 class TestLiveEndpointEndToEnd:
     """Scrape the endpoint over HTTP while a real stream renders."""

@@ -21,6 +21,7 @@ SUBMODULES = (
     "repro.observability.openmetrics",
     "repro.observability.live",
     "repro.observability.netutil",
+    "repro.observability.flightrecorder",
 )
 
 SERVE_SUBMODULES = (
@@ -89,10 +90,29 @@ class TestObservabilityExports:
                 "repro.observability.log",
                 "repro.observability.openmetrics",
                 "repro.observability.netutil",
+                "repro.observability.flightrecorder",
             ):
                 assert hasattr(obs, name), (
                     f"{module_name}.{name} not re-exported"
                 )
+
+    def test_flightrecorder_names_importable_from_top_level(self):
+        from repro.observability import (
+            FlightRecorder,
+            RingBuffer,
+            config_fingerprint,
+            deterministic_events,
+            validate_postmortem_document,
+            verify_alert_record,
+            window_values_from_snapshots,
+        )
+
+        for name in (
+            FlightRecorder, RingBuffer, config_fingerprint,
+            deterministic_events, validate_postmortem_document,
+            verify_alert_record, window_values_from_snapshots,
+        ):
+            assert name is not None
 
     def test_forensics_stays_module_scoped(self):
         # repro.observability.forensics sits above the GPU pipeline; the

@@ -21,6 +21,7 @@ from repro.observability.live import (
     LiveMonitor,
     MetricsServer,
     WatchdogRule,
+    aggregate_window_values,
     default_rules,
 )
 from repro.observability.openmetrics import parse_openmetrics, validate_openmetrics
@@ -184,6 +185,76 @@ class TestLiveMonitorIngestion:
         rule = WatchdogRule("dup", "m", "gt", 1.0)
         with pytest.raises(ValueError):
             LiveMonitor(rules=[rule, rule])
+
+
+class TestListeners:
+    """The flight recorder's feed: snapshot/alert/recovery events,
+    dispatched after the monitor lock is released."""
+
+    hot_rule = [
+        WatchdogRule("hot", "window.rbcd.activity_ratio", "gt", 0.01)
+    ]
+
+    def test_snapshot_event_per_frame_with_payload(self):
+        monitor = LiveMonitor(window=4)
+        events = []
+        monitor.add_listener(lambda kind, payload: events.append((kind, payload)))
+        snap = monitor.observe_frame(make_stats(), make_energy())
+        assert events == [("snapshot", snap)]
+
+    def test_alert_and_recovery_events_are_edge_triggered(self):
+        monitor = LiveMonitor(window=1, rules=self.hot_rule)
+        events = []
+        monitor.add_listener(lambda kind, payload: events.append((kind, payload)))
+        hot = make_stats(gpu_cycles=1000.0, rbcd_cycles=100.0)
+        cold = make_stats(gpu_cycles=1000.0, rbcd_cycles=0.0)
+        monitor.observe_frame(cold, make_energy())
+        monitor.observe_frame(hot, make_energy())
+        monitor.observe_frame(hot, make_energy())  # still breached: no event
+        monitor.observe_frame(cold, make_energy())
+        kinds = [kind for kind, _ in events]
+        assert kinds == [
+            "snapshot", "snapshot", "alert", "snapshot", "snapshot",
+            "recovery",
+        ]
+        alert = next(p for k, p in events if k == "alert")
+        assert isinstance(alert, Alert) and alert.rule == "hot"
+        recovery = next(p for k, p in events if k == "recovery")
+        assert recovery == {
+            "rule": "hot",
+            "metric": "window.rbcd.activity_ratio",
+            "frame": 3,
+        }
+
+    def test_snapshot_event_precedes_its_alert(self):
+        monitor = LiveMonitor(window=1, rules=self.hot_rule)
+        events = []
+        monitor.add_listener(lambda kind, _: events.append(kind))
+        hot = make_stats(gpu_cycles=1000.0, rbcd_cycles=100.0)
+        monitor.observe_frame(hot, make_energy())
+        assert events == ["snapshot", "alert"]
+
+    def test_listener_may_reenter_monitor_readers(self):
+        # Events are dispatched outside the monitor lock, so a listener
+        # can call totals()/window_values() without deadlocking.
+        monitor = LiveMonitor(window=4)
+        seen = []
+        monitor.add_listener(
+            lambda kind, _: seen.append(
+                monitor.totals()["gpu.rbcd.zeb_insertions"]
+            )
+        )
+        monitor.observe_frame(make_stats(), make_energy())
+        monitor.observe_frame(make_stats(), make_energy())
+        assert seen == [100, 200]
+
+    def test_aggregate_window_values_backs_window_values(self):
+        monitor = LiveMonitor(window=4)
+        for _ in range(3):
+            monitor.observe_frame(make_stats(), make_energy(), wall_s=0.01)
+        assert monitor.window_values() == aggregate_window_values(
+            monitor._windows, monitor._ewma, monitor._sketches
+        )
 
 
 class TestWatchdogBehavior:

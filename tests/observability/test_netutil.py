@@ -4,7 +4,30 @@ import threading
 
 import pytest
 
-from repro.observability.netutil import linger, read_port_file, write_port_file
+from repro.observability.netutil import (
+    atomic_write_text,
+    linger,
+    read_port_file,
+    write_port_file,
+)
+
+
+class TestAtomicWriteText:
+    def test_writes_and_returns_target(self, tmp_path):
+        path = tmp_path / "doc.json"
+        assert atomic_write_text(path, "{}\n") == path
+        assert path.read_text() == "{}\n"
+
+    def test_overwrites_atomically_without_temp_residue(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_text(path, "first\n")
+        atomic_write_text(path, "second\n")
+        assert path.read_text() == "second\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_accepts_string_paths(self, tmp_path):
+        target = atomic_write_text(str(tmp_path / "s.txt"), "x")
+        assert target.read_text() == "x"
 
 
 class TestWritePortFile:

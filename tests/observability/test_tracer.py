@@ -147,3 +147,132 @@ class TestNullTracer:
         assert sp.wall_s == 0.0
         sp.add_cycles(2.5)
         assert sp.cycles == 2.5
+
+
+class TestContext:
+    """Request-scoped attribute stamping (the serving frontend's
+    tenant/stream/frame_seq path) and its restoration guarantees."""
+
+    def test_context_stamps_every_span(self, tracer):
+        with tracer.context(tenant="t00", frame_seq=3):
+            with tracer.span("frame"):
+                with tracer.span("rbcd.tile"):
+                    pass
+        assert all(
+            s.attrs["tenant"] == "t00" and s.attrs["frame_seq"] == 3
+            for s in tracer.spans
+        )
+
+    def test_explicit_span_attrs_win_over_context(self, tracer):
+        with tracer.context(tile=0, tenant="t00"):
+            with tracer.span("rbcd.tile", tile=7) as sp:
+                pass
+        assert sp.attrs == {"tile": 7, "tenant": "t00"}
+
+    def test_nested_contexts_layer_and_restore(self, tracer):
+        with tracer.context(tenant="outer", stream="s0"):
+            with tracer.context(tenant="inner", frame_seq=1):
+                with tracer.span("a") as inner:
+                    pass
+            with tracer.span("b") as outer:
+                pass
+        with tracer.span("c") as bare:
+            pass
+        assert inner.attrs == {
+            "tenant": "inner", "stream": "s0", "frame_seq": 1,
+        }
+        assert outer.attrs == {"tenant": "outer", "stream": "s0"}
+        assert bare.attrs == {}
+
+    def test_reentrant_context_same_keys(self, tracer):
+        with tracer.context(tenant="a"):
+            with tracer.context(tenant="b"):
+                with tracer.context(tenant="a"):
+                    with tracer.span("x") as sp:
+                        pass
+                with tracer.span("y") as mid:
+                    pass
+        assert sp.attrs == {"tenant": "a"}
+        assert mid.attrs == {"tenant": "b"}
+
+    def test_context_restores_on_exception(self, tracer):
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.context(tenant="doomed"):
+                raise ValueError("boom")
+        with tracer.span("after") as sp:
+            pass
+        assert sp.attrs == {}
+
+    def test_nested_context_restores_outer_on_exception(self, tracer):
+        with tracer.context(tenant="outer"):
+            with pytest.raises(RuntimeError, match="inner"):
+                with tracer.context(tenant="inner", extra=1):
+                    raise RuntimeError("inner boom")
+            with tracer.span("recovered") as sp:
+                pass
+        assert sp.attrs == {"tenant": "outer"}
+
+    def test_context_does_not_mutate_open_spans(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.context(tenant="late"):
+                with tracer.span("inner") as inner:
+                    pass
+        assert outer.attrs == {}
+        assert inner.attrs == {"tenant": "late"}
+
+    def test_null_tracer_context_is_inert(self):
+        with NULL_TRACER.context(tenant="ignored"):
+            with NULL_TRACER.span("x") as sp:
+                pass
+        assert sp.attrs == {}
+        assert NULL_TRACER.spans == []
+
+    def test_null_tracer_context_survives_exception(self):
+        with pytest.raises(KeyError):
+            with NULL_TRACER.context(tenant="ignored"):
+                raise KeyError("k")
+        # still usable, still records nothing
+        with NULL_TRACER.span("y"):
+            pass
+        assert NULL_TRACER.spans == []
+
+
+class TestListeners:
+    def test_listener_sees_spans_in_close_order(self, tracer):
+        closed = []
+        tracer.add_listener(lambda sp: closed.append(sp.name))
+        with tracer.span("frame"):
+            with tracer.span("geometry"):
+                pass
+            with tracer.span("raster"):
+                pass
+        assert closed == ["geometry", "raster", "frame"]
+
+    def test_listener_sees_closed_span_with_attrs(self, tracer, clock):
+        seen = []
+        tracer.add_listener(seen.append)
+        with tracer.context(tenant="t"):
+            with tracer.span("frame"):
+                clock.tick(2.0)
+        (sp,) = seen
+        assert sp.closed and sp.wall_s == pytest.approx(2.0)
+        assert sp.attrs == {"tenant": "t"}
+
+    def test_keep_spans_false_clears_per_root(self, clock):
+        tracer = Tracer(clock=clock, keep_spans=False)
+        seen = []
+        tracer.add_listener(lambda sp: seen.append(sp.name))
+        with tracer.span("frame"):
+            with tracer.span("rbcd"):
+                pass
+        assert tracer.spans == []          # cleared once the root closed
+        with tracer.span("frame") as again:
+            pass
+        assert again.index == 0            # indices restart per root
+        assert tracer.spans == []
+        assert seen == ["rbcd", "frame", "frame"]
+
+    def test_null_tracer_add_listener_is_noop(self):
+        NULL_TRACER.add_listener(lambda sp: 1 / 0)
+        with NULL_TRACER.span("x"):
+            pass
